@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper at the
+small ``bench_scale`` of each dataset (seconds, not hours) and writes the
+rendered artefacts to ``benchmarks/artifacts/``.  The full-scale reproduction
+is ``python -m repro.bench all`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import load_paper_graphs
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def write_artifact(name: str, content: str) -> None:
+    """Persist a rendered table/figure for inspection after the run."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / name).write_text(content + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_graphs():
+    """All nine Table-III stand-ins at their bench scales (cached on disk)."""
+    return load_paper_graphs(seed=0, bench=True)
+
+
+@pytest.fixture(scope="session")
+def g1(bench_graphs):
+    return bench_graphs["G1"]
+
+
+@pytest.fixture(scope="session")
+def g4(bench_graphs):
+    return bench_graphs["G4"]
+
+
+@pytest.fixture(scope="session")
+def g9(bench_graphs):
+    return bench_graphs["G9"]

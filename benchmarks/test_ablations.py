@@ -1,0 +1,115 @@
+"""Ablation benches for the implementation choices DESIGN.md calls out.
+
+Each ablation runs TLP with one knob flipped and reports/bounds the effect:
+
+* strict vs. loose (paper-literal) capacity;
+* residual vs. original similarity scope (Stage I neighbourhoods);
+* reseed-on-break vs. literal Algorithm-1 break;
+* the sliding-window future-work feature for streaming baselines;
+* the vertex->edge adapter strategies for METIS/LDG.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.report import render_table
+from repro.core.tlp import TLPPartitioner
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.metrics import edge_balance, replication_factor
+from repro.partitioning.vertex_adapter import VertexToEdgePartitioner
+from repro.streaming.orders import edge_stream
+from repro.streaming.window import windowed_stream
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(g4):
+    rows = []
+
+    def run(label, partitioner):
+        part = partitioner.partition(g4, 10)
+        rows.append(
+            [
+                label,
+                replication_factor(part, g4),
+                edge_balance(part),
+            ]
+        )
+        return part
+
+    run("TLP strict capacity", TLPPartitioner(seed=0))
+    run("TLP loose capacity", TLPPartitioner(seed=0, strict_capacity=False))
+    run("TLP original-scope mu_s1", TLPPartitioner(seed=0, similarity_scope="original"))
+    run("TLP no reseed", TLPPartitioner(seed=0, reseed_on_break=False))
+    write_artifact(
+        "ablations.txt", render_table(["variant", "RF", "balance"], rows)
+    )
+    return {row[0]: row for row in rows}
+
+
+def test_strict_capacity_costs_little_rf(benchmark, ablation_rows):
+    """Definition 3 compliance should not meaningfully hurt RF."""
+
+    def rf_gap():
+        return (
+            ablation_rows["TLP strict capacity"][1]
+            - ablation_rows["TLP loose capacity"][1]
+        )
+
+    assert abs(benchmark.pedantic(rf_gap, rounds=1, iterations=1)) < 0.6
+
+
+def test_loose_capacity_hurts_balance(benchmark, ablation_rows):
+    def balances():
+        return (
+            ablation_rows["TLP strict capacity"][2],
+            ablation_rows["TLP loose capacity"][2],
+        )
+
+    strict, loose = benchmark.pedantic(balances, rounds=1, iterations=1)
+    assert strict <= loose + 1e-9
+
+
+def test_similarity_scope_equivalence_class(benchmark, ablation_rows):
+    """Residual vs original Stage-I neighbourhoods land in the same RF band."""
+
+    def gap():
+        return abs(
+            ablation_rows["TLP strict capacity"][1]
+            - ablation_rows["TLP original-scope mu_s1"][1]
+        )
+
+    assert benchmark.pedantic(gap, rounds=1, iterations=1) < 0.6
+
+
+def test_window_size_sweep_for_streaming(benchmark, g4):
+    """Future work (§V): sliding-window reordering vs raw shuffled stream."""
+    shuffled = edge_stream(g4, "random", seed=1)
+
+    def rf_for(window):
+        stream = shuffled if window == 1 else windowed_stream(shuffled, window)
+        part = GreedyPartitioner(seed=0).assign_stream(stream, 10)
+        return replication_factor(part, g4)
+
+    def sweep():
+        return {w: rf_for(w) for w in (1, 64, 1024)}
+
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "window_sweep.txt",
+        render_table(["window", "RF(Greedy)"], [[w, rf] for w, rf in values.items()]),
+    )
+    assert values[1024] <= values[1] * 1.1  # windowing never badly hurts
+
+
+@pytest.mark.parametrize("strategy", ["balanced", "first", "random"])
+def test_adapter_strategy_rf_band(benchmark, g4, strategy):
+    """All vertex->edge adapter strategies give comparable RF for LDG."""
+    partitioner = VertexToEdgePartitioner(
+        LDGPartitioner(seed=0), strategy=strategy, seed=0
+    )
+    part = benchmark.pedantic(
+        lambda: partitioner.partition(g4, 10), rounds=2, iterations=1
+    )
+    rf = replication_factor(part, g4)
+    assert 1.0 <= rf < 10.0

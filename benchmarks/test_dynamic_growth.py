@@ -1,0 +1,77 @@
+"""Incremental-growth bench — the intro's "graphs increase incrementally".
+
+Partitions 80% of a graph with TLP, streams the remaining 20% through the
+dynamic maintainer, and compares against re-partitioning from scratch: the
+online placement should stay within a modest RF premium, and a refresh pass
+should claw most of it back.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.report import render_table
+from repro.core.dynamic import DynamicPartitioner
+from repro.core.tlp import TLPPartitioner
+from repro.graph.graph import Graph
+from repro.partitioning.metrics import replication_factor
+from repro.streaming.orders import edge_stream
+
+P = 10
+
+
+@pytest.fixture(scope="module")
+def growth_results(g4):
+    edges = edge_stream(g4, "random", seed=0)
+    cut = int(0.8 * len(edges))
+    base = Graph.from_edges(edges[:cut])
+    initial = TLPPartitioner(seed=0).partition(base, P)
+    dyn = DynamicPartitioner(initial, slack=1.15)
+    dyn.add_edges(edges[cut:])
+    online_rf = replication_factor(dyn.snapshot(), g4)
+    saved = dyn.refresh()
+    refreshed_rf = replication_factor(dyn.snapshot(), g4)
+    full_rf = replication_factor(TLPPartitioner(seed=0).partition(g4, P), g4)
+    write_artifact(
+        "dynamic_growth.txt",
+        render_table(
+            ["strategy", "RF"],
+            [
+                ["TLP on 80% + online inserts", online_rf],
+                ["  + refresh pass", refreshed_rf],
+                ["TLP re-partition from scratch", full_rf],
+            ],
+        )
+        + f"\nreplicas saved by refresh: {saved}",
+    )
+    return {"online": online_rf, "refreshed": refreshed_rf, "full": full_rf}
+
+
+def test_online_premium_bounded(benchmark, growth_results):
+    def premium():
+        return growth_results["online"] - growth_results["full"]
+
+    assert benchmark.pedantic(premium, rounds=1, iterations=1) < 0.8
+
+
+def test_refresh_recovers_quality(benchmark, growth_results):
+    def ordering():
+        return (
+            growth_results["refreshed"] <= growth_results["online"] + 1e-12
+        )
+
+    assert benchmark.pedantic(ordering, rounds=1, iterations=1)
+
+
+def test_insert_kernel(benchmark, g4):
+    edges = edge_stream(g4, "random", seed=0)
+    cut = int(0.9 * len(edges))
+    base = Graph.from_edges(edges[:cut])
+    initial = TLPPartitioner(seed=0).partition(base, P)
+
+    def insert_tail():
+        dyn = DynamicPartitioner(initial, slack=1.15)
+        dyn.add_edges(edges[cut:])
+        return dyn
+
+    dyn = benchmark.pedantic(insert_tail, rounds=3, iterations=1)
+    assert dyn.insertions == len(edges) - cut

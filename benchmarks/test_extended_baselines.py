@@ -1,0 +1,76 @@
+"""Extended comparison — every implemented algorithm on one dataset.
+
+Beyond the paper's Fig. 8 five, this bench ranks the related-work baselines
+(HDRF, Greedy, Grid, FENNEL, NE, KL, Spectral) and the TLP variants
+(one-stage ablations, windowed) on a common workload, asserting the broad
+quality bands the literature predicts.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.report import render_table
+from repro.partitioning.metrics import edge_balance, replication_factor
+from repro.partitioning.registry import (
+    EXTENDED_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    make_partitioner,
+)
+
+ALL = tuple(PAPER_ALGORITHMS) + tuple(EXTENDED_ALGORITHMS)
+
+
+@pytest.fixture(scope="module")
+def ranking(g4):
+    rows = []
+    rf = {}
+    for name in ALL:
+        partitioner = make_partitioner(name, seed=0)
+        partition = partitioner.partition(g4, 10)
+        partition.validate_against(g4)
+        rf[name] = replication_factor(partition, g4)
+        rows.append([name, rf[name], edge_balance(partition)])
+    rows.sort(key=lambda row: row[1])
+    write_artifact(
+        "extended_baselines.txt",
+        render_table(["algorithm", "RF", "balance"], rows),
+    )
+    return rf
+
+
+def test_informed_methods_beat_random(benchmark, ranking):
+    def violators():
+        return [
+            name
+            for name in ALL
+            if name not in ("Random",) and ranking[name] >= ranking["Random"]
+        ]
+
+    assert benchmark.pedantic(violators, rounds=1, iterations=1) == []
+
+
+def test_local_family_is_competitive(benchmark, ranking):
+    """TLP and NE (local methods) sit in the top half of the ranking."""
+
+    def top_half():
+        ordered = sorted(ALL, key=lambda n: ranking[n])
+        half = set(ordered[: len(ordered) // 2 + 1])
+        return {"TLP", "NE"} <= half
+
+    assert benchmark.pedantic(top_half, rounds=1, iterations=1)
+
+
+def test_windowed_tlp_within_band_of_tlp(benchmark, ranking):
+    def gap():
+        return ranking["TLP-W"] - ranking["TLP"]
+
+    assert benchmark.pedantic(gap, rounds=1, iterations=1) < 1.0
+
+
+@pytest.mark.parametrize("name", ["HDRF", "Greedy", "NE", "KL", "Spectral"])
+def test_extended_kernel(benchmark, g4, name):
+    partitioner = make_partitioner(name, seed=0)
+    partition = benchmark.pedantic(
+        lambda: partitioner.partition(g4, 10), rounds=2, iterations=1
+    )
+    assert partition.num_partitions == 10

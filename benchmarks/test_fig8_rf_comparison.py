@@ -1,0 +1,84 @@
+"""Fig. 8 — replication factor of TLP vs METIS/LDG/DBH/Random, p = 10/15/20.
+
+Regenerates all three panels on the nine bench-scale stand-ins, writes them
+to ``benchmarks/artifacts/fig8_p*.txt``, asserts the paper's qualitative
+shape, and benchmarks each algorithm's partitioning kernel.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.figures import fig8
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.registry import PAPER_ALGORITHMS, make_partitioner
+
+P_VALUES = (10, 15, 20)
+
+
+@pytest.fixture(scope="module")
+def fig8_data(bench_graphs):
+    data = fig8(graphs=bench_graphs, p_values=P_VALUES, seed=0)
+    for p in P_VALUES:
+        write_artifact(f"fig8_p{p}.txt", data.render(p))
+    return data
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_partitioning_kernel(benchmark, g4, algorithm):
+    """Wall-clock of one (G4, p=10) partitioning call per algorithm."""
+    partitioner = make_partitioner(algorithm, seed=0)
+    partition = benchmark.pedantic(
+        lambda: partitioner.partition(g4, 10), rounds=3, iterations=1
+    )
+    assert replication_factor(partition, g4) >= 1.0
+
+
+def test_fig8_shape_random_worst(benchmark, fig8_data, bench_graphs):
+    """Random has the worst RF on every dataset and p (paper Fig. 8)."""
+
+    def violations():
+        bad = []
+        for dataset in bench_graphs:
+            for p in P_VALUES:
+                worst = fig8_data.rf(dataset, "Random", p)
+                for algo in ("TLP", "METIS", "LDG", "DBH"):
+                    if fig8_data.rf(dataset, algo, p) >= worst:
+                        bad.append((dataset, algo, p))
+        return bad
+
+    assert benchmark.pedantic(violations, rounds=1, iterations=1) == []
+
+
+def test_fig8_shape_tlp_and_metis_lead(benchmark, fig8_data, bench_graphs):
+    """TLP or METIS is the best algorithm on every (dataset, p) cell."""
+
+    def violations():
+        bad = []
+        for dataset in bench_graphs:
+            for p in P_VALUES:
+                best = min(
+                    ("TLP", "METIS", "LDG", "DBH", "Random"),
+                    key=lambda a: fig8_data.rf(dataset, a, p),
+                )
+                if best not in ("TLP", "METIS"):
+                    bad.append((dataset, p, best))
+        return bad
+
+    assert benchmark.pedantic(violations, rounds=1, iterations=1) == []
+
+
+def test_fig8_shape_tlp_beats_streaming(benchmark, fig8_data, bench_graphs):
+    """TLP beats both streaming baselines on the vast majority of cells."""
+
+    def win_fraction():
+        wins = total = 0
+        for dataset in bench_graphs:
+            for p in P_VALUES:
+                tlp = fig8_data.rf(dataset, "TLP", p)
+                for algo in ("LDG", "DBH"):
+                    total += 1
+                    if tlp < fig8_data.rf(dataset, algo, p):
+                        wins += 1
+        return wins / total
+
+    assert benchmark.pedantic(win_fraction, rounds=1, iterations=1) >= 0.85

@@ -1,0 +1,81 @@
+"""Figs. 9/10/11 — TLP vs TLP_R for R in {0.0 .. 1.0}, p in {10, 15, 20}.
+
+The paper's conclusions, asserted per panel:
+(1) interior R values beat the endpoints (two stages beat one stage);
+(2) the endpoints are the worst settings;
+(3) the optimum R differs per graph;
+(4) TLP (modularity switch) is near the best interior R without tuning.
+
+The full 9-dataset x 11-R x 3-p grid is large even at bench scale, so the
+benchmark panels cover three structurally distinct datasets (dense social G1,
+sparse social G4, near-tree G9) at all three p; the full grid is
+``python -m repro.bench fig9 fig10 fig11``.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.figures import tlp_r_sweep
+
+PANELS = [("G1", 10), ("G1", 15), ("G1", 20), ("G4", 10), ("G9", 10)]
+R_VALUES = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweeps(bench_graphs):
+    results = {}
+    for dataset, p in PANELS:
+        sweep = tlp_r_sweep(
+            bench_graphs[dataset], dataset, p, r_values=R_VALUES, seed=0
+        )
+        results[(dataset, p)] = sweep
+        write_artifact(f"fig9_11_{dataset}_p{p}.txt", sweep.render())
+    return results
+
+
+@pytest.mark.parametrize("panel", PANELS, ids=lambda t: f"{t[0]}-p{t[1]}")
+def test_interior_not_worse_than_endpoints(benchmark, sweeps, panel):
+    """Conclusion (1)/(2): some interior R beats the worse endpoint."""
+    sweep = sweeps[panel]
+    gap = benchmark.pedantic(
+        lambda: sweep.endpoint_worst() - sweep.best_interior(),
+        rounds=1,
+        iterations=1,
+    )
+    assert gap >= -0.02  # interior at least matches endpoints (usually beats)
+
+
+@pytest.mark.parametrize("panel", PANELS, ids=lambda t: f"{t[0]}-p{t[1]}")
+def test_tlp_near_best_interior(benchmark, sweeps, panel):
+    """Conclusion (4): TLP is near-optimal without tuning R."""
+    sweep = sweeps[panel]
+    ratio = benchmark.pedantic(
+        lambda: sweep.tlp_rf / sweep.best_interior(), rounds=1, iterations=1
+    )
+    assert ratio <= 1.35
+
+
+def test_optimal_r_varies_across_graphs(benchmark, sweeps):
+    """Conclusion (3): no single R is optimal for all graphs."""
+
+    def optimal_rs():
+        best = set()
+        for (dataset, p), sweep in sweeps.items():
+            pairs = list(zip(sweep.r_values, sweep.tlp_r_rf))
+            best.add(min(pairs, key=lambda rv: rv[1])[0])
+        return best
+
+    values = benchmark.pedantic(optimal_rs, rounds=1, iterations=1)
+    assert len(values) >= 2
+
+
+def test_tlp_r_kernel(benchmark, bench_graphs):
+    """Wall-clock of one TLP_R run (G4, R=0.5, p=10)."""
+    from repro.core.tlp_r import TLPRPartitioner
+
+    g4 = bench_graphs["G4"]
+    partitioner = TLPRPartitioner(0.5, seed=0)
+    part = benchmark.pedantic(
+        lambda: partitioner.partition(g4, 10), rounds=3, iterations=1
+    )
+    assert part.num_partitions == 10

@@ -1,0 +1,59 @@
+"""The paper's motivation (§I) — partition quality drives communication.
+
+Runs PageRank on the simulated PowerGraph-style engine over partitions from
+each Fig. 8 algorithm and checks that message volume orders exactly as RF.
+Also benchmarks the engine's superstep throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.communication import communication_experiment, render_communication
+from repro.partitioning.registry import PAPER_ALGORITHMS, make_partitioner
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import ConnectedComponents, PageRank
+
+
+@pytest.fixture(scope="module")
+def comm_rows(g4):
+    rows = communication_experiment(
+        g4, algorithms=PAPER_ALGORITHMS, num_partitions=10, seed=0, max_supersteps=5
+    )
+    write_artifact("communication.txt", render_communication(rows))
+    return rows
+
+
+def test_messages_order_matches_rf(benchmark, comm_rows):
+    def is_ordered():
+        msgs = [r.gather_messages_per_superstep for r in comm_rows]
+        return msgs == sorted(msgs)
+
+    assert benchmark.pedantic(is_ordered, rounds=1, iterations=1)
+
+
+def test_tlp_cuts_communication_vs_random(benchmark, comm_rows):
+    by_name = {r.algorithm: r for r in comm_rows}
+
+    def speedup():
+        return (
+            by_name["Random"].gather_messages_per_superstep
+            / by_name["TLP"].gather_messages_per_superstep
+        )
+
+    assert benchmark.pedantic(speedup, rounds=1, iterations=1) > 1.5
+
+
+def test_pagerank_superstep_kernel(benchmark, g4):
+    partition = make_partitioner("TLP", seed=0).partition(g4, 10)
+    engine = GASEngine(g4, partition, PageRank())
+    result = benchmark.pedantic(
+        lambda: engine.run(max_supersteps=3), rounds=3, iterations=1
+    )
+    assert result.stats.num_supersteps == 3
+
+
+def test_connected_components_to_convergence_kernel(benchmark, g4):
+    partition = make_partitioner("TLP", seed=0).partition(g4, 10)
+    engine = GASEngine(g4, partition, ConnectedComponents())
+    result = benchmark.pedantic(lambda: engine.run(), rounds=3, iterations=1)
+    assert result.converged

@@ -1,0 +1,55 @@
+"""§III-E — time and space scaling of TLP.
+
+The paper bounds the naive algorithm at O(L^2 d^2) time and O(L d) space.
+Our incremental implementation must scale clearly sub-quadratically in the
+edge count, and its peak memory must track the partition size, not the
+graph size.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.report import render_table
+from repro.bench.scaling import empirical_exponent, time_scaling_sweep
+from repro.core.tlp import TLPPartitioner
+from repro.graph.generators import holme_kim
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    points = time_scaling_sweep(sizes=(400, 800, 1600, 3200), m_attach=4, seed=0)
+    table = render_table(
+        ["|V|", "|E|", "seconds", "peak KiB"],
+        [[p.num_vertices, p.num_edges, p.seconds, p.peak_kib] for p in points],
+    )
+    write_artifact(
+        "scaling.txt",
+        table + f"\nlog-log exponent: {empirical_exponent(points):.2f}",
+    )
+    return points
+
+
+def test_time_scaling_subquadratic(benchmark, sweep_points):
+    exponent = benchmark.pedantic(
+        lambda: empirical_exponent(sweep_points), rounds=1, iterations=1
+    )
+    assert exponent < 1.8  # paper's naive bound would be ~2
+
+
+def test_time_grows_with_size(benchmark, sweep_points):
+    def is_monotone():
+        seconds = [p.seconds for p in sweep_points]
+        return seconds[-1] > seconds[0]
+
+    assert benchmark.pedantic(is_monotone, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("p", [4, 16])
+def test_more_partitions_cost_kernel(benchmark, p):
+    """Smaller partitions (larger p) mean smaller frontiers per round."""
+    graph = holme_kim(1500, 4, 0.5, seed=0)
+    partitioner = TLPPartitioner(seed=0)
+    part = benchmark.pedantic(
+        lambda: partitioner.partition(graph, p), rounds=3, iterations=1
+    )
+    assert part.num_partitions == p

@@ -1,0 +1,49 @@
+"""Table III — dataset statistics, and the cost of generating stand-ins.
+
+The statistics themselves are matched by construction (the generators hit
+the published |V|/|E| exactly); the benchmark times stand-in generation.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.tables import render_table3
+from repro.datasets.catalog import PAPER_DATASETS, dataset_by_key
+from repro.datasets.synthetic import instantiate
+
+
+def test_table3_artifact(benchmark):
+    """Render Table III (trivially fast; benchmarked for uniformity)."""
+    table = benchmark(render_table3)
+    write_artifact("table3.txt", table)
+    assert "email-Eu-core" in table
+    assert "huapu" in table
+
+
+@pytest.mark.parametrize("key", ["G1", "G4", "G9"])
+def test_standin_generation(benchmark, key):
+    """Generation cost of a bench-scale stand-in, stats asserted."""
+    spec = dataset_by_key(key)
+    graph = benchmark.pedantic(
+        lambda: instantiate(spec, scale=spec.bench_scale, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    scaled = spec.scaled(spec.bench_scale)
+    assert graph.num_vertices == scaled.vertices
+    assert graph.num_edges == scaled.edges
+
+
+def test_all_standins_match_table3_shape(benchmark):
+    """Average degree of every stand-in matches the published Table III."""
+
+    def check():
+        mismatches = []
+        for spec in PAPER_DATASETS:
+            graph = instantiate(spec, scale=spec.bench_scale, seed=0)
+            if abs(graph.average_degree() - spec.average_degree) > 0.4:
+                mismatches.append(spec.key)
+        return mismatches
+
+    mismatches = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert mismatches == []

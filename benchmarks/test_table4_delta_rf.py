@@ -1,0 +1,43 @@
+"""Table IV — dRF = RF(METIS) - RF(TLP) per dataset and p.
+
+The paper reports dRF > 0 on 8/9 datasets and positive averages for all p.
+Our reproduction asserts a positive average and a clear majority of positive
+cells (the exact losing dataset may differ: our METIS is a reimplementation
+and the graphs are stand-ins — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.figures import fig8
+from repro.bench.tables import table4
+
+P_VALUES = (10, 15, 20)
+
+
+@pytest.fixture(scope="module")
+def table4_data(bench_graphs):
+    data = fig8(
+        graphs=bench_graphs, algorithms=("TLP", "METIS"), p_values=P_VALUES, seed=0
+    )
+    result = table4(fig8_data=data)
+    write_artifact("table4.txt", result.render())
+    return result
+
+
+@pytest.mark.parametrize("p", P_VALUES)
+def test_average_delta_rf_positive(benchmark, table4_data, p):
+    """The 'Average' column of Table IV is positive for every p."""
+    average = benchmark.pedantic(
+        lambda: table4_data.average(p), rounds=1, iterations=1
+    )
+    assert average > 0
+
+
+@pytest.mark.parametrize("p", P_VALUES)
+def test_majority_of_datasets_positive(benchmark, table4_data, p):
+    """TLP beats METIS on a clear majority of datasets (8/9 in the paper)."""
+    fraction = benchmark.pedantic(
+        lambda: table4_data.positive_fraction(p), rounds=1, iterations=1
+    )
+    assert fraction >= 2 / 3

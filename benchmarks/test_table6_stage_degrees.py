@@ -1,0 +1,59 @@
+"""Table VI — mean degree of the vertices selected in Stage I vs Stage II.
+
+The paper's finding: Stage I selects the high-degree core vertices, Stage II
+the low-degree periphery, on every dataset and p.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.tables import table6
+
+P_VALUES = (10, 15, 20)
+
+
+@pytest.fixture(scope="module")
+def table6_data(bench_graphs):
+    data = table6(graphs=bench_graphs, p_values=P_VALUES, seed=0)
+    write_artifact("table6.txt", data.render())
+    return data
+
+
+@pytest.mark.parametrize("p", P_VALUES)
+def test_stage1_degree_exceeds_stage2_on_every_dataset(benchmark, table6_data, p):
+    def violations():
+        bad = []
+        for dataset in table6_data.datasets:
+            s1, s2 = table6_data.mean_degrees[(dataset, p)]
+            if not (s1 > 0 and s2 > 0 and s1 > s2):
+                bad.append(dataset)
+        return bad
+
+    assert benchmark.pedantic(violations, rounds=1, iterations=1) == []
+
+
+def test_stage1_dominance_is_large_on_sparse_graphs(benchmark, table6_data):
+    """On the sparser stand-ins the gap is a multiple, as in Table VI."""
+
+    def min_ratio():
+        ratios = []
+        for dataset in ("G4", "G9"):
+            for p in P_VALUES:
+                s1, s2 = table6_data.mean_degrees[(dataset, p)]
+                ratios.append(s1 / s2)
+        return min(ratios)
+
+    assert benchmark.pedantic(min_ratio, rounds=1, iterations=1) > 1.5
+
+
+def test_telemetry_overhead_kernel(benchmark, bench_graphs):
+    """TLP with telemetry enabled (it always is) on G9 — the near-tree case."""
+    from repro.core.tlp import TLPPartitioner
+
+    g9 = bench_graphs["G9"]
+    partitioner = TLPPartitioner(seed=0)
+    part = benchmark.pedantic(
+        lambda: partitioner.partition(g9, 10), rounds=3, iterations=1
+    )
+    assert partitioner.last_telemetry.records
+    assert part.num_partitions == 10

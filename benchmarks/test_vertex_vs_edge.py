@@ -1,0 +1,134 @@
+"""§II-A — vertex partitioning vs. edge partitioning, measured.
+
+The paper (after PowerGraph/GraphX) motivates edge partitioning with two
+claims about power-law graphs: vertex cuts (1) replicate less than the
+ghost mechanism of edge cuts and (2) balance the per-machine *edge* load
+that actually determines compute time.  This bench measures both on a
+power-law stand-in, plus the seed-strategy and makespan ablations of the
+extended implementation.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.report import render_table
+from repro.core.tlp import TLPPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.metrics import edge_balance, replication_factor
+from repro.partitioning.registry import make_partitioner
+from repro.partitioning.vertex_adapter import VertexToEdgePartitioner
+from repro.partitioning.vertex_metrics import (
+    edge_load_balance,
+    vertex_replication_factor,
+)
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import PageRank
+from repro.runtime.stats import estimate_makespan
+
+P = 10
+
+
+@pytest.fixture(scope="module")
+def comparison(g4):
+    ldg = LDGPartitioner(seed=0)
+    assignment = ldg.partition_vertices(g4, P)
+    vertex_rf = vertex_replication_factor(g4, assignment)
+    vertex_edge_load = edge_load_balance(g4, assignment, P)
+    edge_part = VertexToEdgePartitioner(LDGPartitioner(seed=0)).partition(g4, P)
+    tlp_part = TLPPartitioner(seed=0).partition(g4, P)
+    rows = [
+        ["vertex partitioning (LDG + ghosts)", vertex_rf, vertex_edge_load],
+        [
+            "edge partitioning (LDG-derived)",
+            replication_factor(edge_part, g4),
+            edge_balance(edge_part),
+        ],
+        [
+            "edge partitioning (TLP)",
+            replication_factor(tlp_part, g4),
+            edge_balance(tlp_part),
+        ],
+    ]
+    write_artifact(
+        "vertex_vs_edge.txt",
+        render_table(["scheme", "replication", "edge-load balance"], rows),
+    )
+    return {
+        "vertex_rf": vertex_rf,
+        "vertex_edge_load": vertex_edge_load,
+        "edge_rf": replication_factor(edge_part, g4),
+        "edge_balance": edge_balance(edge_part),
+        "tlp_rf": replication_factor(tlp_part, g4),
+    }
+
+
+def test_edge_partitioning_replicates_less(benchmark, comparison):
+    assert benchmark.pedantic(
+        lambda: comparison["edge_rf"] < comparison["vertex_rf"],
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_edge_partitioning_balances_edge_load(benchmark, comparison):
+    assert benchmark.pedantic(
+        lambda: comparison["edge_balance"] < comparison["vertex_edge_load"],
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_tlp_best_replication(benchmark, comparison):
+    assert benchmark.pedantic(
+        lambda: comparison["tlp_rf"]
+        < min(comparison["edge_rf"], comparison["vertex_rf"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_seed_strategy_ablation(benchmark, g4):
+    """Seed strategy barely moves TLP's RF — the heuristics, not the seed,
+    carry the quality (an implicit robustness claim of the paper's
+    'select x randomly')."""
+
+    def spread():
+        rf = {}
+        for strategy in ("random", "max-degree", "min-degree"):
+            part = TLPPartitioner(seed=0, seed_strategy=strategy).partition(g4, P)
+            rf[strategy] = replication_factor(part, g4)
+        write_artifact(
+            "seed_strategies.txt",
+            render_table(["strategy", "RF"], [[s, v] for s, v in rf.items()]),
+        )
+        return max(rf.values()) - min(rf.values())
+
+    assert benchmark.pedantic(spread, rounds=1, iterations=1) < 0.5
+
+
+def test_makespan_model_orders_like_rf(benchmark, g4):
+    def makespans():
+        values = {}
+        for name in ("TLP", "Random"):
+            partition = make_partitioner(name, seed=0).partition(g4, P)
+            engine = GASEngine(g4, partition, PageRank())
+            result = engine.run(max_supersteps=5)
+            values[name] = estimate_makespan(
+                engine.machine_loads(), result.stats, edge_cost=1.0, message_cost=2.0
+            )
+        return values
+
+    values = benchmark.pedantic(makespans, rounds=1, iterations=1)
+    assert values["TLP"] < values["Random"]
+
+
+def test_failure_recovery_overhead(benchmark, g4):
+    """Checkpoint recovery replays only the post-checkpoint suffix."""
+    partition = TLPPartitioner(seed=0).partition(g4, P)
+
+    def wasted():
+        engine = GASEngine(g4, partition, PageRank())
+        result = engine.run(max_supersteps=12, checkpoint_every=4, fail_at=[6])
+        return result.stats.wasted_supersteps
+
+    assert benchmark.pedantic(wasted, rounds=1, iterations=1) == 2

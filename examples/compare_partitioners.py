@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Compare every implemented partitioner on one of the paper's datasets.
+
+Run:  python examples/compare_partitioners.py [--dataset G4] [--scale 0.03]
+      python examples/compare_partitioners.py --extended   # related-work too
+"""
+
+import argparse
+
+from repro.analysis.compare import compare_algorithms, render_comparison
+from repro.datasets.cache import load_cached
+from repro.partitioning.registry import EXTENDED_ALGORITHMS, PAPER_ALGORITHMS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="G4", help="G1..G9 (default G4)")
+    parser.add_argument("--scale", type=float, default=0.03)
+    parser.add_argument("--partitions", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run HDRF/Greedy/Grid/FENNEL/NE and the one-stage ablations",
+    )
+    args = parser.parse_args()
+
+    graph = load_cached(args.dataset, scale=args.scale, seed=args.seed)
+    print(
+        f"{args.dataset} stand-in @ scale {args.scale:g}: "
+        f"{graph.num_vertices} vertices, {graph.num_edges} edges, p={args.partitions}\n"
+    )
+
+    algorithms = list(PAPER_ALGORITHMS)
+    if args.extended:
+        algorithms += list(EXTENDED_ALGORITHMS)
+
+    rows = compare_algorithms(graph, algorithms, args.partitions, seed=args.seed)
+    print(render_comparison(rows))
+    print("\n(lower RF is better; the paper's Fig. 8 ordering should hold)")
+
+
+if __name__ == "__main__":
+    main()

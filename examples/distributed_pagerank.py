@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Distributed PageRank on a simulated PowerGraph-style cluster.
+
+Shows the paper's motivation end to end: a better edge partition (lower RF)
+means fewer mirror synchronisation messages per superstep — with bit-identical
+results.
+
+Run:  python examples/distributed_pagerank.py [--machines 8]
+"""
+
+import argparse
+
+from repro.bench.report import render_table
+from repro.graph.generators import community_graph
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.registry import make_partitioner
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import PageRank, run_reference
+from repro.runtime.stats import load_imbalance
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    graph = community_graph(2_000, 12_000, 10, intra_fraction=0.9, seed=args.seed)
+    print(
+        f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+        f"{args.machines} machines\n"
+    )
+    reference = run_reference(PageRank(), graph)
+
+    rows = []
+    for name in ("TLP", "METIS", "Random"):
+        partition = make_partitioner(name, seed=args.seed).partition(
+            graph, args.machines
+        )
+        engine = GASEngine(graph, partition, PageRank())
+        result = engine.run()
+        max_err = max(abs(result.values[v] - reference[v]) for v in reference)
+        rows.append(
+            [
+                name,
+                replication_factor(partition, graph),
+                result.stats.total_messages,
+                result.stats.num_supersteps,
+                load_imbalance(engine.machine_loads()),
+                f"{max_err:.1e}",
+            ]
+        )
+    rows.sort(key=lambda row: row[1])
+    print(
+        render_table(
+            ["partitioner", "RF", "total msgs", "supersteps", "imbalance", "max |err|"],
+            rows,
+        )
+    )
+    print(
+        "\nAll partitionings compute identical PageRank values; only the"
+        " communication bill differs — that is why RF matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fault tolerance and delta caching on the simulated cluster.
+
+Two production concerns of distributed graph engines, demonstrated on top
+of a TLP partitioning:
+
+1. **Checkpoint/rollback recovery** — machines crash mid-job; the engine
+   rolls back to the last checkpoint and replays, with identical results.
+2. **Delta caching (incremental gather)** — mirrors only ship partials that
+   changed, so communication decays as the computation converges.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.bench.report import render_table
+from repro.core.tlp import TLPPartitioner
+from repro.graph.generators import community_graph
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import ConnectedComponents
+
+
+def main() -> None:
+    graph = community_graph(1_500, 9_000, 8, intra_fraction=0.9, seed=2)
+    partition = TLPPartitioner(seed=0).partition(graph, 8)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, 8 machines\n")
+
+    # --- 1. failure injection ------------------------------------------------
+    clean = GASEngine(graph, partition, ConnectedComponents()).run()
+    crashed = GASEngine(graph, partition, ConnectedComponents()).run(
+        checkpoint_every=3, fail_at=[5]
+    )
+    print("connected components with a crash at superstep 5, checkpoints every 3:")
+    print(f"  results identical to failure-free run : {crashed.values == clean.values}")
+    print(f"  recoveries                            : {crashed.stats.recoveries}")
+    print(f"  supersteps re-executed                : {crashed.stats.wasted_supersteps}")
+    print(f"  total supersteps executed             : {crashed.stats.num_supersteps}"
+          f" (clean: {clean.stats.num_supersteps})\n")
+
+    # --- 2. delta caching ----------------------------------------------------
+    full = GASEngine(graph, partition, ConnectedComponents()).run()
+    delta = GASEngine(graph, partition, ConnectedComponents()).run(incremental=True)
+    assert delta.values == full.values
+    rows = []
+    for step in range(full.stats.num_supersteps):
+        rows.append(
+            [
+                step,
+                full.stats.supersteps[step].gather_messages,
+                delta.stats.supersteps[step].gather_messages,
+                delta.stats.supersteps[step].changed_vertices,
+            ]
+        )
+    print("gather messages per superstep, full vs delta-cached (same results):")
+    print(
+        render_table(
+            ["superstep", "full gather", "delta gather", "changed vertices"], rows
+        )
+    )
+    saving = 1 - delta.stats.total_messages / full.stats.total_messages
+    print(f"\ntotal message saving from delta caching: {saving:.0%}")
+
+
+if __name__ == "__main__":
+    main()

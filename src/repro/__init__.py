@@ -1,0 +1,34 @@
+"""repro — reproduction of "Local Graph Edge Partitioning with a Two-Stage
+Heuristic Method" (Ji, Bu, Li, Wu; ICDCS 2019).
+
+Public API highlights:
+
+* :class:`repro.core.TLPPartitioner` — the paper's algorithm.
+* :func:`repro.partitioning.make_partitioner` — every algorithm by name.
+* :func:`repro.partitioning.replication_factor` — the RF quality metric.
+* :mod:`repro.datasets` — the paper's nine datasets as synthetic stand-ins.
+* :mod:`repro.runtime` — a PowerGraph-style execution simulator quantifying
+  why RF matters.
+* :mod:`repro.bench` — regenerates every table and figure of the paper.
+"""
+
+from repro.core import TLPPartitioner, TLPRPartitioner
+from repro.graph import Graph, GraphBuilder
+from repro.partitioning import (
+    EdgePartition,
+    make_partitioner,
+    replication_factor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TLPPartitioner",
+    "TLPRPartitioner",
+    "Graph",
+    "GraphBuilder",
+    "EdgePartition",
+    "make_partitioner",
+    "replication_factor",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Side-by-side comparison of multiple partitionings of one graph.
+
+The pattern "partition with N algorithms, rank by RF, show balance and
+timing" recurs in the examples, the CLI and the benches; this module is the
+single implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.report import render_table
+from repro.graph.graph import Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.metrics import (
+    edge_balance,
+    replication_factor,
+    spanned_vertex_count,
+)
+from repro.partitioning.registry import make_partitioner
+
+
+@dataclass
+class ComparisonRow:
+    """One algorithm's results on the comparison workload."""
+
+    algorithm: str
+    replication_factor: float
+    edge_balance: float
+    spanned_vertices: int
+    seconds: float
+    partition: Optional[EdgePartition] = None
+
+
+def compare_algorithms(
+    graph: Graph,
+    algorithms: Sequence[str],
+    num_partitions: int,
+    seed: int = 0,
+    keep_partitions: bool = False,
+) -> List[ComparisonRow]:
+    """Run every named algorithm; rows sorted by RF ascending."""
+    rows: List[ComparisonRow] = []
+    for name in algorithms:
+        partitioner = make_partitioner(name, seed=seed)
+        start = time.perf_counter()
+        partition = partitioner.partition(graph, num_partitions)
+        seconds = time.perf_counter() - start
+        partition.validate_against(graph)
+        rows.append(
+            ComparisonRow(
+                algorithm=name,
+                replication_factor=replication_factor(partition, graph),
+                edge_balance=edge_balance(partition),
+                spanned_vertices=spanned_vertex_count(partition),
+                seconds=seconds,
+                partition=partition if keep_partitions else None,
+            )
+        )
+    rows.sort(key=lambda row: row.replication_factor)
+    return rows
+
+
+def render_comparison(rows: List[ComparisonRow]) -> str:
+    """Aligned table of a comparison run."""
+    return render_table(
+        ["algorithm", "RF", "balance", "spanned", "seconds"],
+        [
+            [r.algorithm, r.replication_factor, r.edge_balance, r.spanned_vertices, r.seconds]
+            for r in rows
+        ],
+    )
+
+
+def best_algorithm(rows: List[ComparisonRow]) -> str:
+    """Name of the lowest-RF row (rows must be non-empty)."""
+    if not rows:
+        raise ValueError("no comparison rows")
+    return rows[0].algorithm
+
+
+def rf_table(rows: List[ComparisonRow]) -> Dict[str, float]:
+    """``algorithm -> RF`` mapping."""
+    return {row.algorithm: row.replication_factor for row in rows}

@@ -1,0 +1,49 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.communication import (
+    CommunicationRow,
+    communication_experiment,
+    render_communication,
+)
+from repro.bench.figures import (
+    DEFAULT_P_VALUES,
+    DEFAULT_R_VALUES,
+    Fig8Data,
+    TLPRSweep,
+    fig8,
+    fig9_to_11,
+    tlp_r_sweep,
+)
+from repro.bench.harness import (
+    ExperimentResult,
+    load_paper_graphs,
+    run_grid,
+    run_single,
+)
+from repro.bench.scaling import ScalingPoint, empirical_exponent, time_scaling_sweep
+from repro.bench.tables import Table4Data, Table6Data, render_table3, table4, table6
+
+__all__ = [
+    "CommunicationRow",
+    "communication_experiment",
+    "render_communication",
+    "DEFAULT_P_VALUES",
+    "DEFAULT_R_VALUES",
+    "Fig8Data",
+    "TLPRSweep",
+    "fig8",
+    "fig9_to_11",
+    "tlp_r_sweep",
+    "ExperimentResult",
+    "load_paper_graphs",
+    "run_grid",
+    "run_single",
+    "ScalingPoint",
+    "empirical_exponent",
+    "time_scaling_sweep",
+    "Table4Data",
+    "Table6Data",
+    "render_table3",
+    "table4",
+    "table6",
+]

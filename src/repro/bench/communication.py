@@ -1,0 +1,85 @@
+"""Communication-volume experiment: the paper's motivation, quantified.
+
+Section I argues that partition quality (RF) drives the communication of
+distributed graph engines.  This experiment partitions one graph with each
+algorithm, runs PageRank on the simulated GAS engine, and reports messages
+per superstep next to RF — the ordering must match (gather traffic is
+``(RF - 1) * |V|`` per superstep by construction of the vertex-cut model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.report import render_table
+from repro.graph.graph import Graph
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.registry import PAPER_ALGORITHMS, make_partitioner
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import PageRank
+from repro.runtime.stats import load_imbalance
+
+
+@dataclass
+class CommunicationRow:
+    """One algorithm's RF and runtime communication profile."""
+
+    algorithm: str
+    replication_factor: float
+    gather_messages_per_superstep: float
+    total_messages: int
+    supersteps: int
+    load_imbalance: float
+
+
+def communication_experiment(
+    graph: Graph,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    num_partitions: int = 10,
+    seed: int = 0,
+    max_supersteps: int = 30,
+) -> List[CommunicationRow]:
+    """PageRank communication per algorithm on one graph."""
+    rows: List[CommunicationRow] = []
+    for name in algorithms:
+        partition = make_partitioner(name, seed=seed).partition(graph, num_partitions)
+        engine = GASEngine(graph, partition, PageRank())
+        result = engine.run(max_supersteps=max_supersteps)
+        gather = [s.gather_messages for s in result.stats.supersteps]
+        rows.append(
+            CommunicationRow(
+                algorithm=name,
+                replication_factor=replication_factor(partition, graph),
+                gather_messages_per_superstep=sum(gather) / len(gather),
+                total_messages=result.stats.total_messages,
+                supersteps=result.stats.num_supersteps,
+                load_imbalance=load_imbalance(engine.machine_loads()),
+            )
+        )
+    rows.sort(key=lambda r: r.replication_factor)
+    return rows
+
+
+def render_communication(rows: List[CommunicationRow]) -> str:
+    """Aligned table of the communication experiment."""
+    headers = [
+        "algorithm",
+        "RF",
+        "gather msgs/superstep",
+        "total msgs",
+        "supersteps",
+        "edge imbalance",
+    ]
+    body = [
+        [
+            r.algorithm,
+            r.replication_factor,
+            r.gather_messages_per_superstep,
+            r.total_messages,
+            r.supersteps,
+            r.load_imbalance,
+        ]
+        for r in rows
+    ]
+    return render_table(headers, body)

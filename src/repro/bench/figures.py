@@ -1,0 +1,145 @@
+"""Builders for the paper's figures (8, 9, 10, 11).
+
+Each builder returns structured rows *and* a rendered text block, so the
+pytest benchmarks can assert on the numbers while the CLI prints the same
+artefact a reader would compare against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    ExperimentResult,
+    load_paper_graphs,
+    run_grid,
+    run_single,
+)
+from repro.bench.report import render_bar, render_table
+from repro.graph.graph import Graph
+from repro.partitioning.registry import PAPER_ALGORITHMS
+
+DEFAULT_P_VALUES = (10, 15, 20)
+DEFAULT_R_VALUES = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass
+class Fig8Data:
+    """RF of every algorithm on every dataset for each p (Fig. 8 a-c)."""
+
+    results: List[ExperimentResult]
+
+    def rf(self, dataset: str, algorithm: str, p: int) -> float:
+        for r in self.results:
+            if (
+                r.dataset == dataset
+                and r.algorithm == algorithm
+                and r.num_partitions == p
+            ):
+                return r.replication_factor
+        raise KeyError((dataset, algorithm, p))
+
+    def render(self, p: int, algorithms: Sequence[str] = PAPER_ALGORITHMS) -> str:
+        datasets = sorted({r.dataset for r in self.results})
+        headers = ["dataset"] + list(algorithms)
+        rows = []
+        for dataset in datasets:
+            rows.append(
+                [dataset] + [self.rf(dataset, a, p) for a in algorithms]
+            )
+        return render_table(headers, rows)
+
+
+def fig8(
+    graphs: Optional[Dict[str, Graph]] = None,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    p_values: Sequence[int] = DEFAULT_P_VALUES,
+    seed: int = 0,
+    scale: Optional[float] = None,
+    bench: bool = False,
+    progress=None,
+) -> Fig8Data:
+    """Reproduce Fig. 8: RF for TLP/METIS/LDG/DBH/Random, p in {10,15,20}."""
+    if graphs is None:
+        graphs = load_paper_graphs(scale=scale, seed=seed, bench=bench)
+    results = run_grid(graphs, algorithms, p_values, seed=seed, progress=progress)
+    return Fig8Data(results)
+
+
+@dataclass
+class TLPRSweep:
+    """One dataset's TLP vs TLP_R sweep at a fixed p (one inset of Fig. 9-11)."""
+
+    dataset: str
+    num_partitions: int
+    tlp_rf: float
+    r_values: List[float]
+    tlp_r_rf: List[float]
+
+    def best_interior(self) -> float:
+        """Best RF among 0 < R < 1."""
+        interior = [
+            rf
+            for r, rf in zip(self.r_values, self.tlp_r_rf)
+            if 0.0 < r < 1.0
+        ]
+        return min(interior) if interior else float("nan")
+
+    def endpoint_worst(self) -> float:
+        """Worse RF of the two one-stage endpoints R in {0, 1}."""
+        endpoints = [
+            rf
+            for r, rf in zip(self.r_values, self.tlp_r_rf)
+            if r in (0.0, 1.0)
+        ]
+        return max(endpoints) if endpoints else float("nan")
+
+    def render(self) -> str:
+        maximum = max(self.tlp_r_rf + [self.tlp_rf])
+        lines = [f"{self.dataset}  p={self.num_partitions}  (RF, lower is better)"]
+        for r, rf in zip(self.r_values, self.tlp_r_rf):
+            lines.append(f"  R={r:3.1f}  RF={rf:7.3f}  {render_bar(rf, maximum)}")
+        lines.append(f"  TLP    RF={self.tlp_rf:7.3f}  {render_bar(self.tlp_rf, maximum)}")
+        return "\n".join(lines)
+
+
+def tlp_r_sweep(
+    graph: Graph,
+    dataset: str,
+    num_partitions: int,
+    r_values: Sequence[float] = DEFAULT_R_VALUES,
+    seed: int = 0,
+) -> TLPRSweep:
+    """One inset of Figs. 9-11: TLP plus TLP_R for each R on one graph."""
+    tlp = run_single(graph, "TLP", num_partitions, seed=seed, dataset=dataset)
+    rf_values: List[float] = []
+    for r in r_values:
+        result = run_single(
+            graph, f"TLP_R:{r:g}", num_partitions, seed=seed, dataset=dataset
+        )
+        rf_values.append(result.replication_factor)
+    return TLPRSweep(
+        dataset=dataset,
+        num_partitions=num_partitions,
+        tlp_rf=tlp.replication_factor,
+        r_values=list(r_values),
+        tlp_r_rf=rf_values,
+    )
+
+
+def fig9_to_11(
+    num_partitions: int,
+    graphs: Optional[Dict[str, Graph]] = None,
+    r_values: Sequence[float] = DEFAULT_R_VALUES,
+    seed: int = 0,
+    scale: Optional[float] = None,
+    bench: bool = False,
+) -> List[TLPRSweep]:
+    """Fig. 9 (p=10), Fig. 10 (p=15) or Fig. 11 (p=20): all nine insets."""
+    if graphs is None:
+        graphs = load_paper_graphs(scale=scale, seed=seed, bench=bench)
+    return [
+        tlp_r_sweep(graph, dataset, num_partitions, r_values, seed=seed)
+        for dataset, graph in graphs.items()
+    ]

@@ -1,0 +1,121 @@
+"""Experiment harness: run (dataset x algorithm x p) grids and collect metrics.
+
+Every experiment in the paper's Section IV is a grid over the nine datasets,
+a set of algorithms, and partition counts p in {10, 15, 20}; this module is
+the shared runner, returning structured records that the table/figure
+builders render.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.datasets.cache import load_cached
+from repro.datasets.catalog import PAPER_DATASETS, DatasetSpec
+from repro.graph.graph import Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.metrics import edge_balance, replication_factor
+from repro.partitioning.registry import make_partitioner
+
+
+@dataclass
+class ExperimentResult:
+    """One (dataset, algorithm, p) cell."""
+
+    dataset: str
+    algorithm: str
+    num_partitions: int
+    replication_factor: float
+    edge_balance: float
+    seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def run_single(
+    graph: Graph,
+    algorithm: str,
+    num_partitions: int,
+    seed: int = 0,
+    dataset: str = "?",
+    validate: bool = True,
+) -> ExperimentResult:
+    """Partition ``graph`` with ``algorithm`` and measure RF/balance/time."""
+    partitioner = make_partitioner(algorithm, seed=seed)
+    start = time.perf_counter()
+    partition: EdgePartition = partitioner.partition(graph, num_partitions)
+    seconds = time.perf_counter() - start
+    if validate:
+        partition.validate_against(graph)
+    extra: Dict[str, float] = {}
+    telemetry = getattr(partitioner, "last_telemetry", None)
+    if telemetry is not None and telemetry.records:
+        extra.update(telemetry.summary())
+    return ExperimentResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        num_partitions=num_partitions,
+        replication_factor=replication_factor(partition, graph),
+        edge_balance=edge_balance(partition),
+        seconds=seconds,
+        extra=extra,
+    )
+
+
+def run_grid(
+    graphs: Dict[str, Graph],
+    algorithms: Sequence[str],
+    partition_counts: Sequence[int],
+    seed: int = 0,
+    progress: Optional[callable] = None,
+) -> List[ExperimentResult]:
+    """The full grid; ``progress`` (if given) is called with each result."""
+    results: List[ExperimentResult] = []
+    for dataset, graph in graphs.items():
+        for p in partition_counts:
+            for algorithm in algorithms:
+                result = run_single(graph, algorithm, p, seed=seed, dataset=dataset)
+                results.append(result)
+                if progress is not None:
+                    progress(result)
+    return results
+
+
+def load_paper_graphs(
+    scale: Optional[float] = None,
+    seed: int = 0,
+    keys: Optional[Iterable[str]] = None,
+    bench: bool = False,
+) -> Dict[str, Graph]:
+    """The nine Table-III stand-ins, keyed G1..G9.
+
+    ``scale=None`` uses each spec's own default (``bench_scale`` when
+    ``bench``, else ``default_scale``); a float applies to all datasets.
+    """
+    wanted = set(keys) if keys is not None else None
+    graphs: Dict[str, Graph] = {}
+    for spec in PAPER_DATASETS:
+        if wanted is not None and spec.key not in wanted:
+            continue
+        effective = scale
+        if effective is None:
+            effective = spec.bench_scale if bench else spec.default_scale
+        graphs[spec.key] = load_cached(spec, scale=effective, seed=seed)
+    return graphs
+
+
+def results_by(
+    results: Iterable[ExperimentResult],
+) -> Dict[tuple, ExperimentResult]:
+    """Index results by ``(dataset, algorithm, p)`` for table builders."""
+    return {
+        (r.dataset, r.algorithm, r.num_partitions): r for r in results
+    }
+
+
+def spec_for(dataset_key: str) -> DatasetSpec:
+    """Catalog lookup re-exported for report builders."""
+    from repro.datasets.catalog import dataset_by_key
+
+    return dataset_by_key(dataset_key)

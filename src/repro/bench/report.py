@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's figures are bar/line charts; in a terminal reproduction the
+same data is printed as aligned tables, one row per series point, so the
+qualitative comparisons (who wins, where the crossovers are) can be read
+directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Uniform cell formatting: floats to ``precision`` digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], precision: int = 3
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_cell(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_banner(title: str) -> str:
+    """A section banner for CLI output."""
+    bar = "=" * max(20, len(title) + 4)
+    return f"{bar}\n  {title}\n{bar}"
+
+
+def render_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A unicode bar for quick visual series comparison in the terminal."""
+    if maximum <= 0:
+        return ""
+    filled = round(width * value / maximum)
+    return "#" * max(0, min(width, filled))

@@ -1,0 +1,76 @@
+"""Complexity measurements backing §III-E of the paper.
+
+Two sweeps:
+
+* time vs. partition size ``L`` (grow the graph at fixed average degree) —
+  the paper claims O(L^2 d^2) for the naive algorithm; our incremental
+  implementation should scale *sub*-quadratically in L,
+* peak local state vs. graph size — the space claim O(L d): local
+  partitioning keeps one partition plus its frontier, not the whole graph.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.tlp import TLPPartitioner
+from repro.graph.generators import holme_kim
+
+
+@dataclass
+class ScalingPoint:
+    """One measurement of the time-scaling sweep."""
+
+    num_vertices: int
+    num_edges: int
+    num_partitions: int
+    seconds: float
+    peak_kib: float
+
+
+def time_scaling_sweep(
+    sizes: Sequence[int] = (500, 1000, 2000, 4000),
+    m_attach: int = 5,
+    num_partitions: int = 8,
+    seed: int = 0,
+) -> List[ScalingPoint]:
+    """TLP wall-clock and peak memory across growing graphs."""
+    points: List[ScalingPoint] = []
+    for n in sizes:
+        graph = holme_kim(n, m_attach, 0.5, seed=seed)
+        partitioner = TLPPartitioner(seed=seed)
+        tracemalloc.start()
+        start = time.perf_counter()
+        partitioner.partition(graph, num_partitions)
+        seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        points.append(
+            ScalingPoint(
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                num_partitions=num_partitions,
+                seconds=seconds,
+                peak_kib=peak / 1024.0,
+            )
+        )
+    return points
+
+
+def empirical_exponent(points: List[ScalingPoint]) -> float:
+    """Least-squares log-log slope of time vs. edges (1.0 = linear)."""
+    import math
+
+    xs = [math.log(p.num_edges) for p in points]
+    ys = [math.log(max(p.seconds, 1e-9)) for p in points]
+    n = len(points)
+    if n < 2:
+        return float("nan")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var if var else float("nan")

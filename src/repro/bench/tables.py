@@ -1,0 +1,114 @@
+"""Builders for the paper's tables (III, IV, VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.figures import DEFAULT_P_VALUES, Fig8Data, fig8
+from repro.bench.harness import load_paper_graphs, run_single
+from repro.bench.report import render_table
+from repro.datasets.catalog import table3_rows
+from repro.graph.graph import Graph
+
+
+def render_table3() -> str:
+    """Table III: dataset statistics (published numbers, by construction)."""
+    rows = table3_rows()
+    headers = list(rows[0].keys())
+    return render_table(headers, [list(r.values()) for r in rows])
+
+
+@dataclass
+class Table4Data:
+    """``dRF = RF(METIS) - RF(TLP)`` per dataset and p (Table IV)."""
+
+    delta_rf: Dict[tuple, float]  # (dataset, p) -> dRF
+    p_values: List[int]
+    datasets: List[str]
+
+    def average(self, p: int) -> float:
+        """Mean dRF over datasets for one p (the paper's 'Average' column)."""
+        values = [self.delta_rf[(d, p)] for d in self.datasets]
+        return sum(values) / len(values) if values else 0.0
+
+    def positive_fraction(self, p: int) -> float:
+        """Fraction of datasets where TLP beats METIS at this p."""
+        values = [self.delta_rf[(d, p)] for d in self.datasets]
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v > 0) / len(values)
+
+    def render(self) -> str:
+        headers = ["p"] + self.datasets + ["Average"]
+        rows = []
+        for p in self.p_values:
+            rows.append(
+                [f"p={p}"]
+                + [self.delta_rf[(d, p)] for d in self.datasets]
+                + [self.average(p)]
+            )
+        return render_table(headers, rows)
+
+
+def table4(fig8_data: Optional[Fig8Data] = None, **fig8_kwargs) -> Table4Data:
+    """Table IV from Fig. 8's runs (computes them when not supplied)."""
+    if fig8_data is None:
+        fig8_data = fig8(algorithms=("TLP", "METIS"), **fig8_kwargs)
+    datasets = sorted({r.dataset for r in fig8_data.results})
+    p_values = sorted({r.num_partitions for r in fig8_data.results})
+    delta: Dict[tuple, float] = {}
+    for dataset in datasets:
+        for p in p_values:
+            delta[(dataset, p)] = fig8_data.rf(dataset, "METIS", p) - fig8_data.rf(
+                dataset, "TLP", p
+            )
+    return Table4Data(delta_rf=delta, p_values=p_values, datasets=datasets)
+
+
+@dataclass
+class Table6Data:
+    """Average degree of the vertices selected per stage (Table VI)."""
+
+    # (dataset, p) -> (stage1 mean degree, stage2 mean degree)
+    mean_degrees: Dict[tuple, tuple]
+    p_values: List[int]
+    datasets: List[str]
+
+    def render(self) -> str:
+        headers = ["dataset"]
+        for p in self.p_values:
+            headers += [f"p={p} StageI", f"p={p} StageII"]
+        rows = []
+        for dataset in self.datasets:
+            row: List = [dataset]
+            for p in self.p_values:
+                s1, s2 = self.mean_degrees[(dataset, p)]
+                row += [s1, s2]
+            rows.append(row)
+        return render_table(headers, rows, precision=2)
+
+
+def table6(
+    graphs: Optional[Dict[str, Graph]] = None,
+    p_values: Sequence[int] = DEFAULT_P_VALUES,
+    seed: int = 0,
+    scale: Optional[float] = None,
+    bench: bool = False,
+) -> Table6Data:
+    """Run TLP with telemetry and aggregate the per-stage mean degrees."""
+    if graphs is None:
+        graphs = load_paper_graphs(scale=scale, seed=seed, bench=bench)
+    mean_degrees: Dict[tuple, tuple] = {}
+    for dataset, graph in graphs.items():
+        for p in p_values:
+            result = run_single(graph, "TLP", p, seed=seed, dataset=dataset)
+            mean_degrees[(dataset, p)] = (
+                result.extra.get("stage1_mean_degree", 0.0),
+                result.extra.get("stage2_mean_degree", 0.0),
+            )
+    return Table6Data(
+        mean_degrees=mean_degrees,
+        p_values=list(p_values),
+        datasets=sorted(graphs),
+    )

@@ -1,0 +1,5 @@
+"""Local community detection — the machinery TLP borrows (Luo et al.)."""
+
+from repro.community.local import CommunityResult, detect_communities, local_community
+
+__all__ = ["CommunityResult", "detect_communities", "local_community"]

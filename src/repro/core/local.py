@@ -1,0 +1,156 @@
+"""The local graph partitioning framework (Section III of the paper).
+
+A :class:`LocalEdgePartitioner` grows partitions one round at a time over a
+shrinking residual graph, holding in memory only the current partition and
+its frontier — the paper's defining "local" property.  The vertex-selection
+heuristic of each step is delegated to a
+:class:`~repro.core.stages.StagePolicy`, which is what distinguishes TLP,
+TLP_R and the one-stage ablations; everything else (seeding, allocation,
+capacity, reseeding, telemetry) is shared here.
+"""
+
+from __future__ import annotations
+
+from repro.core.stages import STAGE_ONE, StagePolicy
+from repro.core.state import SIMILARITY_SCOPES, PartitionState
+from repro.core.telemetry import StageTelemetry
+from repro.graph.graph import Graph
+from repro.graph.residual import ResidualGraph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.base import EdgePartitioner, default_capacity
+from repro.utils.rng import Seed, make_rng
+from repro.utils.validation import check_positive
+
+
+class LocalEdgePartitioner(EdgePartitioner):
+    """Round-based local edge partitioning with a pluggable stage policy.
+
+    Parameters
+    ----------
+    stage_policy:
+        Decides Stage I vs Stage II before every selection.
+    seed:
+        Seed for the random partition seeds (and nothing else — selection is
+        deterministic given the seeds).
+    slack:
+        Capacity multiplier; ``C = ceil(slack * m / p)``.
+    strict_capacity:
+        ``True`` (default) truncates the final vertex's edge batch so that
+        ``|E(P_k)| <= C`` holds exactly (Definition 3).  ``False`` reproduces
+        the paper's Algorithm 1 literally: the last selection may overshoot.
+    reseed_on_break:
+        ``True`` (default) restarts growth from a fresh seed when the
+        frontier empties before the partition is full, so exactly ``p``
+        partitions always result.  ``False`` reproduces Algorithm 1's
+        literal ``break`` (the partition stays underfull).
+    similarity_scope:
+        ``"residual"`` (default) computes Stage-I neighbourhoods in the
+        residual graph the algorithm actually observes; ``"original"`` uses
+        the full input graph.
+    seed_strategy:
+        How the random seed vertex of each round is picked (Algorithm 1,
+        line 1).  ``"random"`` is the paper's choice; ``"max-degree"`` /
+        ``"min-degree"`` sample a small pool of candidates and keep the
+        highest/lowest residual degree — the seed-choice ablation.
+    """
+
+    name = "Local"
+
+    SEED_STRATEGIES = ("random", "max-degree", "min-degree")
+    _SEED_POOL_SIZE = 16
+
+    def __init__(
+        self,
+        stage_policy: StagePolicy,
+        seed: Seed = None,
+        slack: float = 1.0,
+        strict_capacity: bool = True,
+        reseed_on_break: bool = True,
+        similarity_scope: str = "residual",
+        seed_strategy: str = "random",
+    ) -> None:
+        if similarity_scope not in SIMILARITY_SCOPES:
+            raise ValueError(
+                f"similarity_scope must be one of {SIMILARITY_SCOPES}, "
+                f"got {similarity_scope!r}"
+            )
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1.0, got {slack}")
+        if seed_strategy not in self.SEED_STRATEGIES:
+            raise ValueError(
+                f"seed_strategy must be one of {self.SEED_STRATEGIES}, "
+                f"got {seed_strategy!r}"
+            )
+        self.stage_policy = stage_policy
+        self.seed = seed
+        self.slack = slack
+        self.strict_capacity = strict_capacity
+        self.reseed_on_break = reseed_on_break
+        self.similarity_scope = similarity_scope
+        self.seed_strategy = seed_strategy
+        #: Telemetry of the most recent :meth:`partition` call.
+        self.last_telemetry: StageTelemetry = StageTelemetry()
+
+    # -- public API ----------------------------------------------------------
+
+    def partition(self, graph: Graph, num_partitions: int) -> EdgePartition:
+        """Partition ``graph`` into ``num_partitions`` edge sets."""
+        check_positive("num_partitions", num_partitions)
+        rng = make_rng(self.seed)
+        telemetry = StageTelemetry()
+        residual = ResidualGraph(graph)
+        capacity = default_capacity(graph.num_edges, num_partitions, self.slack)
+        parts = []
+        for k in range(num_partitions):
+            is_last = k == num_partitions - 1
+            cap = residual.num_edges if is_last else capacity
+            parts.append(self._grow_round(graph, residual, cap, k, rng, telemetry))
+        self.last_telemetry = telemetry
+        partition = EdgePartition(parts)
+        return partition
+
+    # -- one round -----------------------------------------------------------
+
+    def _grow_round(
+        self,
+        graph: Graph,
+        residual: ResidualGraph,
+        capacity: int,
+        k: int,
+        rng,
+        telemetry: StageTelemetry,
+    ) -> list:
+        if capacity <= 0 or residual.is_exhausted():
+            return []
+        state = PartitionState(residual, graph, self.similarity_scope)
+        state.seed(self._pick_seed(residual, rng))
+        while state.internal < capacity:
+            if state.frontier_empty():
+                # Algorithm 1, lines 11-13: the residual component is used up.
+                if not self.reseed_on_break or residual.is_exhausted():
+                    break
+                telemetry.record_reseed()
+                state.seed(self._pick_seed(residual, rng))
+                continue
+            stage = self.stage_policy.stage(state, capacity)
+            v = state.select_stage1() if stage == STAGE_ONE else state.select_stage2()
+            if v is None:  # pragma: no cover - frontier_empty() guards this
+                break
+            max_edges = capacity - state.internal if self.strict_capacity else None
+            allocated, truncated = state.add_vertex(v, max_edges)
+            telemetry.record(k, stage, v, graph.degree(v), allocated)
+            telemetry.record_local_state(state.internal + len(state.frontier))
+            if truncated:
+                break
+        return state.edges
+
+    def _pick_seed(self, residual: ResidualGraph, rng) -> int:
+        """Apply the configured seed strategy to the residual graph."""
+        if self.seed_strategy == "random":
+            return residual.sample_seed(rng)
+        candidates = {
+            residual.sample_seed(rng) for _ in range(self._SEED_POOL_SIZE)
+        }
+        if self.seed_strategy == "max-degree":
+            return max(candidates, key=lambda v: (residual.degree(v), -v))
+        return min(candidates, key=lambda v: (residual.degree(v), v))

@@ -1,0 +1,84 @@
+"""Modularity <-> replication-factor relationships (Claim 1 / Eq. 3-6).
+
+The paper's Claim 1: under the averaging assumptions (every vertex has the
+average degree ``d`` and all partitions hold ``m/p`` edges),
+
+    RF = 1 + (1/p) * sum_k 1 / M(P_k)                       (Eq. 6)
+
+so maximising each partition's modularity minimises RF.  This module exposes
+both the idealised estimate and the exact per-partition accounting identity
+it is derived from, which hold without any assumption:
+
+    sum_{v in V(P_k)} deg_G(v) = 2 |E(P_k)| + ext_k          (*)
+
+where ``ext_k`` counts (edge, endpoint) incidences external to ``P_k``
+(see :func:`repro.partitioning.metrics.external_incidences`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.graph import Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.metrics import external_incidences, partition_modularities
+
+
+def claim1_rf_estimate(modularities: Sequence[float]) -> float:
+    """Eq. 6: ``1 + (1/p) * sum_k 1/M_k`` (``1/inf`` treated as 0)."""
+    if not modularities:
+        return 1.0
+    inv_sum = sum(0.0 if m == float("inf") else 1.0 / m for m in modularities)
+    return 1.0 + inv_sum / len(modularities)
+
+
+def rf_estimate_from_partition(partition: EdgePartition, graph: Graph) -> float:
+    """Apply Eq. 6 to a concrete partitioning's measured modularities."""
+    return claim1_rf_estimate(partition_modularities(partition, graph))
+
+
+def degree_sum_identity_residuals(
+    partition: EdgePartition, graph: Graph
+) -> List[int]:
+    """Per-partition residual of the exact identity (*) — always all zeros.
+
+    Returned (rather than asserted) so property tests can check it; any
+    non-zero entry indicates an accounting bug in metrics or a partition
+    that is not a true edge partition of the graph.
+    """
+    vertex_sets = partition.vertex_sets()
+    externals = external_incidences(partition, graph)
+    residuals: List[int] = []
+    for k in range(partition.num_partitions):
+        degree_sum = sum(graph.degree(v) for v in vertex_sets[k])
+        internal = len(partition.edges_of(k))
+        residuals.append(degree_sum - 2 * internal - externals[k])
+    return residuals
+
+
+def exact_rf_decomposition(partition: EdgePartition, graph: Graph) -> float:
+    """Exact RF written in Eq. 6's terms, valid for any degrees.
+
+    ``RF = sum_k sum_{v in V(P_k)} deg(v)/deg(v) / |V|`` trivially; the useful
+    exact decomposition mirroring Eq. 6 replaces the average degree with each
+    partition's own mean degree:
+
+        RF = sum_k (2 E_k + ext_k) / dbar_k / |V|
+
+    where ``dbar_k`` is the mean G-degree over ``V(P_k)``.  Equals
+    ``replication_factor`` up to floating point; tests verify that.
+    """
+    vertex_sets = partition.vertex_sets()
+    externals = external_incidences(partition, graph)
+    n = sum(1 for v in graph.vertices() if graph.degree(v) > 0)
+    if n == 0:
+        return 1.0
+    total = 0.0
+    for k in range(partition.num_partitions):
+        vs = vertex_sets[k]
+        if not vs:
+            continue
+        degree_sum = sum(graph.degree(v) for v in vs)
+        dbar = degree_sum / len(vs)
+        total += (2 * len(partition.edges_of(k)) + externals[k]) / dbar
+    return total / n

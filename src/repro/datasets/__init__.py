@@ -1,0 +1,22 @@
+"""The paper's datasets (Table III) as deterministic synthetic stand-ins."""
+
+from repro.datasets.cache import cache_dir, clear_cache, load_cached
+from repro.datasets.catalog import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    dataset_by_key,
+    table3_rows,
+)
+from repro.datasets.synthetic import instantiate, load_dataset
+
+__all__ = [
+    "cache_dir",
+    "clear_cache",
+    "load_cached",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "dataset_by_key",
+    "table3_rows",
+    "instantiate",
+    "load_dataset",
+]

@@ -1,0 +1,78 @@
+"""On-disk caching of generated dataset stand-ins.
+
+Generating the larger stand-ins (hundreds of thousands of edges) takes
+seconds to minutes; experiments sweep the same nine graphs dozens of times.
+The cache stores each generated graph as a gzip edge list keyed by
+``(dataset key, scale, seed, generator version)`` under a cache directory
+(``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the working directory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.datasets.catalog import DatasetSpec, dataset_by_key
+from repro.datasets.synthetic import instantiate
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+#: Bump when generator behaviour changes so stale caches are ignored.
+GENERATOR_VERSION = 1
+
+
+def cache_dir() -> Path:
+    """The active cache directory (created on demand)."""
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_path(spec: DatasetSpec, scale: float, seed: int) -> Path:
+    name = f"{spec.key}_s{scale:g}_seed{seed}_v{GENERATOR_VERSION}.edges.gz"
+    return cache_dir() / name
+
+
+def load_cached(
+    key_or_spec, scale: float = 1.0, seed: int = 0, refresh: bool = False
+) -> Graph:
+    """Load a stand-in from cache, generating (and caching) on a miss."""
+    spec = (
+        key_or_spec
+        if isinstance(key_or_spec, DatasetSpec)
+        else dataset_by_key(key_or_spec)
+    )
+    path = _cache_path(spec, scale, seed)
+    if path.exists() and not refresh:
+        return read_edge_list(path)
+    graph = instantiate(spec, scale=scale, seed=seed)
+    write_edge_list(
+        graph,
+        path,
+        header=[f"stand-in for {spec.name} scale={scale:g} seed={seed}"],
+    )
+    return graph
+
+
+def clear_cache() -> int:
+    """Delete all cached graphs; returns how many files were removed."""
+    removed = 0
+    for path in cache_dir().glob("*.edges.gz"):
+        path.unlink()
+        removed += 1
+    return removed
+
+
+def cached_path_if_exists(
+    key_or_spec, scale: float = 1.0, seed: int = 0
+) -> Optional[Path]:
+    """Path of the cached file if present (for tests and tooling)."""
+    spec = (
+        key_or_spec
+        if isinstance(key_or_spec, DatasetSpec)
+        else dataset_by_key(key_or_spec)
+    )
+    path = _cache_path(spec, scale, seed)
+    return path if path.exists() else None

@@ -1,0 +1,114 @@
+"""The paper's nine datasets (Table III) and their synthetic stand-ins.
+
+The eight SNAP graphs and the huapu genealogy graph are not available
+offline, so every spec carries the *published* ``|V|``/``|E|`` plus the
+generator family whose structure matches the real graph:
+
+* ``social`` — power-law degree distribution with triadic closure
+  (Holme–Kim), matching email/vote/citation/social graphs;
+* ``genealogy`` — near-tree forest with sparse cross links, matching huapu
+  (average degree ~3.3).
+
+``|V|`` for G8 (Slashdot0811) is printed as "77,36" in the paper — a typo;
+we use SNAP's published 77,360.  Stand-ins are instantiated at a
+``scale``: vertex and edge counts are multiplied by it, preserving average
+degree, so the full Table III shape survives scaled-down runs (pure-Python
+partitioners cannot match the authors' workstation on millions of edges —
+see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["DatasetSpec", "PAPER_DATASETS", "dataset_by_key", "table3_rows"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table III."""
+
+    key: str  # G1..G9
+    name: str  # the dataset's published name
+    vertices: int  # |V(G)| as published
+    edges: int  # |E(G)| as published
+    kind: str  # "social" | "genealogy"
+    #: Scale used by the pytest benchmark suite (keeps CI runs in seconds).
+    bench_scale: float
+    #: Scale used by the CLI when --scale is not given (keeps a full
+    #: reproduction run under ~1 hour of pure Python).
+    default_scale: float
+
+    @property
+    def size(self) -> int:
+        """``|V| + |E|`` as reported in Table III's last column."""
+        return self.vertices + self.edges
+
+    @property
+    def average_degree(self) -> float:
+        """``2|E| / |V|``."""
+        return 2.0 * self.edges / self.vertices
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """A copy with vertex/edge counts scaled (min 10 vertices, 10 edges).
+
+        Linear scaling increases *density* (m/n^2 grows by 1/scale), so for
+        dense datasets at tiny scales the edge target is capped at the
+        complete graph on the scaled vertex count.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        vertices = max(10, round(self.vertices * scale))
+        edges = max(10, round(self.edges * scale))
+        edges = min(edges, vertices * (vertices - 1) // 2)
+        return DatasetSpec(
+            key=self.key,
+            name=f"{self.name}@{scale:g}" if scale != 1.0 else self.name,
+            vertices=vertices,
+            edges=edges,
+            kind=self.kind,
+            bench_scale=1.0,
+            default_scale=1.0,
+        )
+
+
+#: Table III, in the paper's order.
+PAPER_DATASETS: List[DatasetSpec] = [
+    DatasetSpec("G1", "email-Eu-core", 1_005, 25_571, "social", 0.20, 1.0),
+    DatasetSpec("G2", "Wiki-Vote", 7_115, 103_689, "social", 0.06, 1.0),
+    DatasetSpec("G3", "CA-HepPh", 12_008, 118_521, "social", 0.05, 1.0),
+    DatasetSpec("G4", "Email-Enron", 36_692, 183_831, "social", 0.03, 1.0),
+    DatasetSpec("G5", "Slashdot081106", 77_357, 516_575, "social", 0.012, 0.25),
+    DatasetSpec("G6", "soc_Epinions1", 75_879, 508_837, "social", 0.012, 0.25),
+    DatasetSpec("G7", "Slashdot090221", 82_144, 549_202, "social", 0.011, 0.25),
+    # |V| corrected from the paper's truncated "77,36" to SNAP's 77,360.
+    DatasetSpec("G8", "Slashdot0811", 77_360, 905_468, "social", 0.007, 0.15),
+    DatasetSpec("G9", "huapu", 4_309_321, 7_030_787, "genealogy", 0.0008, 0.02),
+]
+
+_BY_KEY: Dict[str, DatasetSpec] = {spec.key: spec for spec in PAPER_DATASETS}
+
+
+def dataset_by_key(key: str) -> DatasetSpec:
+    """Look up a spec by its paper key (``"G1"`` .. ``"G9"``)."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {key!r}; known: {sorted(_BY_KEY)}"
+        ) from None
+
+
+def table3_rows() -> List[Dict[str, object]]:
+    """Table III as plain dict rows (rendered by ``repro.bench.report``)."""
+    return [
+        {
+            "Graph Name": spec.name,
+            "Notation": spec.key,
+            "|V(G)|": spec.vertices,
+            "|E(G)|": spec.edges,
+            "|V(G)|+|E(G)|": spec.size,
+        }
+        for spec in PAPER_DATASETS
+    ]

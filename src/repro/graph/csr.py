@@ -1,0 +1,53 @@
+"""Compressed-sparse-row view of a graph.
+
+The runtime simulator and the vectorised TLP frontier scan want contiguous
+integer ids and numpy-friendly adjacency.  :class:`CSRGraph` freezes a
+:class:`~repro.graph.graph.Graph` into ``indptr``/``indices`` arrays plus an
+id mapping, the standard layout of high-performance graph engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class CSRGraph:
+    """Immutable CSR adjacency with a vertex-id <-> index mapping."""
+
+    __slots__ = ("indptr", "indices", "ids", "index_of", "num_edges")
+
+    def __init__(self, graph: Graph) -> None:
+        ids: List[int] = graph.vertex_list()
+        index_of: Dict[int, int] = {v: i for i, v in enumerate(ids)}
+        n = len(ids)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, v in enumerate(ids):
+            indptr[i + 1] = indptr[i] + graph.degree(v)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for i, v in enumerate(ids):
+            for u in graph.neighbors(v):
+                indices[cursor[i]] = index_of[u]
+                cursor[i] += 1
+        self.indptr = indptr
+        self.indices = indices
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.index_of = index_of
+        self.num_edges = graph.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.ids)
+
+    def neighbors_of_index(self, i: int) -> np.ndarray:
+        """Neighbour *indices* of the vertex at index ``i``."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Degree array aligned with :attr:`ids`."""
+        return np.diff(self.indptr)

@@ -1,0 +1,502 @@
+"""Synthetic graph generators.
+
+Two roles in this reproduction:
+
+* **Dataset stand-ins.**  The paper evaluates on eight SNAP social/communication
+  graphs and the huapu genealogy graph; none are downloadable here, so
+  :mod:`repro.datasets.synthetic` matches each one with a generator from this
+  module (power-law + triadic closure for the social graphs, a near-tree
+  forest for huapu) at the published ``|V|``/``|E|``.
+* **Test/benchmark workloads** with controlled structure (rings, grids,
+  planted communities, stars ...).
+
+All generators take a ``seed`` and are deterministic given it.  Vertices are
+labelled ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph
+from repro.utils.rng import Seed, make_rng
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+__all__ = [
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "barabasi_albert",
+    "holme_kim",
+    "watts_strogatz",
+    "community_graph",
+    "random_tree",
+    "random_forest",
+    "genealogy_graph",
+    "rmat",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_2d",
+    "with_exact_edges",
+]
+
+
+# ---------------------------------------------------------------------------
+# internal helpers
+# ---------------------------------------------------------------------------
+
+
+def _empty_adj(n: int) -> Dict[int, Set[int]]:
+    return {v: set() for v in range(n)}
+
+
+def _add_edge(adj: Dict[int, Set[int]], u: int, v: int) -> bool:
+    if u == v or v in adj[u]:
+        return False
+    adj[u].add(v)
+    adj[v].add(u)
+    return True
+
+
+def _count_edges(adj: Dict[int, Set[int]]) -> int:
+    return sum(len(nbrs) for nbrs in adj.values()) // 2
+
+
+def _to_graph(adj: Dict[int, Set[int]]) -> Graph:
+    return Graph(adj, _count_edges(adj))
+
+
+def _add_random_edges(adj: Dict[int, Set[int]], count: int, rng: random.Random) -> int:
+    """Insert ``count`` uniformly random new edges; returns how many were added.
+
+    Gives up (returns fewer) only if the graph saturates.
+    """
+    n = len(adj)
+    max_edges = n * (n - 1) // 2
+    current = _count_edges(adj)
+    added = 0
+    attempts = 0
+    limit = 50 * count + 1000
+    while added < count and attempts < limit:
+        attempts += 1
+        if current + added >= max_edges:
+            break
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if _add_edge(adj, u, v):
+            added += 1
+    # Dense fallback: enumerate missing pairs when rejection sampling stalls.
+    if added < count:
+        missing = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if v not in adj[u]
+        ]
+        rng.shuffle(missing)
+        for u, v in missing[: count - added]:
+            _add_edge(adj, u, v)
+            added += 1
+    return added
+
+
+def _remove_random_edges(adj: Dict[int, Set[int]], count: int, rng: random.Random) -> int:
+    """Delete ``count`` uniformly random edges; returns how many were removed."""
+    edges = [(u, v) for u, nbrs in adj.items() for v in nbrs if u < v]
+    rng.shuffle(edges)
+    removed = 0
+    for u, v in edges[:count]:
+        adj[u].remove(v)
+        adj[v].remove(u)
+        removed += 1
+    return removed
+
+
+def with_exact_edges(graph: Graph, m: int, seed: Seed = None) -> Graph:
+    """Return a copy of ``graph`` adjusted to exactly ``m`` edges.
+
+    Excess edges are removed uniformly at random; deficits are filled with
+    uniformly random new edges.  The vertex set is unchanged.  This is how
+    dataset stand-ins hit the paper's published edge counts exactly.
+    """
+    check_non_negative("m", m)
+    n = graph.num_vertices
+    if m > n * (n - 1) // 2:
+        raise ValueError(f"m={m} exceeds the maximum for {n} vertices")
+    rng = make_rng(seed)
+    adj = graph.adjacency_copy()
+    current = graph.num_edges
+    if current > m:
+        _remove_random_edges(adj, current - m, rng)
+    elif current < m:
+        _add_random_edges(adj, m - current, rng)
+    return _to_graph(adj)
+
+
+# ---------------------------------------------------------------------------
+# random models
+# ---------------------------------------------------------------------------
+
+
+def erdos_renyi_gnm(n: int, m: int, seed: Seed = None) -> Graph:
+    """G(n, m): ``n`` vertices and exactly ``m`` uniformly random edges."""
+    check_positive("n", n)
+    check_non_negative("m", m)
+    if m > n * (n - 1) // 2:
+        raise ValueError(f"m={m} exceeds the maximum for {n} vertices")
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    _add_random_edges(adj, m, rng)
+    return _to_graph(adj)
+
+
+def erdos_renyi_gnp(n: int, p: float, seed: Seed = None) -> Graph:
+    """G(n, p) via geometric edge skipping — O(n + m) expected time."""
+    check_positive("n", n)
+    check_probability("p", p)
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    if p <= 0:
+        return _to_graph(adj)
+    if p >= 1:
+        for u in range(n):
+            for v in range(u + 1, n):
+                _add_edge(adj, u, v)
+        return _to_graph(adj)
+    import math
+
+    log_q = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            _add_edge(adj, v, w)
+    return _to_graph(adj)
+
+
+def barabasi_albert(n: int, m_attach: int, seed: Seed = None) -> Graph:
+    """Barabási–Albert preferential attachment (power-law degrees).
+
+    Each new vertex attaches to ``m_attach`` distinct existing vertices chosen
+    proportionally to degree (repeated-nodes implementation).
+    """
+    check_positive("n", n)
+    check_positive("m_attach", m_attach)
+    if m_attach >= n:
+        raise ValueError(f"m_attach={m_attach} must be < n={n}")
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    repeated: List[int] = list(range(m_attach))  # seed clique-free core
+    for new in range(m_attach, n):
+        targets: Set[int] = set()
+        while len(targets) < m_attach:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            _add_edge(adj, new, t)
+            repeated.append(t)
+            repeated.append(new)
+    return _to_graph(adj)
+
+
+def holme_kim(
+    n: int, m_attach: int, triad_prob: float = 0.5, seed: Seed = None
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a triad
+    is closed with probability ``triad_prob`` (connect to a random neighbour
+    of the last target), yielding the high local clustering of real social
+    graphs — the structure TLP's Stage I exploits.
+    """
+    check_positive("n", n)
+    check_positive("m_attach", m_attach)
+    check_probability("triad_prob", triad_prob)
+    if m_attach >= n:
+        raise ValueError(f"m_attach={m_attach} must be < n={n}")
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    repeated: List[int] = list(range(m_attach))
+    for new in range(m_attach, n):
+        made = 0
+        last_target: Optional[int] = None
+        while made < m_attach:
+            do_triad = (
+                last_target is not None
+                and rng.random() < triad_prob
+                and adj[last_target]
+            )
+            if do_triad:
+                candidate = rng.choice(tuple(adj[last_target]))  # type: ignore[arg-type]
+            else:
+                candidate = rng.choice(repeated)
+            if _add_edge(adj, new, candidate):
+                repeated.append(candidate)
+                repeated.append(new)
+                last_target = candidate
+                made += 1
+            else:
+                last_target = None  # fall back to preferential attachment
+    return _to_graph(adj)
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: Seed = None) -> Graph:
+    """Watts–Strogatz small world: ring lattice with rewiring probability ``beta``."""
+    check_positive("n", n)
+    check_positive("k", k)
+    check_probability("beta", beta)
+    if k % 2 != 0:
+        raise ValueError(f"k must be even, got {k}")
+    if k >= n:
+        raise ValueError(f"k={k} must be < n={n}")
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            _add_edge(adj, v, (v + offset) % n)
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % n
+            if rng.random() < beta and u in adj[v]:
+                candidates = n - 1 - len(adj[v])
+                if candidates <= 0:
+                    continue
+                adj[v].remove(u)
+                adj[u].remove(v)
+                while True:
+                    w = rng.randrange(n)
+                    if w != v and w not in adj[v]:
+                        break
+                _add_edge(adj, v, w)
+    return _to_graph(adj)
+
+
+def community_graph(
+    n: int,
+    m: int,
+    num_communities: int,
+    intra_fraction: float = 0.9,
+    seed: Seed = None,
+) -> Graph:
+    """Planted-community graph with exactly ``m`` edges.
+
+    Vertices are split into ``num_communities`` equal blocks; each edge is
+    intra-community with probability ``intra_fraction`` (endpoints uniform in
+    one random block), otherwise uniform across blocks.  A cheap stochastic
+    block model that gives local partitioners something to find.
+    """
+    check_positive("n", n)
+    check_non_negative("m", m)
+    check_positive("num_communities", num_communities)
+    check_probability("intra_fraction", intra_fraction)
+    if num_communities > n:
+        raise ValueError("more communities than vertices")
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    block_of = [v * num_communities // n for v in range(n)]
+    blocks: List[List[int]] = [[] for _ in range(num_communities)]
+    for v, b in enumerate(block_of):
+        blocks[b].append(v)
+    added = 0
+    attempts = 0
+    limit = 60 * m + 1000
+    while added < m and attempts < limit:
+        attempts += 1
+        if rng.random() < intra_fraction:
+            block = blocks[rng.randrange(num_communities)]
+            if len(block) < 2:
+                continue
+            u, v = rng.sample(block, 2)
+        else:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+        if _add_edge(adj, u, v):
+            added += 1
+    if added < m:
+        _add_random_edges(adj, m - added, rng)
+    return _to_graph(adj)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Seed = None,
+) -> Graph:
+    """R-MAT / Kronecker generator (Chakrabarti et al., SDM 2004).
+
+    ``2**scale`` vertices and ``edge_factor * 2**scale`` edge *samples*,
+    each drawn by recursively descending into the adjacency matrix's
+    quadrants with probabilities ``(a, b, c, 1-a-b-c)``.  The Graph500
+    default parameters produce the skewed, self-similar graphs used to
+    benchmark graph systems.  Duplicates and self loops are dropped, so the
+    realised edge count is below ``edge_factor * n``; use
+    :func:`with_exact_edges` for an exact target.
+    """
+    check_positive("scale", scale)
+    check_positive("edge_factor", edge_factor)
+    for name, value in (("a", a), ("b", b), ("c", c)):
+        check_probability(name, value)
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError(f"a + b + c = {a + b + c} exceeds 1")
+    rng = make_rng(seed)
+    n = 1 << scale
+    adj = _empty_adj(n)
+    thresholds = (a, a + b, a + b + c)
+    for _ in range(edge_factor * n):
+        u = v = 0
+        for _level in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < thresholds[0]:
+                pass  # top-left quadrant
+            elif r < thresholds[1]:
+                v |= 1
+            elif r < thresholds[2]:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        _add_edge(adj, u, v)
+    return _to_graph(adj)
+
+
+# ---------------------------------------------------------------------------
+# trees and genealogy
+# ---------------------------------------------------------------------------
+
+
+def random_tree(n: int, seed: Seed = None, attachment_bias: float = 0.0) -> Graph:
+    """Random recursive tree on ``n`` vertices.
+
+    ``attachment_bias`` in [0, 1] interpolates between uniform attachment (0)
+    and degree-proportional attachment (1).
+    """
+    check_positive("n", n)
+    check_probability("attachment_bias", attachment_bias)
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    repeated: List[int] = [0]
+    for new in range(1, n):
+        if rng.random() < attachment_bias:
+            parent = rng.choice(repeated)
+        else:
+            parent = rng.randrange(new)
+        _add_edge(adj, new, parent)
+        repeated.append(parent)
+        repeated.append(new)
+    return _to_graph(adj)
+
+
+def random_forest(n: int, num_trees: int, seed: Seed = None) -> Graph:
+    """A forest of ``num_trees`` random recursive trees over ``n`` vertices."""
+    check_positive("n", n)
+    check_positive("num_trees", num_trees)
+    if num_trees > n:
+        raise ValueError("more trees than vertices")
+    rng = make_rng(seed)
+    adj = _empty_adj(n)
+    # Roots are vertices 0..num_trees-1; each later vertex joins a random tree.
+    members: List[List[int]] = [[t] for t in range(num_trees)]
+    for new in range(num_trees, n):
+        tree = rng.randrange(num_trees)
+        parent = rng.choice(members[tree])
+        _add_edge(adj, new, parent)
+        members[tree].append(new)
+    return _to_graph(adj)
+
+
+def genealogy_graph(
+    n: int,
+    m: int,
+    seed: Seed = None,
+    num_trees: Optional[int] = None,
+) -> Graph:
+    """A huapu-like genealogy graph: a forest plus sparse cross links.
+
+    The paper's G9 (huapu) has average degree ~3.3 and near-tree structure.
+    We build ``num_trees`` recursive trees (descent lines) and add
+    ``m - (n - num_trees)`` extra edges (marriages / cross references) between
+    uniformly random vertices.  Requires ``m >= n - num_trees``.
+    """
+    check_positive("n", n)
+    check_non_negative("m", m)
+    rng = make_rng(seed)
+    if num_trees is None:
+        num_trees = max(1, n // 1000)
+    forest_edges = n - num_trees
+    if m < forest_edges:
+        # Shrink the forest edge count by using more trees.
+        num_trees = n - m
+        if num_trees > n:
+            raise ValueError(f"m={m} too small for any forest on {n} vertices")
+        forest_edges = n - num_trees
+    base = random_forest(n, num_trees, seed=rng)
+    adj = base.adjacency_copy()
+    _add_random_edges(adj, m - forest_edges, rng)
+    return _to_graph(adj)
+
+
+# ---------------------------------------------------------------------------
+# deterministic structured graphs (test fixtures)
+# ---------------------------------------------------------------------------
+
+
+def star_graph(n: int) -> Graph:
+    """Star: vertex 0 joined to ``1..n-1``."""
+    check_positive("n", n)
+    return Graph.from_edges(((0, v) for v in range(1, n)), vertices=range(n))
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``0 - 1 - ... - n-1``."""
+    check_positive("n", n)
+    return Graph.from_edges(((v, v + 1) for v in range(n - 1)), vertices=range(n))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    edges = [(v, (v + 1) % n) for v in range(n)]
+    return Graph.from_edges(edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique on ``n`` vertices."""
+    check_positive("n", n)
+    edges = ((u, v) for u in range(n) for v in range(u + 1, n))
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b}: sides ``0..a-1`` and ``a..a+b-1``."""
+    check_positive("a", a)
+    check_positive("b", b)
+    edges = ((u, a + v) for u in range(a) for v in range(b))
+    return Graph.from_edges(edges, vertices=range(a + b))
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """rows x cols lattice; vertex ``r * cols + c``."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph.from_edges(edges, vertices=range(rows * cols))

@@ -1,0 +1,123 @@
+"""Edge-list input/output in the SNAP text format.
+
+SNAP datasets (the paper's G1-G8) are whitespace-separated ``u v`` lines with
+``#`` comment headers, optionally gzip-compressed.  These helpers read and
+write that format, either eagerly into a :class:`~repro.graph.graph.Graph`
+or lazily as an edge iterator for the streaming partitioners.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from pathlib import Path
+from typing import IO, Dict, Iterable, Iterator, Tuple, Union
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode + "t", encoding="utf-8")
+
+
+def iter_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Lazily yield ``(u, v)`` pairs from a SNAP-style edge list.
+
+    Lines starting with ``#`` or ``%`` and blank lines are skipped; raises
+    ``ValueError`` on malformed lines (naming the line number).
+    """
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped[0] in "#%":
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            try:
+                yield int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: non-integer endpoint in {line!r}") from exc
+
+
+def read_edge_list(path: PathLike, relabel: bool = False) -> Graph:
+    """Read an edge-list file into a normalised undirected simple graph.
+
+    Directed duplicates and self loops are dropped (SNAP normalisation).
+    """
+    builder = GraphBuilder(relabel=relabel)
+    builder.add_edges(iter_edge_list(path))
+    return builder.build()
+
+
+def write_edge_list(
+    graph: Graph, path: PathLike, header: Iterable[str] = ()
+) -> None:
+    """Write ``graph`` as a SNAP-style edge list (one canonical edge per line)."""
+    with _open_text(path, "w") as fh:
+        for line in header:
+            fh.write(f"# {line}\n")
+        fh.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u}\t{v}\n")
+
+
+def read_metis_graph(path: PathLike) -> Graph:
+    """Read a graph in the METIS adjacency format.
+
+    Line 1 is ``n m [fmt]`` (only unweighted ``fmt`` 0/absent supported);
+    line ``i+1`` lists the 1-based neighbours of vertex ``i``.  Vertices are
+    relabelled to 0-based ids.  ``%`` comment lines are skipped.
+    """
+    with _open_text(path, "r") as fh:
+        # Keep blank lines: an isolated vertex's adjacency line is empty.
+        lines = [
+            line.rstrip("\n")
+            for line in fh
+            if not line.lstrip().startswith("%")
+        ]
+    if not [line for line in lines if line.strip()]:
+        raise ValueError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise ValueError(f"{path}: malformed METIS header {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    if len(header) > 2 and header[2] not in ("0", "00", "000"):
+        raise ValueError(f"{path}: weighted METIS format {header[2]!r} not supported")
+    if len(lines) - 1 != n:
+        raise ValueError(f"{path}: header says {n} vertices, found {len(lines) - 1}")
+    builder = GraphBuilder()
+    for i in range(n):
+        builder.add_vertex(i)
+        for token in lines[i + 1].split():
+            builder.add_edge(i, int(token) - 1)
+    graph = builder.build()
+    if graph.num_edges != m:
+        raise ValueError(
+            f"{path}: header says {m} edges, adjacency encodes {graph.num_edges}"
+        )
+    return graph
+
+
+def write_metis_graph(graph: Graph, path: PathLike) -> Dict[int, int]:
+    """Write ``graph`` in the METIS adjacency format.
+
+    Vertices are renumbered to ``1..n`` in iteration order; returns the
+    ``original id -> metis id`` mapping so partition results can be mapped
+    back.
+    """
+    ids = graph.vertex_list()
+    metis_id = {v: i + 1 for i, v in enumerate(ids)}
+    with _open_text(path, "w") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in ids:
+            neighbors = " ".join(str(metis_id[u]) for u in sorted(graph.neighbors(v), key=lambda x: metis_id[x]))
+            fh.write(neighbors + "\n")
+    return metis_id

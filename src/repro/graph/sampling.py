@@ -1,0 +1,90 @@
+"""Graph sampling: extract smaller graphs that preserve chosen structure.
+
+Scaling experiments need smaller versions of a workload.  Regenerating at a
+smaller scale (what :mod:`repro.datasets` does) is one option; *sampling* an
+existing graph is the other, and the right one when the graph is given
+rather than generated.  Three standard samplers:
+
+* :func:`random_edge_sample` — keep a uniform fraction of edges (preserves
+  degree skew's shape, thins density);
+* :func:`random_vertex_sample` — induced subgraph on a uniform vertex
+  subset;
+* :func:`bfs_sample` — a breadth-first ball around a seed (preserves local
+  structure; the sampler matching local partitioning's world view).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Set
+
+from repro.graph.graph import Graph
+from repro.utils.rng import Seed, make_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def random_edge_sample(graph: Graph, fraction: float, seed: Seed = None) -> Graph:
+    """Keep each edge independently with probability ``fraction``.
+
+    Vertices that lose all edges are dropped.
+    """
+    check_probability("fraction", fraction)
+    rng = make_rng(seed)
+    kept = [edge for edge in graph.edges() if rng.random() < fraction]
+    return Graph.from_edges(kept)
+
+
+def random_vertex_sample(graph: Graph, fraction: float, seed: Seed = None) -> Graph:
+    """Induced subgraph on a uniform ``fraction`` of the vertices."""
+    check_probability("fraction", fraction)
+    rng = make_rng(seed)
+    vertices = [v for v in graph.vertices() if rng.random() < fraction]
+    return graph.subgraph(vertices)
+
+
+def bfs_sample(
+    graph: Graph,
+    num_vertices: int,
+    seed_vertex: Optional[int] = None,
+    seed: Seed = None,
+) -> Graph:
+    """The induced subgraph on the first ``num_vertices`` BFS-reached vertices.
+
+    Starts from ``seed_vertex`` (or a random vertex); restarts from a random
+    unvisited vertex when a component is exhausted, so the requested size is
+    always reached (or the whole graph returned).
+    """
+    check_positive("num_vertices", num_vertices)
+    rng = make_rng(seed)
+    all_vertices = graph.vertex_list()
+    if not all_vertices:
+        return Graph.empty()
+    if seed_vertex is None:
+        seed_vertex = rng.choice(all_vertices)
+    elif not graph.has_vertex(seed_vertex):
+        raise KeyError(f"seed vertex {seed_vertex} not in graph")
+    visited: Set[int] = set()
+    queue: deque = deque([seed_vertex])
+    visited.add(seed_vertex)
+    collected = [seed_vertex]
+    remaining = [v for v in all_vertices if v != seed_vertex]
+    rng.shuffle(remaining)
+    restart_cursor = 0
+    while len(collected) < min(num_vertices, len(all_vertices)):
+        if not queue:
+            while restart_cursor < len(remaining) and remaining[restart_cursor] in visited:
+                restart_cursor += 1
+            if restart_cursor >= len(remaining):
+                break
+            fresh = remaining[restart_cursor]
+            visited.add(fresh)
+            collected.append(fresh)
+            queue.append(fresh)
+            continue
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in visited and len(collected) < num_vertices:
+                visited.add(u)
+                collected.append(u)
+                queue.append(u)
+    return graph.subgraph(collected)

@@ -1,0 +1,121 @@
+"""Graph traversals: BFS/DFS orders, components, distances.
+
+The paper notes TLP expands partitions in BFS order over the residual graph;
+these standalone traversals are used by generators, the METIS-like
+partitioner's graph-growing initial bisection, and tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.graph.graph import Graph
+
+
+def bfs_order(graph: Graph, source: int) -> Iterator[int]:
+    """Vertices reachable from ``source`` in breadth-first order."""
+    seen: Set[int] = {source}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        yield v
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                queue.append(u)
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Unweighted shortest-path distance from ``source`` to each reachable vertex."""
+    dist: Dict[int, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def dfs_order(graph: Graph, source: int) -> Iterator[int]:
+    """Vertices reachable from ``source`` in (iterative) depth-first order."""
+    seen: Set[int] = set()
+    stack: List[int] = [source]
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        yield v
+        # Reversed for a deterministic order resembling recursive DFS when
+        # neighbour sets iterate in insertion order.
+        stack.extend(u for u in graph.neighbors(v) if u not in seen)
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    """All connected components, largest first."""
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component: Set[int] = set()
+        queue: deque = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            component.add(v)
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: Graph) -> Set[int]:
+    """The vertex set of the largest connected component (empty set if no vertices)."""
+    comps = connected_components(graph)
+    return comps[0] if comps else set()
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true when empty)."""
+    n = graph.num_vertices
+    if n == 0:
+        return True
+    first = next(iter(graph.vertices()))
+    return sum(1 for _ in bfs_order(graph, first)) == n
+
+
+def bfs_edge_order(graph: Graph, source: Optional[int] = None) -> Iterator[tuple]:
+    """Edges in the order a BFS first *reaches* them, covering all components.
+
+    Used to build the BFS edge-stream order for streaming partitioners.
+    Each edge appears exactly once, canonicalised.
+    """
+    emitted: Set[tuple] = set()
+    seen: Set[int] = set()
+    starts: Iterable[int]
+    if source is not None:
+        starts = [source] + [v for v in graph.vertices() if v != source]
+    else:
+        starts = graph.vertices()
+    for start in starts:
+        if start in seen:
+            continue
+        seen.add(start)
+        queue: deque = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                edge = (v, u) if v < u else (u, v)
+                if edge not in emitted:
+                    emitted.add(edge)
+                    yield edge
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)

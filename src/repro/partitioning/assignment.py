@@ -1,0 +1,122 @@
+"""The result type of every edge partitioner: :class:`EdgePartition`.
+
+Stores, for each partition ``P_k``, the list of edges allocated to it
+(canonical ``(u, v), u < v`` form), plus lazily computed derived views
+(per-partition vertex sets, the edge -> partition map).  All quality metrics
+in :mod:`repro.partitioning.metrics` are computed from this object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+
+class EdgePartition:
+    """A balanced ``p``-edge partitioning (Definition 3 of the paper).
+
+    ``parts[k]`` holds the edges of partition ``k``.  Partitions may be empty
+    (e.g. a tiny graph split into many parts).
+    """
+
+    def __init__(self, parts: Sequence[Sequence[Edge]]) -> None:
+        self._parts: List[List[Edge]] = [
+            [normalize_edge(u, v) for u, v in part] for part in parts
+        ]
+        self._vertex_sets: Optional[List[Set[int]]] = None
+        self._edge_to_part: Optional[Dict[Edge, int]] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_assignment(
+        cls, edges: Iterable[Edge], assignment: Iterable[int], num_partitions: int
+    ) -> "EdgePartition":
+        """Build from parallel iterables of edges and their partition ids."""
+        parts: List[List[Edge]] = [[] for _ in range(num_partitions)]
+        for edge, k in zip(edges, assignment):
+            parts[k].append(edge)
+        return cls(parts)
+
+    # -- basic views -------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """``p``."""
+        return len(self._parts)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges across all partitions."""
+        return sum(len(part) for part in self._parts)
+
+    def edges_of(self, k: int) -> List[Edge]:
+        """Edges of partition ``k``.  Treat as read-only."""
+        return self._parts[k]
+
+    def partition_sizes(self) -> List[int]:
+        """``|E(P_k)|`` for each k."""
+        return [len(part) for part in self._parts]
+
+    def vertex_sets(self) -> List[Set[int]]:
+        """``V(P_k)`` — endpoints of the edges in each partition (cached)."""
+        if self._vertex_sets is None:
+            sets: List[Set[int]] = []
+            for part in self._parts:
+                vs: Set[int] = set()
+                for u, v in part:
+                    vs.add(u)
+                    vs.add(v)
+                sets.append(vs)
+            self._vertex_sets = sets
+        return self._vertex_sets
+
+    def vertex_counts(self) -> List[int]:
+        """``|V(P_k)|`` for each k."""
+        return [len(vs) for vs in self.vertex_sets()]
+
+    def edge_to_partition(self) -> Dict[Edge, int]:
+        """Map from canonical edge to its partition id (cached).
+
+        Raises ``ValueError`` if any edge appears in two partitions.
+        """
+        if self._edge_to_part is None:
+            mapping: Dict[Edge, int] = {}
+            for k, part in enumerate(self._parts):
+                for edge in part:
+                    if edge in mapping:
+                        raise ValueError(
+                            f"edge {edge} assigned to partitions {mapping[edge]} and {k}"
+                        )
+                    mapping[edge] = k
+            self._edge_to_part = mapping
+        return self._edge_to_part
+
+    def partition_of(self, u: int, v: int) -> int:
+        """Partition id of edge ``{u, v}``; raises ``KeyError`` if unassigned."""
+        return self.edge_to_partition()[normalize_edge(u, v)]
+
+    def replicas(self, v: int) -> int:
+        """Number of partitions vertex ``v`` appears in (0 if isolated)."""
+        return sum(1 for vs in self.vertex_sets() if v in vs)
+
+    # -- validation --------------------------------------------------------
+
+    def validate_against(self, graph: Graph) -> None:
+        """Check this is a true partition of ``graph``'s edge set.
+
+        Raises ``ValueError`` on duplicates, missing, or foreign edges.
+        """
+        mapping = self.edge_to_partition()  # raises on duplicates
+        if len(mapping) != graph.num_edges:
+            raise ValueError(
+                f"partition covers {len(mapping)} edges, graph has {graph.num_edges}"
+            )
+        for u, v in mapping:
+            if not graph.has_edge(u, v):
+                raise ValueError(f"partitioned edge ({u}, {v}) is not in the graph")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sizes = self.partition_sizes()
+        return f"EdgePartition(p={self.num_partitions}, sizes={sizes})"

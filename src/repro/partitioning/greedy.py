@@ -1,0 +1,67 @@
+"""PowerGraph's Greedy ("Oblivious") streaming edge partitioner.
+
+Gonzalez et al., OSDI 2012.  For each arriving edge ``(u, v)`` with replica
+sets ``A(u)``, ``A(v)`` (partitions already hosting the vertex):
+
+1. if ``A(u) ∩ A(v)`` is non-empty, use its least-loaded member;
+2. else if both are non-empty, use the least-loaded member of ``A(u) ∪ A(v)``;
+3. else if exactly one is non-empty, use its least-loaded member;
+4. else use the globally least-loaded partition.
+
+Related-work baseline for the extended comparison benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graph.graph import Edge, Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.base import StreamingEdgePartitioner
+from repro.utils.rng import Seed, make_rng
+
+
+class GreedyPartitioner(StreamingEdgePartitioner):
+    """PowerGraph Oblivious greedy placement (ties broken at random)."""
+
+    name = "Greedy"
+
+    def __init__(self, seed: Seed = None) -> None:
+        self.seed = seed
+
+    def assign_stream(
+        self, edges: Iterable[Edge], num_partitions: int, graph: Optional[Graph] = None
+    ) -> EdgePartition:
+        """Apply the four greedy rules to every edge in arrival order."""
+        rng = make_rng(self.seed)
+        parts: List[List[Edge]] = [[] for _ in range(num_partitions)]
+        sizes = [0] * num_partitions
+        replicas: Dict[int, Set[int]] = {}
+
+        def least_loaded(candidates: Iterable[int]) -> int:
+            best: List[int] = []
+            best_size = None
+            for k in candidates:
+                if best_size is None or sizes[k] < best_size:
+                    best, best_size = [k], sizes[k]
+                elif sizes[k] == best_size:
+                    best.append(k)
+            return best[0] if len(best) == 1 else rng.choice(best)
+
+        for u, v in edges:
+            au = replicas.get(u, set())
+            av = replicas.get(v, set())
+            both = au & av
+            if both:
+                k = least_loaded(both)
+            elif au and av:
+                k = least_loaded(au | av)
+            elif au or av:
+                k = least_loaded(au or av)
+            else:
+                k = least_loaded(range(num_partitions))
+            parts[k].append((u, v))
+            sizes[k] += 1
+            replicas.setdefault(u, set()).add(k)
+            replicas.setdefault(v, set()).add(k)
+        return EdgePartition(parts)

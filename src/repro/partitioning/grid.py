@@ -1,0 +1,64 @@
+"""Grid (constrained) edge partitioning — GraphBuilder/PowerLyra style.
+
+Partitions are arranged in an ``r x c`` grid.  Each vertex hashes to one
+cell; its *constraint set* is that cell's row plus column.  An edge may only
+go to a partition in the intersection of its endpoints' constraint sets
+(never empty: the two shards share a row or column cell), which caps the
+replication of any vertex at ``r + c - 1``.  The least-loaded eligible
+partition is chosen.
+
+A related-work baseline (not in the paper's Fig. 8) used by the extended
+comparison benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Set
+
+from repro.graph.graph import Edge, Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.base import StreamingEdgePartitioner
+from repro.partitioning.dbh import _hash_vertex
+
+
+def _grid_shape(num_partitions: int) -> tuple:
+    rows = max(1, int(math.isqrt(num_partitions)))
+    cols = math.ceil(num_partitions / rows)
+    return rows, cols
+
+
+class GridPartitioner(StreamingEdgePartitioner):
+    """2D constrained hashing over an r x c partition grid."""
+
+    name = "Grid"
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = salt
+
+    def _constraint_set(self, v: int, rows: int, cols: int, p: int) -> Set[int]:
+        cell = _hash_vertex(v, self.salt, p)
+        r, c = divmod(cell, cols)
+        members = {r * cols + j for j in range(cols)} | {i * cols + c for i in range(rows)}
+        return {k for k in members if k < p}
+
+    def assign_stream(
+        self, edges: Iterable[Edge], num_partitions: int, graph: Optional[Graph] = None
+    ) -> EdgePartition:
+        """Place each edge in the least-loaded eligible grid cell."""
+        rows, cols = _grid_shape(num_partitions)
+        parts: List[List[Edge]] = [[] for _ in range(num_partitions)]
+        sizes = [0] * num_partitions
+        for u, v in edges:
+            eligible = self._constraint_set(u, rows, cols, num_partitions) & (
+                self._constraint_set(v, rows, cols, num_partitions)
+            )
+            if not eligible:
+                # Can only happen when p is not a full grid; fall back to union.
+                eligible = self._constraint_set(
+                    u, rows, cols, num_partitions
+                ) | self._constraint_set(v, rows, cols, num_partitions)
+            k = min(eligible, key=lambda i: sizes[i])
+            parts[k].append((u, v))
+            sizes[k] += 1
+        return EdgePartition(parts)

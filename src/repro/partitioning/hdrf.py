@@ -1,0 +1,80 @@
+"""HDRF — High-Degree Replicated First (Petroni et al., CIKM 2015).
+
+A streaming edge partitioner that, like DBH, prefers to replicate hubs, but
+scores every partition instead of hashing:
+
+    score(e=(u,v), k) = C_rep(u, v, k) + lambda * C_bal(k)
+
+where ``C_rep`` awards partitions already hosting an endpoint, weighted so
+the *lower*-degree endpoint counts more (its replicas are more wasteful),
+and ``C_bal`` is a normalised load term.  Partial (observed-so-far) degrees
+are the original paper's default; exact degrees are used when available.
+
+Related-work baseline for the extended comparison benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graph.graph import Edge, Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.base import StreamingEdgePartitioner
+from repro.utils.rng import Seed, make_rng
+
+
+class HDRFPartitioner(StreamingEdgePartitioner):
+    """HDRF scoring with balance weight ``lam`` (paper default 1.0-1.1)."""
+
+    name = "HDRF"
+
+    def __init__(self, lam: float = 1.1, epsilon: float = 1.0, seed: Seed = None) -> None:
+        if lam < 0:
+            raise ValueError(f"lam must be >= 0, got {lam}")
+        self.lam = lam
+        self.epsilon = epsilon
+        self.seed = seed
+
+    def assign_stream(
+        self, edges: Iterable[Edge], num_partitions: int, graph: Optional[Graph] = None
+    ) -> EdgePartition:
+        """Score every partition for every edge; highest score wins."""
+        rng = make_rng(self.seed)
+        parts: List[List[Edge]] = [[] for _ in range(num_partitions)]
+        sizes = [0] * num_partitions
+        replicas: Dict[int, Set[int]] = {}
+        partial_degree: Dict[int, int] = {}
+
+        for u, v in edges:
+            if graph is not None:
+                du, dv = graph.degree(u), graph.degree(v)
+            else:
+                du = partial_degree.get(u, 0) + 1
+                dv = partial_degree.get(v, 0) + 1
+                partial_degree[u] = du
+                partial_degree[v] = dv
+            theta_u = du / (du + dv)
+            theta_v = 1.0 - theta_u
+            au = replicas.get(u, set())
+            av = replicas.get(v, set())
+            max_size = max(sizes)
+            min_size = min(sizes)
+            best_k = 0
+            best_score = float("-inf")
+            best_ties: List[int] = []
+            for k in range(num_partitions):
+                g_u = (1.0 + (1.0 - theta_u)) if k in au else 0.0
+                g_v = (1.0 + (1.0 - theta_v)) if k in av else 0.0
+                c_bal = (max_size - sizes[k]) / (self.epsilon + max_size - min_size)
+                score = g_u + g_v + self.lam * c_bal
+                if score > best_score:
+                    best_score = score
+                    best_ties = [k]
+                elif score == best_score:
+                    best_ties.append(k)
+            best_k = best_ties[0] if len(best_ties) == 1 else rng.choice(best_ties)
+            parts[best_k].append((u, v))
+            sizes[best_k] += 1
+            replicas.setdefault(u, set()).add(best_k)
+            replicas.setdefault(v, set()).add(best_k)
+        return EdgePartition(parts)

@@ -1,0 +1,103 @@
+"""LDG — Linear Deterministic Greedy streaming *vertex* partitioner.
+
+Stanton & Kliot, SIGKDD 2012.  Vertices arrive in a stream with their
+adjacency lists; each is placed in the partition maximising
+
+    |N(v) ∩ P_k| * (1 - |P_k| / C_v)
+
+where ``C_v = ceil(n / p)`` is the vertex capacity.  Ties go to the less
+loaded partition.  This is one of the paper's baselines; it is adapted to
+edge partitioning via :mod:`repro.partitioning.vertex_adapter`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.graph.graph import Graph
+from repro.partitioning.base import VertexPartitioner
+from repro.utils.rng import Seed, make_rng
+
+STREAM_ORDERS = ("natural", "random", "bfs", "dfs")
+
+
+def vertex_stream(graph: Graph, order: str, seed: Seed = None) -> List[int]:
+    """All vertices in the requested stream order.
+
+    ``natural`` = storage order, ``random`` = a uniform shuffle, ``bfs`` /
+    ``dfs`` = traversal order restarted across components (the orders studied
+    in the streaming-partitioning literature).
+    """
+    if order not in STREAM_ORDERS:
+        raise ValueError(f"unknown order {order!r}; expected one of {STREAM_ORDERS}")
+    vertices = graph.vertex_list()
+    if order == "natural":
+        return vertices
+    rng = make_rng(seed)
+    if order == "random":
+        rng.shuffle(vertices)
+        return vertices
+    from repro.graph.traversal import bfs_order, dfs_order
+
+    walk = bfs_order if order == "bfs" else dfs_order
+    seen: set = set()
+    result: List[int] = []
+    starts = list(vertices)
+    rng.shuffle(starts)
+    for start in starts:
+        if start in seen:
+            continue
+        for v in walk(graph, start):
+            if v not in seen:
+                seen.add(v)
+                result.append(v)
+    return result
+
+
+class LDGPartitioner(VertexPartitioner):
+    """Linear Deterministic Greedy vertex placement."""
+
+    name = "LDG"
+
+    def __init__(
+        self, order: str = "random", seed: Seed = None, slack: float = 1.0
+    ) -> None:
+        if order not in STREAM_ORDERS:
+            raise ValueError(f"unknown order {order!r}; expected one of {STREAM_ORDERS}")
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1.0, got {slack}")
+        self.order = order
+        self.seed = seed
+        self.slack = slack
+
+    def partition_vertices(self, graph: Graph, num_partitions: int) -> Dict[int, int]:
+        """Stream vertices and place each greedily."""
+        rng = make_rng(self.seed)
+        stream = vertex_stream(graph, self.order, seed=rng)
+        capacity = max(1, math.ceil(self.slack * graph.num_vertices / num_partitions))
+        assignment: Dict[int, int] = {}
+        sizes = [0] * num_partitions
+        for v in stream:
+            neighbor_counts = [0] * num_partitions
+            for u in graph.neighbors(v):
+                k = assignment.get(u)
+                if k is not None:
+                    neighbor_counts[k] += 1
+            best_k = 0
+            best_score = float("-inf")
+            for k in range(num_partitions):
+                if sizes[k] >= capacity:
+                    continue
+                score = neighbor_counts[k] * (1.0 - sizes[k] / capacity)
+                if score > best_score or (
+                    score == best_score and sizes[k] < sizes[best_k]
+                ):
+                    best_score = score
+                    best_k = k
+            if best_score == float("-inf"):
+                # Every partition full (possible with slack=1 and remainders).
+                best_k = min(range(num_partitions), key=lambda k: sizes[k])
+            assignment[v] = best_k
+            sizes[best_k] += 1
+        return assignment

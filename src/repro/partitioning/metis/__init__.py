@@ -1,0 +1,23 @@
+"""From-scratch multilevel (METIS-like) graph partitioner.
+
+Heavy-edge matching coarsening, greedy-graph-growing initial bisection,
+FM refinement at every uncoarsening level, recursive k-way driver.
+"""
+
+from repro.partitioning.metis.coarsen import coarsen
+from repro.partitioning.metis.initial import bisection_weights, grow_bisection
+from repro.partitioning.metis.matching import heavy_edge_matching
+from repro.partitioning.metis.multilevel import MetisLikePartitioner, multilevel_bisect
+from repro.partitioning.metis.refine import fm_refine
+from repro.partitioning.metis.wgraph import WeightedGraph
+
+__all__ = [
+    "coarsen",
+    "bisection_weights",
+    "grow_bisection",
+    "heavy_edge_matching",
+    "MetisLikePartitioner",
+    "multilevel_bisect",
+    "fm_refine",
+    "WeightedGraph",
+]

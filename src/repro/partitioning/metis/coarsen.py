@@ -1,0 +1,44 @@
+"""Graph coarsening: collapse a matching into a smaller weighted graph."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.partitioning.metis.wgraph import WeightedGraph
+
+
+def coarsen(wgraph: WeightedGraph, match: List[int]) -> Tuple[WeightedGraph, List[int]]:
+    """Collapse matched pairs.
+
+    Returns ``(coarse, projection)`` where ``projection[v]`` is the coarse
+    vertex containing fine vertex ``v``.  Edge weights between coarse
+    vertices are the sums of the collapsed fine edges; internal (matched)
+    edges disappear.
+    """
+    n = wgraph.num_vertices
+    projection = [-1] * n
+    next_id = 0
+    for v in range(n):
+        if projection[v] != -1:
+            continue
+        u = match[v]
+        projection[v] = next_id
+        projection[u] = next_id  # u == v for self-matched vertices
+        next_id += 1
+
+    vertex_weight = [0] * next_id
+    adj: List[Dict[int, int]] = [dict() for _ in range(next_id)]
+    for v in range(n):
+        cv = projection[v]
+        vertex_weight[cv] += wgraph.vertex_weight[v]
+    for v in range(n):
+        cv = projection[v]
+        row = adj[cv]
+        for u, w in wgraph.adj[v].items():
+            cu = projection[u]
+            if cu == cv:
+                continue
+            row[cu] = row.get(cu, 0) + w
+    # Symmetry: each fine edge (v, u) adds w to adj[cv][cu] from v's row and
+    # w to adj[cu][cv] from u's row, so the coarse adjacency stays symmetric.
+    return WeightedGraph(vertex_weight, adj), projection

@@ -1,0 +1,46 @@
+"""Heavy-edge matching (HEM) — the coarsening driver of Karypis & Kumar 1998.
+
+Visit vertices in random order; match each unmatched vertex with the
+unmatched neighbour joined by the heaviest edge (random visit order keeps the
+matching from degenerating on regular graphs).  Unmatched leftovers match
+with themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.partitioning.metis.wgraph import WeightedGraph
+
+
+def heavy_edge_matching(
+    wgraph: WeightedGraph, rng: random.Random, max_vertex_weight: int = 0
+) -> List[int]:
+    """Return ``match`` with ``match[v]`` = v's partner (possibly ``v`` itself).
+
+    ``max_vertex_weight`` > 0 forbids merges whose combined weight would
+    exceed it (keeps coarse vertices from swallowing whole regions, which
+    would wreck balance later).
+    """
+    n = wgraph.num_vertices
+    match = [-1] * n
+    order = list(range(n))
+    rng.shuffle(order)
+    for v in order:
+        if match[v] != -1:
+            continue
+        best_u = v
+        best_weight = -1
+        wv = wgraph.vertex_weight[v]
+        for u, w in wgraph.adj[v].items():
+            if match[u] != -1:
+                continue
+            if max_vertex_weight and wv + wgraph.vertex_weight[u] > max_vertex_weight:
+                continue
+            if w > best_weight:
+                best_weight = w
+                best_u = u
+        match[v] = best_u
+        match[best_u] = v
+    return match

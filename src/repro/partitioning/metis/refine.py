@@ -1,0 +1,102 @@
+"""Fiduccia–Mattheyses boundary refinement for bisections.
+
+Classic FM with lazy heaps: per pass, repeatedly move the highest-gain
+unlocked vertex whose move keeps the bisection within the balance window,
+then roll back to the best prefix of the move sequence.  Passes repeat until
+a pass yields no improvement.  This is the refinement METIS applies at every
+uncoarsening level.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Tuple
+
+from repro.partitioning.metis.wgraph import WeightedGraph
+
+
+def _gains(wgraph: WeightedGraph, side: List[int]) -> List[int]:
+    """gain[v] = cut reduction if v switches side (external - internal weight)."""
+    gains = [0] * wgraph.num_vertices
+    for v, nbrs in enumerate(wgraph.adj):
+        sv = side[v]
+        g = 0
+        for u, w in nbrs.items():
+            g += w if side[u] != sv else -w
+        gains[v] = g
+    return gains
+
+
+def fm_refine(
+    wgraph: WeightedGraph,
+    side: List[int],
+    target0: int,
+    rng: random.Random,
+    tolerance: float = 0.05,
+    max_passes: int = 4,
+) -> Tuple[List[int], int]:
+    """Refine ``side`` in place-ish; returns ``(side, cut)``.
+
+    ``target0`` is the desired total vertex weight of side 0; the balance
+    window is ``target0 ± max(tolerance * total, heaviest vertex)`` so a
+    single-vertex move can never be infeasible purely because of granularity.
+    """
+    n = wgraph.num_vertices
+    if n == 0:
+        return side, 0
+    total = wgraph.total_vertex_weight
+    slack = max(int(tolerance * total), max(wgraph.vertex_weight))
+    lo, hi = target0 - slack, target0 + slack
+    if total >= 2:
+        # Neither side may be emptied: a bisection must stay a bisection
+        # (on tiny graphs the vertex-weight slack would otherwise allow
+        # collapsing everything onto one side to zero the cut).
+        lo = max(lo, 1)
+        hi = min(hi, total - 1)
+    side = list(side)
+    cut = wgraph.edge_cut(side)
+
+    for _ in range(max_passes):
+        gains = _gains(wgraph, side)
+        locked = [False] * n
+        heap: List[Tuple[int, int, int]] = []  # (-gain, tiebreak, v)
+        for v in range(n):
+            heapq.heappush(heap, (-gains[v], rng.randrange(1 << 30), v))
+        w0 = sum(wgraph.vertex_weight[v] for v in range(n) if side[v] == 0)
+
+        moves: List[int] = []
+        best_prefix = 0
+        best_cut = cut
+        current_cut = cut
+        while heap:
+            neg_gain, _, v = heapq.heappop(heap)
+            if locked[v] or -neg_gain != gains[v]:
+                continue
+            wv = wgraph.vertex_weight[v]
+            new_w0 = w0 - wv if side[v] == 0 else w0 + wv
+            if not lo <= new_w0 <= hi:
+                locked[v] = True  # treat as unmovable this pass
+                continue
+            # Execute the move.
+            locked[v] = True
+            current_cut -= gains[v]
+            w0 = new_w0
+            side[v] = 1 - side[v]
+            moves.append(v)
+            sv = side[v]
+            for u, w in wgraph.adj[v].items():
+                if locked[u]:
+                    continue
+                gains[u] += 2 * w if side[u] != sv else -2 * w
+                heapq.heappush(heap, (-gains[u], rng.randrange(1 << 30), u))
+            if current_cut < best_cut:
+                best_cut = current_cut
+                best_prefix = len(moves)
+        # Roll back everything after the best prefix.
+        for v in moves[best_prefix:]:
+            side[v] = 1 - side[v]
+        if best_cut >= cut:
+            break
+        cut = best_cut
+    return side, cut

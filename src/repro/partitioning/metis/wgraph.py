@@ -1,0 +1,63 @@
+"""Weighted graph representation for the multilevel (METIS-like) partitioner.
+
+Coarsening collapses matched vertex pairs, so both vertices and edges carry
+integer weights.  Vertices are contiguous ``0..n-1``; the driver keeps the
+mapping back to the original graph's labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+
+
+class WeightedGraph:
+    """Undirected graph with vertex and edge weights, ids ``0..n-1``."""
+
+    __slots__ = ("vertex_weight", "adj")
+
+    def __init__(self, vertex_weight: List[int], adj: List[Dict[int, int]]) -> None:
+        if len(vertex_weight) != len(adj):
+            raise ValueError("vertex_weight and adj must have the same length")
+        self.vertex_weight = vertex_weight
+        self.adj = adj
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> Tuple["WeightedGraph", List[int]]:
+        """Unit-weight conversion.  Returns ``(wgraph, ids)`` with
+        ``ids[i]`` the original label of internal vertex ``i``."""
+        ids = graph.vertex_list()
+        index_of = {v: i for i, v in enumerate(ids)}
+        adj: List[Dict[int, int]] = [
+            {index_of[u]: 1 for u in graph.neighbors(v)} for v in ids
+        ]
+        return cls([1] * len(ids), adj), ids
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.adj)
+
+    @property
+    def total_vertex_weight(self) -> int:
+        """Sum of vertex weights (invariant across coarsening levels)."""
+        return sum(self.vertex_weight)
+
+    def num_edges(self) -> int:
+        """Number of (weighted) edges."""
+        return sum(len(nbrs) for nbrs in self.adj) // 2
+
+    def degree(self, v: int) -> int:
+        """Number of distinct neighbours of ``v``."""
+        return len(self.adj[v])
+
+    def edge_cut(self, side: List[int]) -> int:
+        """Total weight of edges whose endpoints get different labels in ``side``."""
+        cut = 0
+        for v, nbrs in enumerate(self.adj):
+            sv = side[v]
+            for u, w in nbrs.items():
+                if v < u and side[u] != sv:
+                    cut += w
+        return cut

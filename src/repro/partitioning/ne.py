@@ -1,0 +1,102 @@
+"""NE — Neighbourhood Expansion edge partitioner (Zhang et al., SIGKDD 2017).
+
+The paper's reference [13] and the closest prior local/edge method to TLP.
+NE grows one partition at a time from a random seed, maintaining a *core*
+set ``C`` and a *boundary* set ``S`` (``C ⊆ S``).  Each step promotes the
+boundary vertex with the fewest residual neighbours outside ``S`` (the
+expansion that leaks least), allocating all its residual edges; its
+neighbours join the boundary.
+
+This is the standard simplified formulation of NE's heuristic (we do not
+implement the out-of-core machinery of the original system; the in-memory
+allocation rule is the part that determines RF).  Included both as an extra
+baseline and as the natural one-stage comparison point for TLP.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set
+
+from repro.graph.graph import Edge, Graph
+from repro.graph.residual import ResidualGraph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.base import EdgePartitioner, default_capacity
+from repro.utils.rng import Seed, make_rng
+
+
+class NEPartitioner(EdgePartitioner):
+    """Neighbourhood-expansion local edge partitioning."""
+
+    name = "NE"
+
+    def __init__(self, seed: Seed = None, slack: float = 1.0) -> None:
+        self.seed = seed
+        self.slack = slack
+
+    def partition(self, graph: Graph, num_partitions: int) -> EdgePartition:
+        """Grow ``num_partitions`` partitions by min-external-degree expansion."""
+        rng = make_rng(self.seed)
+        residual = ResidualGraph(graph)
+        capacity = default_capacity(graph.num_edges, num_partitions, self.slack)
+        parts: List[List[Edge]] = []
+        for k in range(num_partitions):
+            is_last = k == num_partitions - 1
+            cap = residual.num_edges if is_last else capacity
+            parts.append(self._grow_partition(residual, cap, rng))
+        return EdgePartition(parts)
+
+    def _grow_partition(
+        self, residual: ResidualGraph, capacity: int, rng
+    ) -> List[Edge]:
+        edges: List[Edge] = []
+        if residual.is_exhausted() or capacity <= 0:
+            return edges
+        boundary: Set[int] = set()  # S
+        core: Set[int] = set()  # C
+        # ext[v] = residual neighbours of v outside S, for v in S \ C.
+        ext: Dict[int, int] = {}
+        heap: List = []
+
+        def add_to_boundary(v: int) -> None:
+            if v in boundary:
+                return
+            boundary.add(v)
+            count = 0
+            for w in residual.neighbors(v):
+                if w in boundary:
+                    if w in ext:
+                        ext[w] -= 1
+                        heapq.heappush(heap, (ext[w], w))
+                else:
+                    count += 1
+            ext[v] = count
+            heapq.heappush(heap, (count, v))
+
+        add_to_boundary(residual.sample_seed(rng))
+        while len(edges) < capacity:
+            v = self._pop_min(heap, ext)
+            if v is None:
+                if residual.is_exhausted():
+                    break
+                add_to_boundary(residual.sample_seed(rng))  # disconnected remainder
+                continue
+            core.add(v)
+            del ext[v]
+            neighbors = list(residual.neighbors(v))
+            for u in neighbors:
+                if len(edges) >= capacity:
+                    break
+                residual.remove_edge(v, u)
+                edges.append((v, u) if v < u else (u, v))
+                add_to_boundary(u)
+        return edges
+
+    @staticmethod
+    def _pop_min(heap: List, ext: Dict[int, int]):
+        """Pop the boundary vertex with the smallest live external count."""
+        while heap:
+            count, v = heapq.heappop(heap)
+            if ext.get(v) == count:
+                return v
+        return None

@@ -1,0 +1,46 @@
+"""Random edge partitioning — the paper's lower-bound baseline.
+
+Each edge goes to a uniformly random partition (PowerGraph's default hash
+placement).  The paper treats its RF as "the worst partitioning quality";
+``balanced=True`` additionally enforces the capacity ``C = ceil(m/p)`` by
+redirecting overflow to the least-loaded partition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.graph.graph import Edge, Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.base import StreamingEdgePartitioner, default_capacity
+from repro.utils.rng import Seed, make_rng
+
+
+class RandomPartitioner(StreamingEdgePartitioner):
+    """Uniformly random edge placement."""
+
+    name = "Random"
+
+    def __init__(self, seed: Seed = None, balanced: bool = True) -> None:
+        self.seed = seed
+        self.balanced = balanced
+
+    def assign_stream(
+        self, edges: Iterable[Edge], num_partitions: int, graph: Optional[Graph] = None
+    ) -> EdgePartition:
+        """Assign each edge independently and uniformly at random."""
+        rng = make_rng(self.seed)
+        parts: List[List[Edge]] = [[] for _ in range(num_partitions)]
+        if not self.balanced:
+            for edge in edges:
+                parts[rng.randrange(num_partitions)].append(edge)
+            return EdgePartition(parts)
+
+        edge_list = list(edges)
+        capacity = default_capacity(len(edge_list), num_partitions)
+        for edge in edge_list:
+            k = rng.randrange(num_partitions)
+            if len(parts[k]) >= capacity:
+                k = min(range(num_partitions), key=lambda i: len(parts[i]))
+            parts[k].append(edge)
+        return EdgePartition(parts)

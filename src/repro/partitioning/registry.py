@@ -1,0 +1,135 @@
+"""Name-based partitioner registry.
+
+The experiment harness and CLI refer to partitioners by the names used in
+the paper's figures ("TLP", "METIS", "LDG", "DBH", "Random", ...).  The
+registry maps those names to seeded factory functions so every experiment
+can construct fresh, independently seeded instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.partitioning.base import EdgePartitioner
+from repro.partitioning.dbh import DBHPartitioner
+from repro.partitioning.fennel import FennelPartitioner
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.grid import GridPartitioner
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.kl import KLPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.metis import MetisLikePartitioner
+from repro.partitioning.ne import NEPartitioner
+from repro.partitioning.random_edge import RandomPartitioner
+from repro.partitioning.vertex_adapter import VertexToEdgePartitioner
+
+PartitionerFactory = Callable[[int], EdgePartitioner]
+
+#: The five algorithms of the paper's Fig. 8.
+PAPER_ALGORITHMS = ("TLP", "METIS", "LDG", "DBH", "Random")
+
+#: Additional related-work baselines and TLP variants implemented here.
+EXTENDED_ALGORITHMS = (
+    "HDRF",
+    "Greedy",
+    "Grid",
+    "FENNEL",
+    "NE",
+    "TLP-S1",
+    "TLP-S2",
+    "TLP-W",
+    "KL",
+    "Spectral",
+)
+
+# Core imports are deferred into the factories: repro.core itself depends on
+# repro.partitioning (assignment/base), so importing it here at module import
+# time would be circular.
+
+
+def _make_tlp(seed):
+    from repro.core.tlp import TLPPartitioner
+
+    return TLPPartitioner(seed=seed)
+
+
+def _make_tlp_s1(seed):
+    from repro.core.tlp import StageOneOnlyPartitioner
+
+    return StageOneOnlyPartitioner(seed=seed)
+
+
+def _make_tlp_s2(seed):
+    from repro.core.tlp import StageTwoOnlyPartitioner
+
+    return StageTwoOnlyPartitioner(seed=seed)
+
+
+def _make_tlp_windowed(seed, window_size=50_000):
+    from repro.core.windowed import WindowedLocalPartitioner
+
+    return WindowedLocalPartitioner(window_size=window_size, seed=seed)
+
+
+def _make_spectral(seed):
+    # Deferred import: scipy is only needed when Spectral is actually used.
+    from repro.partitioning.spectral import SpectralPartitioner
+
+    return VertexToEdgePartitioner(SpectralPartitioner(seed=seed), seed=seed)
+
+
+_REGISTRY: Dict[str, PartitionerFactory] = {
+    "TLP": _make_tlp,
+    "TLP-S1": _make_tlp_s1,
+    "TLP-S2": _make_tlp_s2,
+    "TLP-W": _make_tlp_windowed,
+    "METIS": lambda seed: VertexToEdgePartitioner(
+        MetisLikePartitioner(seed=seed), seed=seed
+    ),
+    "LDG": lambda seed: VertexToEdgePartitioner(LDGPartitioner(seed=seed), seed=seed),
+    "FENNEL": lambda seed: VertexToEdgePartitioner(
+        FennelPartitioner(seed=seed), seed=seed
+    ),
+    "DBH": lambda seed: DBHPartitioner(salt=seed),
+    "Random": lambda seed: RandomPartitioner(seed=seed),
+    "Greedy": lambda seed: GreedyPartitioner(seed=seed),
+    "HDRF": lambda seed: HDRFPartitioner(seed=seed),
+    "Grid": lambda seed: GridPartitioner(salt=seed),
+    "NE": lambda seed: NEPartitioner(seed=seed),
+    "KL": lambda seed: VertexToEdgePartitioner(KLPartitioner(seed=seed), seed=seed),
+    "Spectral": _make_spectral,
+}
+
+
+def available_partitioners() -> List[str]:
+    """All registered names."""
+    return sorted(_REGISTRY)
+
+
+def make_partitioner(name: str, seed: int = 0) -> EdgePartitioner:
+    """Instantiate the partitioner registered under ``name``.
+
+    Parameterised variants are addressed with a suffix:
+    ``"TLP_R:<ratio>"`` (e.g. ``"TLP_R:0.3"``) and
+    ``"TLP-W:<window_size>"`` (e.g. ``"TLP-W:4096"``).
+    """
+    if name.startswith("TLP_R:"):
+        from repro.core.tlp_r import TLPRPartitioner
+
+        ratio = float(name.split(":", 1)[1])
+        return TLPRPartitioner(ratio, seed=seed)
+    if name.startswith("TLP-W:"):
+        window = int(name.split(":", 1)[1])
+        return _make_tlp_windowed(seed, window_size=window)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown partitioner {name!r}; available: {available_partitioners()}"
+        ) from None
+    return factory(seed)
+
+
+def register_partitioner(name: str, factory: PartitionerFactory) -> None:
+    """Add or replace a registry entry (for user extensions and tests)."""
+    _REGISTRY[name] = factory

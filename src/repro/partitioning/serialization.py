@@ -1,0 +1,113 @@
+"""On-disk serialisation of edge partitions.
+
+A partitioning is the *input* to a distributed deployment, so it must
+round-trip through storage: :func:`save_partition` writes one edge-list file
+per partition plus a JSON manifest (counts, checksums, metadata);
+:func:`load_partition` reads the directory back and verifies the manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.graph.graph import Edge
+from repro.partitioning.assignment import EdgePartition
+
+MANIFEST_NAME = "partition.json"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _edge_file(directory: Path, k: int) -> Path:
+    return directory / f"part_{k:04d}.edges"
+
+
+def _checksum(edges: List[Edge]) -> str:
+    digest = hashlib.sha256()
+    for u, v in edges:
+        digest.update(f"{u},{v};".encode())
+    return digest.hexdigest()[:16]
+
+
+def save_partition(
+    partition: EdgePartition,
+    directory: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``partition`` under ``directory``; returns the manifest path.
+
+    Edges are written in canonical sorted order so checksums (and files)
+    are deterministic for equal partitions.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "num_partitions": partition.num_partitions,
+        "num_edges": partition.num_edges,
+        "partitions": [],
+        "metadata": metadata or {},
+    }
+    for k in range(partition.num_partitions):
+        edges = sorted(partition.edges_of(k))
+        path = _edge_file(directory, k)
+        with open(path, "w", encoding="utf-8") as fh:
+            for u, v in edges:
+                fh.write(f"{u}\t{v}\n")
+        manifest["partitions"].append(
+            {
+                "index": k,
+                "file": path.name,
+                "edges": len(edges),
+                "checksum": _checksum(edges),
+            }
+        )
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return manifest_path
+
+
+def load_partition(directory: PathLike, verify: bool = True) -> EdgePartition:
+    """Read a partition directory written by :func:`save_partition`.
+
+    ``verify=True`` (default) checks edge counts and checksums, raising
+    ``ValueError`` on any corruption.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported partition format {manifest.get('format_version')!r}"
+        )
+    parts: List[List[Edge]] = []
+    for entry in manifest["partitions"]:
+        path = directory / entry["file"]
+        edges: List[Edge] = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                u_str, v_str = line.split()
+                edges.append((int(u_str), int(v_str)))
+        if verify:
+            if len(edges) != entry["edges"]:
+                raise ValueError(
+                    f"{path.name}: expected {entry['edges']} edges, found {len(edges)}"
+                )
+            if _checksum(edges) != entry["checksum"]:
+                raise ValueError(f"{path.name}: checksum mismatch (corrupt file?)")
+        parts.append(edges)
+    return EdgePartition(parts)
+
+
+def partition_metadata(directory: PathLike) -> Dict[str, object]:
+    """The user metadata stored in a partition directory's manifest."""
+    manifest = json.loads(
+        (Path(directory) / MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    return dict(manifest.get("metadata", {}))

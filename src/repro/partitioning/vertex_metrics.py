@@ -1,0 +1,86 @@
+"""Quality metrics for *vertex* partitioning (paper §II-A, Fig. 1a).
+
+The paper motivates edge partitioning by contrasting it with vertex
+partitioning: cutting edges creates *ghosts* (a replica per cross-partition
+edge endpoint) and, on power-law graphs, high-degree vertices force both
+load imbalance and heavy communication.  These metrics quantify that side of
+Fig. 1 so the §II comparison can be measured rather than asserted:
+
+* :func:`cross_partition_edges` — Definition 1's cut size;
+* :func:`ghost_count` — replicas induced by the cut (one per (vertex,
+  foreign partition) adjacency, the PowerGraph ghost model);
+* :func:`vertex_balance`, :func:`edge_load_balance` — the two balance
+  notions (vertex partitioning balances vertices, but the *edge* load per
+  machine is what the computation pays for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.graph import Graph
+
+
+def _validate(graph: Graph, assignment: Dict[int, int]) -> None:
+    missing = [v for v in graph.vertices() if v not in assignment]
+    if missing:
+        raise ValueError(f"assignment misses {len(missing)} vertices (e.g. {missing[:3]})")
+
+
+def cross_partition_edges(graph: Graph, assignment: Dict[int, int]) -> int:
+    """Number of edges whose endpoints live in different partitions."""
+    _validate(graph, assignment)
+    return sum(1 for u, v in graph.edges() if assignment[u] != assignment[v])
+
+
+def ghost_count(graph: Graph, assignment: Dict[int, int]) -> int:
+    """Total ghosts: for each vertex, one replica per foreign partition that
+    holds a neighbour (the local copies Fig. 1(a) shades)."""
+    _validate(graph, assignment)
+    ghosts = 0
+    for v in graph.vertices():
+        home = assignment[v]
+        foreign = {assignment[u] for u in graph.neighbors(v)} - {home}
+        ghosts += len(foreign)
+    return ghosts
+
+
+def vertex_replication_factor(graph: Graph, assignment: Dict[int, int]) -> float:
+    """``(|V| + ghosts) / |V|`` — the vertex-partitioning analogue of RF."""
+    n = graph.num_vertices
+    if n == 0:
+        return 1.0
+    return 1.0 + ghost_count(graph, assignment) / n
+
+
+def vertex_balance(graph: Graph, assignment: Dict[int, int], num_partitions: int) -> float:
+    """Max vertices per partition over the ideal ``n / p``."""
+    _validate(graph, assignment)
+    sizes = [0] * num_partitions
+    for v in graph.vertices():
+        sizes[assignment[v]] += 1
+    n = graph.num_vertices
+    if n == 0:
+        return 1.0
+    return max(sizes) * num_partitions / n
+
+
+def edge_load_balance(
+    graph: Graph, assignment: Dict[int, int], num_partitions: int
+) -> float:
+    """Max *edge work* per partition over the ideal.
+
+    Under vertex partitioning, machine ``k`` processes every edge incident
+    to its vertices (cross edges are processed on both sides via ghosts), so
+    its load is the sum of its vertices' degrees.  On power-law graphs a hub
+    inflates one machine's load even when vertex counts are balanced — the
+    imbalance the paper's §II-A argument turns on.
+    """
+    _validate(graph, assignment)
+    loads: List[int] = [0] * num_partitions
+    for v in graph.vertices():
+        loads[assignment[v]] += graph.degree(v)
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    return max(loads) * num_partitions / total

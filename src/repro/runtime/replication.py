@@ -1,0 +1,55 @@
+"""Master/mirror replication tables — PowerGraph's vertex-cut model.
+
+Under edge partitioning, a vertex whose edges span several partitions exists
+as one **master** replica (by convention: the partition holding most of its
+edges, ties to the lowest partition id) plus **mirrors** on every other
+spanning partition.  Every gather/apply/scatter superstep exchanges messages
+between mirrors and masters, so total communication is proportional to the
+mirror count — which is exactly ``(RF - 1) * |V|``.  This module builds that
+table from an :class:`~repro.partitioning.assignment.EdgePartition`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.partitioning.assignment import EdgePartition
+
+
+class ReplicationTable:
+    """Replica placement derived from an edge partition."""
+
+    def __init__(self, partition: EdgePartition) -> None:
+        # incident[v][k] = number of partition-k edges incident to v
+        incident: Dict[int, Dict[int, int]] = {}
+        for k in range(partition.num_partitions):
+            for u, v in partition.edges_of(k):
+                for vertex in (u, v):
+                    row = incident.setdefault(vertex, {})
+                    row[k] = row.get(k, 0) + 1
+        self.replicas: Dict[int, Tuple[int, ...]] = {
+            v: tuple(sorted(row)) for v, row in incident.items()
+        }
+        self.master: Dict[int, int] = {
+            v: max(row, key=lambda k: (row[k], -k)) for v, row in incident.items()
+        }
+
+    def replicas_of(self, v: int) -> Tuple[int, ...]:
+        """Partitions hosting a replica of ``v`` (empty tuple if unknown)."""
+        return self.replicas.get(v, ())
+
+    def master_of(self, v: int) -> int:
+        """The master partition of ``v``; raises ``KeyError`` if uncovered."""
+        return self.master[v]
+
+    def mirror_count(self, v: int) -> int:
+        """Number of mirrors (non-master replicas) of ``v``."""
+        return max(0, len(self.replicas.get(v, ())) - 1)
+
+    def total_mirrors(self) -> int:
+        """Sum of mirrors over all vertices — the communication driver."""
+        return sum(len(r) - 1 for r in self.replicas.values())
+
+    def spanned_vertices(self) -> List[int]:
+        """Vertices with at least one mirror (Definition 2)."""
+        return [v for v, r in self.replicas.items() if len(r) > 1]

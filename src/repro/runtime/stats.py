@@ -1,0 +1,93 @@
+"""Execution statistics of the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SuperstepStats:
+    """Message and activity counts of one synchronous superstep."""
+
+    superstep: int
+    gather_messages: int
+    scatter_messages: int
+    changed_vertices: int
+
+    @property
+    def total_messages(self) -> int:
+        """Gather + scatter messages."""
+        return self.gather_messages + self.scatter_messages
+
+
+@dataclass
+class RunStats:
+    """Statistics of a whole engine run."""
+
+    supersteps: List[SuperstepStats] = field(default_factory=list)
+    #: Failure-injection accounting (see GASEngine.run's failure options).
+    recoveries: int = 0
+    wasted_supersteps: int = 0
+
+    def add(self, stats: SuperstepStats) -> None:
+        """Append one superstep's stats."""
+        self.supersteps.append(stats)
+
+    @property
+    def num_supersteps(self) -> int:
+        """How many supersteps ran."""
+        return len(self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        """Total network messages across the run."""
+        return sum(s.total_messages for s in self.supersteps)
+
+    def messages_per_superstep(self) -> List[int]:
+        """Message count per superstep, in order."""
+        return [s.total_messages for s in self.supersteps]
+
+
+@dataclass
+class MachineLoad:
+    """Static per-machine load induced by a partition."""
+
+    machine: int
+    edges: int
+    vertices: int
+    mirrors: int
+
+
+def load_imbalance(loads: List[MachineLoad]) -> float:
+    """Max edge load over mean edge load (1.0 = perfectly balanced)."""
+    if not loads:
+        return 1.0
+    edges = [load.edges for load in loads]
+    mean = sum(edges) / len(edges)
+    return max(edges) / mean if mean else 1.0
+
+
+def estimate_makespan(
+    loads: List[MachineLoad],
+    stats: RunStats,
+    edge_cost: float = 1.0,
+    message_cost: float = 1.0,
+) -> float:
+    """A simple bulk-synchronous makespan model.
+
+    Each superstep costs the *slowest* machine's compute (it scans its local
+    edges — this is where edge balance bites) plus the network time for that
+    superstep's messages, modelled as full-bisection bandwidth shared by the
+    machines (``messages / p``) — this is where RF bites.  Returned in
+    abstract cost units: a partitioning is better exactly when this number
+    is lower at equal correctness.
+    """
+    if not loads:
+        return 0.0
+    p = len(loads)
+    max_edges = max(load.edges for load in loads)
+    total = 0.0
+    for step in stats.supersteps:
+        total += max_edges * edge_cost + (step.total_messages / p) * message_cost
+    return total

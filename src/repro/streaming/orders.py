@@ -1,0 +1,54 @@
+"""Edge-stream orderings.
+
+Streaming partitioning quality depends heavily on arrival order (Stanton &
+Kliot study random/BFS/DFS vertex orders; the same applies to edge streams).
+These helpers materialise a graph's edges in the standard orders so the
+streaming baselines and the sliding-window experiments can be driven
+reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.graph.graph import Edge, Graph
+from repro.graph.traversal import bfs_edge_order
+from repro.utils.rng import Seed, make_rng
+
+EDGE_ORDERS = ("natural", "random", "bfs", "dfs")
+
+
+def edge_stream(graph: Graph, order: str = "natural", seed: Seed = None) -> List[Edge]:
+    """The graph's edges in the requested arrival order."""
+    if order == "natural":
+        return graph.edge_list()
+    if order == "random":
+        edges = graph.edge_list()
+        make_rng(seed).shuffle(edges)
+        return edges
+    if order == "bfs":
+        return list(bfs_edge_order(graph))
+    if order == "dfs":
+        return list(_dfs_edge_order(graph))
+    raise ValueError(f"unknown order {order!r}; expected one of {EDGE_ORDERS}")
+
+
+def _dfs_edge_order(graph: Graph) -> Iterator[Edge]:
+    emitted: set = set()
+    seen: set = set()
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            for u in graph.neighbors(v):
+                edge = (v, u) if v < u else (u, v)
+                if edge not in emitted:
+                    emitted.add(edge)
+                    yield edge
+                if u not in seen:
+                    stack.append(u)

@@ -1,0 +1,64 @@
+"""Edge-stream abstraction tying orders, windows and partitioners together.
+
+An :class:`EdgeStream` is a replayable edge source with a declared order and
+optional sliding-window reordering.  Streaming partitioners consume it via
+``__iter__``; the memory-accounting helpers let experiments report how much
+state a streaming run retained versus local partitioning (the paper's core
+storage argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.graph.graph import Edge, Graph
+from repro.streaming.orders import EDGE_ORDERS, edge_stream
+from repro.streaming.window import SlidingWindowReorder
+from repro.utils.rng import Seed
+
+
+@dataclass
+class EdgeStream:
+    """Replayable edge stream over a graph."""
+
+    graph: Graph
+    order: str = "natural"
+    seed: Seed = None
+    window_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.order not in EDGE_ORDERS:
+            raise ValueError(
+                f"unknown order {self.order!r}; expected one of {EDGE_ORDERS}"
+            )
+        if self.window_size is not None and self.window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
+
+    def __iter__(self) -> Iterator[Edge]:
+        edges: List[Edge] = edge_stream(self.graph, self.order, self.seed)
+        if self.window_size is None:
+            return iter(edges)
+        return SlidingWindowReorder(self.window_size).reorder(edges)
+
+    def __len__(self) -> int:
+        return self.graph.num_edges
+
+    def materialize(self) -> List[Edge]:
+        """The full stream as a list (tests and small experiments)."""
+        return list(iter(self))
+
+
+def peak_streaming_state(num_edges_seen: int) -> int:
+    """Memory model of classic streaming partitioning (paper §II-B).
+
+    Streaming heuristics must retain *all* received data to allow maximum
+    flexibility, so after ``k`` edges the retained state is ``k``.  Contrast
+    :func:`peak_local_state`.
+    """
+    return num_edges_seen
+
+
+def peak_local_state(capacity: int, frontier_size: int) -> int:
+    """Memory model of local partitioning: one partition plus its frontier."""
+    return capacity + frontier_size

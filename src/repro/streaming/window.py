@@ -1,0 +1,88 @@
+"""Sliding-window stream reordering — the paper's future-work mechanism.
+
+Section V: *"a sliding window mechanism will be introduced to sort and
+partition the graph data in parallel"*.  The difficulty it addresses: local
+partitioning wants to consume edges in BFS order around the growing
+partition, but a raw stream arrives in arbitrary order.
+
+:class:`SlidingWindowReorder` keeps a bounded window of ``window_size``
+buffered edges.  Each emission prefers an edge adjacent to an
+already-emitted vertex (locality), falling back to the oldest buffered edge;
+the window refills from the stream after every emission.  With
+``window_size = 1`` it degenerates to the identity, with an unbounded window
+it approaches a full BFS sort — so the window size trades memory for
+locality exactly as the paper anticipates.  The benches show streaming
+partitioners improve monotonically with window size on community graphs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterable, Iterator, List, Set
+
+from repro.graph.graph import Edge
+from repro.utils.validation import check_positive
+
+
+class SlidingWindowReorder:
+    """Reorder an edge stream for locality using bounded memory."""
+
+    def __init__(self, window_size: int) -> None:
+        check_positive("window_size", window_size)
+        self.window_size = window_size
+
+    def reorder(self, edges: Iterable[Edge]) -> Iterator[Edge]:
+        """Yield every input edge exactly once, locality-first."""
+        source = iter(edges)
+        # Insertion-ordered window so the fallback pops the oldest edge.
+        window: "OrderedDict[Edge, None]" = OrderedDict()
+        by_vertex: Dict[int, Set[Edge]] = {}
+        emitted_vertices: Set[int] = set()
+        # Vertices that recently became "hot" and may unlock window edges.
+        hot: Deque[int] = deque()
+
+        def admit(edge: Edge) -> None:
+            window[edge] = None
+            for endpoint in edge:
+                by_vertex.setdefault(endpoint, set()).add(edge)
+
+        def retire(edge: Edge) -> None:
+            del window[edge]
+            for endpoint in edge:
+                bucket = by_vertex[endpoint]
+                bucket.discard(edge)
+                if not bucket:
+                    del by_vertex[endpoint]
+
+        def fill() -> None:
+            while len(window) < self.window_size:
+                try:
+                    admit(next(source))
+                except StopIteration:
+                    return
+
+        fill()
+        while window:
+            chosen: Edge = next(iter(window))  # default: oldest buffered edge
+            # Prefer an edge touching a recently emitted vertex.
+            while hot:
+                v = hot[0]
+                bucket = by_vertex.get(v)
+                if bucket:
+                    chosen = next(iter(bucket))
+                    break
+                hot.popleft()
+            retire(chosen)
+            for endpoint in chosen:
+                if endpoint not in emitted_vertices:
+                    emitted_vertices.add(endpoint)
+                    hot.append(endpoint)
+            yield chosen
+            fill()
+
+
+def windowed_stream(
+    edges: Iterable[Edge], window_size: int
+) -> List[Edge]:
+    """Materialised convenience wrapper around :class:`SlidingWindowReorder`."""
+    return list(SlidingWindowReorder(window_size).reorder(edges))

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded randomness, argument validation, timing."""
+
+from repro.utils.rng import SeedSequence, make_rng, spawn_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "SeedSequence",
+    "make_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "timed",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,54 @@
+"""Lightweight wall-clock instrumentation for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulates named wall-clock timings.
+
+    >>> watch = Stopwatch()
+    >>> with watch.measure("phase"):
+    ...     pass
+    >>> watch.total("phase") >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager that adds the elapsed time to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never measured)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of measurements taken under ``name``."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all totals."""
+        return dict(self._totals)
+
+
+def timed(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,35 @@
+"""Small argument-validation helpers used across the library.
+
+All raise ``ValueError`` with a message naming the offending parameter, so
+user errors surface at API boundaries rather than deep inside algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0 <= value <= 1:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

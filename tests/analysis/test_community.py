@@ -1,0 +1,83 @@
+"""Tests for community-recovery scoring (NMI)."""
+
+import math
+
+import pytest
+
+from repro.analysis.community import (
+    community_recovery_score,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+    vertex_assignment_from_partition,
+)
+from repro.graph.generators import community_graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.registry import make_partitioner
+
+
+class TestEntropyAndMI:
+    def test_entropy_uniform(self):
+        assert entropy([0, 1, 0, 1]) == pytest.approx(math.log(2))
+
+    def test_entropy_constant_zero(self):
+        assert entropy([7, 7, 7]) == 0.0
+
+    def test_entropy_empty(self):
+        assert entropy([]) == 0.0
+
+    def test_mi_identical_labels(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert mutual_information(labels, labels) == pytest.approx(entropy(labels))
+
+    def test_mi_independent_labels(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mi_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mutual_information([0], [0, 1])
+
+
+class TestNMI:
+    def test_perfect_agreement(self):
+        labels = [0, 1, 2, 0, 1, 2]
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelled_agreement(self):
+        a = [0, 0, 1, 1]
+        b = [5, 5, 9, 9]  # same clustering, different names
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independence_is_zero(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_trivial_labelings(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+
+class TestRecoveryScore:
+    def test_vertex_assignment_is_master(self):
+        part = EdgePartition([[(0, 1), (1, 2)], [(2, 3), (0, 3)]])
+        assignment = vertex_assignment_from_partition(part)
+        assert assignment[1] == 0
+        assert assignment[3] == 1
+
+    def test_tlp_recovers_planted_communities_better_than_random(self):
+        num_comm = 6
+        n = 240
+        g = community_graph(n, 1600, num_comm, 0.95, seed=3)
+        truth = {v: v * num_comm // n for v in g.vertices()}
+        tlp = make_partitioner("TLP", seed=0).partition(g, num_comm)
+        rnd = make_partitioner("Random", seed=0).partition(g, num_comm)
+        assert community_recovery_score(tlp, truth) > community_recovery_score(
+            rnd, truth
+        )
+        assert community_recovery_score(tlp, truth) > 0.4
+
+    def test_empty_overlap(self):
+        part = EdgePartition([[(0, 1)]])
+        assert community_recovery_score(part, {99: 0}) == 0.0

@@ -1,0 +1,54 @@
+"""Tests for the side-by-side comparison builder."""
+
+import pytest
+
+from repro.analysis.compare import (
+    best_algorithm,
+    compare_algorithms,
+    render_comparison,
+    rf_table,
+)
+
+
+class TestCompareAlgorithms:
+    def test_rows_sorted_by_rf(self, communities):
+        rows = compare_algorithms(communities, ["Random", "TLP", "DBH"], 6, seed=0)
+        rf = [r.replication_factor for r in rows]
+        assert rf == sorted(rf)
+
+    def test_partitions_dropped_by_default(self, communities):
+        rows = compare_algorithms(communities, ["Random"], 4, seed=0)
+        assert rows[0].partition is None
+
+    def test_partitions_kept_on_request(self, communities):
+        rows = compare_algorithms(
+            communities, ["Random"], 4, seed=0, keep_partitions=True
+        )
+        assert rows[0].partition is not None
+        rows[0].partition.validate_against(communities)
+
+    def test_fields_sane(self, communities):
+        (row,) = compare_algorithms(communities, ["TLP"], 4, seed=0)
+        assert row.replication_factor >= 1.0
+        assert row.edge_balance >= 1.0
+        assert row.spanned_vertices >= 0
+        assert row.seconds >= 0.0
+
+    def test_best_algorithm(self, communities):
+        rows = compare_algorithms(communities, ["Random", "TLP"], 6, seed=0)
+        assert best_algorithm(rows) == "TLP"
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_algorithm([])
+
+    def test_rf_table(self, communities):
+        rows = compare_algorithms(communities, ["Random", "TLP"], 6, seed=0)
+        table = rf_table(rows)
+        assert set(table) == {"Random", "TLP"}
+        assert table["TLP"] < table["Random"]
+
+    def test_render(self, communities):
+        rows = compare_algorithms(communities, ["TLP"], 4, seed=0)
+        out = render_comparison(rows)
+        assert "TLP" in out and "RF" in out

@@ -1,0 +1,55 @@
+"""Tests for per-partition diagnostics."""
+
+import math
+
+from repro.analysis.partition_stats import describe_partition, partition_details
+from repro.core.tlp import TLPPartitioner
+from repro.graph.graph import Graph
+from repro.partitioning.assignment import EdgePartition
+
+
+def square():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+class TestPartitionDetails:
+    def test_whole_graph_single_partition(self):
+        g = square()
+        part = EdgePartition([g.edge_list()])
+        (detail,) = partition_details(part, g)
+        assert detail.edges == 4
+        assert detail.vertices == 4
+        assert detail.boundary_vertices == 0
+        assert detail.internal_fraction == 1.0
+        assert detail.modularity == math.inf
+
+    def test_split_square(self):
+        g = square()
+        part = EdgePartition([[(0, 1), (1, 2)], [(2, 3), (0, 3)]])
+        details = partition_details(part, g)
+        for d in details:
+            assert d.edges == 2
+            assert d.vertices == 3
+            assert d.boundary_vertices == 2  # the two shared corners
+            assert 0 < d.internal_fraction < 1
+            assert d.modularity == 1.0  # 2 internal / 2 external incidences
+
+    def test_counts_sum_to_partition(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        details = partition_details(part, small_social)
+        assert sum(d.edges for d in details) == small_social.num_edges
+        assert [d.vertices for d in details] == part.vertex_counts()
+
+    def test_boundary_never_exceeds_vertices(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        for d in partition_details(part, small_social):
+            assert 0 <= d.boundary_vertices <= d.vertices
+
+
+class TestDescribePartition:
+    def test_renders_all_partitions(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 4)
+        text = describe_partition(part, small_social)
+        assert "RF = " in text
+        assert "modularity" in text
+        assert len(text.splitlines()) >= 4 + 3  # header + table head + rows

@@ -1,0 +1,82 @@
+"""Tests for replication-structure diagnostics."""
+
+import pytest
+
+from repro.analysis.replication import (
+    degree_replication_correlation,
+    replica_histogram,
+    replicas_by_vertex,
+    replication_profile,
+)
+from repro.graph.generators import holme_kim, star_graph
+from repro.graph.graph import Graph
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.dbh import DBHPartitioner
+from repro.partitioning.metrics import total_replicas
+
+
+def square_partition():
+    return EdgePartition([[(0, 1), (1, 2)], [(2, 3), (0, 3)]])
+
+
+class TestHistograms:
+    def test_replicas_by_vertex(self):
+        replicas = replicas_by_vertex(square_partition())
+        assert replicas == {0: 2, 1: 1, 2: 2, 3: 1}
+
+    def test_histogram(self):
+        assert replica_histogram(square_partition()) == {1: 2, 2: 2}
+
+    def test_histogram_total_matches_metrics(self, small_social):
+        from repro.core.tlp import TLPPartitioner
+
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        hist = replica_histogram(part)
+        assert sum(r * count for r, count in hist.items()) == total_replicas(part)
+
+
+class TestCorrelation:
+    def test_dbh_correlation_strongly_positive(self):
+        """DBH replicates hubs by construction."""
+        g = holme_kim(600, 4, 0.4, seed=2)
+        part = DBHPartitioner().partition(g, 8)
+        assert degree_replication_correlation(part, g) > 0.5
+
+    def test_constant_replicas_zero_correlation(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        part = EdgePartition([g.edge_list()])
+        assert degree_replication_correlation(part, g) == 0.0
+
+    def test_star_hub_only_replicated(self):
+        g = star_graph(40)
+        part = DBHPartitioner().partition(g, 4)
+        replicas = replicas_by_vertex(part)
+        assert replicas[0] == 4
+        assert all(replicas[v] == 1 for v in range(1, 40))
+
+
+class TestProfile:
+    def test_profile_fields(self, small_social):
+        from repro.core.tlp import TLPPartitioner
+
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        profile = replication_profile(part, small_social)
+        assert profile.max_replicas >= 1
+        assert profile.mean_replicas >= 1.0
+        assert 0.0 <= profile.replicated_fraction <= 1.0
+        assert sum(profile.histogram.values()) == len(replicas_by_vertex(part))
+
+    def test_profile_empty_partition(self):
+        profile = replication_profile(EdgePartition([[], []]), Graph.empty())
+        assert profile.max_replicas == 0
+        assert profile.histogram == {}
+
+    def test_mean_replicas_equals_rf_on_fully_covered_graph(self, small_social):
+        from repro.core.tlp import TLPPartitioner
+        from repro.partitioning.metrics import replication_factor
+
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        profile = replication_profile(part, small_social)
+        assert profile.mean_replicas == pytest.approx(
+            replication_factor(part, small_social)
+        )

@@ -1,0 +1,91 @@
+"""Tests for the python -m repro.bench command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestCLI:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "email-Eu-core" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "exponent" in out
+
+    def test_fig8_quick_subset(self, capsys):
+        assert main(["fig8", "--quick", "--datasets", "G1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "Table IV" in out
+        assert "G1" in out
+
+    def test_fig9_quick_subset(self, capsys):
+        assert main(["fig9", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "TLP_R" in out or "R=0.0" in out
+
+    def test_table6_quick_subset(self, capsys):
+        assert main(["table6", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "StageI" in out
+
+    def test_comm_quick_subset(self, capsys):
+        assert main(["comm", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "gather msgs/superstep" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "gini" in out
+        assert "G9" in out
+
+    def test_extended_quick_subset(self, capsys):
+        assert main(["extended", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "Spectral" in out
+        assert "HDRF" in out
+
+    def test_window_quick_subset(self, capsys):
+        assert main(["window", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "window" in out
+        assert "full graph (TLP)" in out
+
+    def test_seeds_quick_subset(self, capsys):
+        assert main(["seeds", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean RF" in out
+
+    def test_slack_quick_subset(self, capsys):
+        assert main(["slack", "--quick", "--datasets", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert "realised balance" in out
+
+    def test_output_file_tee(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(["table3", "--output", str(out_file)]) == 0
+        assert "email-Eu-core" in out_file.read_text()
+        assert "email-Eu-core" in capsys.readouterr().out
+
+    def test_fig10_and_fig11_quick(self, capsys):
+        assert main(["fig10", "--quick", "--datasets", "G1"]) == 0
+        assert "p=15" in capsys.readouterr().out
+        assert main(["fig11", "--quick", "--datasets", "G1"]) == 0
+        assert "p=20" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_scale_flag(self, capsys):
+        assert main(["table6", "--scale", "0.02", "--datasets", "G4"]) == 0

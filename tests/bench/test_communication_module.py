@@ -1,0 +1,47 @@
+"""Extra coverage for the communication experiment module."""
+
+import pytest
+
+from repro.bench.communication import (
+    CommunicationRow,
+    communication_experiment,
+    render_communication,
+)
+from repro.graph.generators import community_graph
+
+
+@pytest.fixture(scope="module")
+def rows():
+    g = community_graph(120, 700, 4, 0.9, seed=1)
+    return communication_experiment(
+        g, algorithms=("TLP", "DBH", "Random"), num_partitions=4, max_supersteps=3
+    )
+
+
+class TestCommunicationExperiment:
+    def test_one_row_per_algorithm(self, rows):
+        assert {r.algorithm for r in rows} == {"TLP", "DBH", "Random"}
+
+    def test_sorted_by_rf(self, rows):
+        rf = [r.replication_factor for r in rows]
+        assert rf == sorted(rf)
+
+    def test_supersteps_capped(self, rows):
+        assert all(r.supersteps <= 3 for r in rows)
+
+    def test_gather_average_consistent(self, rows):
+        for r in rows:
+            assert 0 <= r.gather_messages_per_superstep <= r.total_messages
+
+    def test_imbalance_at_least_one(self, rows):
+        assert all(r.load_imbalance >= 1.0 for r in rows)
+
+    def test_render_has_all_columns(self, rows):
+        out = render_communication(rows)
+        for column in ("algorithm", "RF", "total msgs", "edge imbalance"):
+            assert column in out
+
+    def test_row_dataclass_fields(self):
+        row = CommunicationRow("X", 1.5, 10.0, 100, 5, 1.01)
+        assert row.algorithm == "X"
+        assert row.total_messages == 100

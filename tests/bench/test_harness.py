@@ -1,0 +1,67 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    load_paper_graphs,
+    results_by,
+    run_grid,
+    run_single,
+    spec_for,
+)
+
+
+class TestRunSingle:
+    def test_returns_metrics(self, small_social):
+        result = run_single(small_social, "Random", 4, seed=0, dataset="X")
+        assert result.dataset == "X"
+        assert result.algorithm == "Random"
+        assert result.num_partitions == 4
+        assert result.replication_factor >= 1.0
+        assert result.seconds >= 0.0
+
+    def test_tlp_result_carries_telemetry(self, small_social):
+        result = run_single(small_social, "TLP", 4, seed=0)
+        assert "stage1_mean_degree" in result.extra
+
+    def test_non_local_algorithms_have_no_telemetry(self, small_social):
+        result = run_single(small_social, "DBH", 4, seed=0)
+        assert result.extra == {}
+
+
+class TestRunGrid:
+    def test_full_grid_size(self, small_social, tree):
+        graphs = {"A": small_social, "B": tree}
+        results = run_grid(graphs, ["Random", "DBH"], [2, 3], seed=0)
+        assert len(results) == 2 * 2 * 2
+
+    def test_progress_callback(self, small_social):
+        seen = []
+        run_grid({"A": small_social}, ["Random"], [2], progress=seen.append)
+        assert len(seen) == 1
+        assert isinstance(seen[0], ExperimentResult)
+
+    def test_results_by_index(self, small_social):
+        results = run_grid({"A": small_social}, ["Random"], [2, 4])
+        index = results_by(results)
+        assert ("A", "Random", 2) in index
+        assert ("A", "Random", 4) in index
+
+
+class TestLoadPaperGraphs:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+    def test_subset_by_keys(self):
+        graphs = load_paper_graphs(scale=0.02, seed=0, keys=["G1", "G4"])
+        assert sorted(graphs) == ["G1", "G4"]
+
+    def test_bench_scales_are_small(self):
+        graphs = load_paper_graphs(seed=0, keys=["G1"], bench=True)
+        spec = spec_for("G1")
+        assert graphs["G1"].num_edges == spec.scaled(spec.bench_scale).edges
+
+    def test_spec_lookup(self):
+        assert spec_for("G3").name == "CA-HepPh"

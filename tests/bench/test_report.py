@@ -1,0 +1,51 @@
+"""Tests for text-report rendering."""
+
+from repro.bench.report import format_cell, render_banner, render_bar, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456, precision=2) == "1.23"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_bool_not_formatted_as_float(self):
+        assert format_cell(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 10.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns aligned: all rows same width.
+        assert len(set(len(line) for line in lines[1:])) == 1
+
+    def test_wide_cells_expand_columns(self):
+        out = render_table(["x"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert out.splitlines()[0] == "a  b"
+
+
+class TestBannersAndBars:
+    def test_banner_contains_title(self):
+        assert "Hello" in render_banner("Hello")
+
+    def test_bar_scales(self):
+        assert len(render_bar(5, 10, width=10)) == 5
+        assert render_bar(10, 10, width=10) == "#" * 10
+
+    def test_bar_handles_zero_max(self):
+        assert render_bar(1, 0) == ""
+
+    def test_bar_clamps(self):
+        assert len(render_bar(20, 10, width=10)) == 10

@@ -1,0 +1,61 @@
+"""Tests for the scaling sweep and the communication experiment."""
+
+import math
+
+from repro.bench.communication import communication_experiment, render_communication
+from repro.bench.scaling import empirical_exponent, time_scaling_sweep
+from repro.graph.generators import community_graph
+
+
+class TestScaling:
+    def test_sweep_points(self):
+        points = time_scaling_sweep(sizes=(100, 200), m_attach=3, num_partitions=4)
+        assert len(points) == 2
+        assert points[0].num_edges < points[1].num_edges
+        assert all(p.seconds >= 0 for p in points)
+        assert all(p.peak_kib > 0 for p in points)
+
+    def test_exponent_of_linear_series(self):
+        from repro.bench.scaling import ScalingPoint
+
+        points = [
+            ScalingPoint(n, 10 * n, 4, seconds=0.001 * n, peak_kib=1.0)
+            for n in (100, 200, 400)
+        ]
+        assert empirical_exponent(points) == pytest.approx(1.0, abs=0.01)
+
+    def test_exponent_insufficient_points(self):
+        from repro.bench.scaling import ScalingPoint
+
+        assert math.isnan(
+            empirical_exponent([ScalingPoint(1, 1, 1, 1.0, 1.0)])
+        )
+
+
+import pytest  # noqa: E402  (used by approx above)
+
+
+class TestCommunication:
+    def test_rows_ordered_by_rf(self):
+        g = community_graph(150, 800, 5, 0.9, seed=2)
+        rows = communication_experiment(
+            g, algorithms=("TLP", "Random"), num_partitions=5, max_supersteps=3
+        )
+        rf = [r.replication_factor for r in rows]
+        assert rf == sorted(rf)
+
+    def test_messages_track_rf(self):
+        g = community_graph(150, 800, 5, 0.9, seed=2)
+        rows = communication_experiment(
+            g, algorithms=("TLP", "Random"), num_partitions=5, max_supersteps=3
+        )
+        messages = [r.gather_messages_per_superstep for r in rows]
+        assert messages == sorted(messages)
+
+    def test_render(self):
+        g = community_graph(100, 500, 4, 0.9, seed=2)
+        rows = communication_experiment(
+            g, algorithms=("Random",), num_partitions=4, max_supersteps=2
+        )
+        out = render_communication(rows)
+        assert "Random" in out and "RF" in out

@@ -1,0 +1,61 @@
+"""Property-based tests for local community detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community.local import detect_communities, local_community
+from repro.graph.generators import erdos_renyi_gnm
+
+
+@st.composite
+def graph_and_seed_vertex(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=1, max_value=min(max_m, 60)))
+    graph = erdos_renyi_gnm(n, m, seed=draw(st.integers(0, 2**31)))
+    seed_vertex = draw(st.integers(0, n - 1))
+    return graph, seed_vertex
+
+
+@given(graph_and_seed_vertex())
+@settings(max_examples=40, deadline=None)
+def test_seed_always_a_member(gs):
+    graph, seed_vertex = gs
+    result = local_community(graph, seed_vertex)
+    assert seed_vertex in result.members
+
+
+@given(graph_and_seed_vertex())
+@settings(max_examples=40, deadline=None)
+def test_reported_modularity_matches_members(gs):
+    graph, seed_vertex = gs
+    result = local_community(graph, seed_vertex)
+    internal = sum(
+        1
+        for u, v in graph.edges()
+        if u in result.members and v in result.members
+    )
+    external = sum(
+        1
+        for u, v in graph.edges()
+        if (u in result.members) != (v in result.members)
+    )
+    expected = float("inf") if external == 0 else internal / external
+    assert result.modularity == expected
+    assert result.discovered == (expected > 1.0)
+
+
+@given(graph_and_seed_vertex(), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_max_size_respected(gs, max_size):
+    graph, seed_vertex = gs
+    result = local_community(graph, seed_vertex, max_size=max_size)
+    assert len(result.members) <= max_size
+
+
+@given(graph_and_seed_vertex())
+@settings(max_examples=25, deadline=None)
+def test_detect_communities_total_labelling(gs):
+    graph, _ = gs
+    labels = detect_communities(graph, max_size=10)
+    assert set(labels) == set(graph.vertices())

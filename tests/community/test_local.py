@@ -1,0 +1,102 @@
+"""Tests for local community detection (the TLP machinery's source)."""
+
+import pytest
+
+from repro.analysis.community import normalized_mutual_information
+from repro.community.local import detect_communities, local_community
+from repro.graph.generators import community_graph, complete_graph, star_graph
+from repro.graph.graph import Graph
+
+
+def two_cliques_bridge(k=5):
+    """Two k-cliques joined by one edge; the canonical community fixture."""
+    edges = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            edges.append((i, j))
+            edges.append((k + i, k + j))
+    edges.append((0, k))
+    return Graph.from_edges(edges)
+
+
+class TestLocalCommunity:
+    def test_finds_own_clique(self):
+        g = two_cliques_bridge()
+        result = local_community(g, seed=1)
+        assert result.members == {0, 1, 2, 3, 4}
+        assert result.discovered
+        # K5 minus bridge: internal 10, external 1 -> M = 10.
+        assert result.modularity == pytest.approx(10.0)
+
+    def test_other_side_symmetric(self):
+        g = two_cliques_bridge()
+        result = local_community(g, seed=7)
+        assert result.members == {5, 6, 7, 8, 9}
+
+    def test_whole_component_infinite_modularity(self, triangle):
+        result = local_community(triangle, seed=0)
+        assert result.members == {0, 1, 2}
+        assert result.modularity == float("inf")
+        assert result.discovered
+
+    def test_isolated_seed(self):
+        g = Graph.from_edges([(0, 1)], vertices=[9])
+        result = local_community(g, seed=9)
+        assert result.members == {9}
+        assert result.discovered  # no external edges at all
+
+    def test_unknown_seed_rejected(self, triangle):
+        with pytest.raises(KeyError):
+            local_community(triangle, seed=42)
+
+    def test_max_size_cap(self):
+        g = complete_graph(20)
+        result = local_community(g, seed=0, max_size=5)
+        assert len(result.members) <= 5
+        assert 0 in result.members
+
+    def test_seed_always_kept(self):
+        g = two_cliques_bridge()
+        # Seed on the bridge endpoint: still a member of its community.
+        result = local_community(g, seed=0)
+        assert 0 in result.members
+
+    def test_star_leaf_seed(self):
+        g = star_graph(8)
+        result = local_community(g, seed=3)
+        assert 3 in result.members
+        # The star has no M > 1 sub-community except the whole graph.
+        assert result.members == set(range(8)) or not result.discovered
+
+    def test_invalid_max_size(self, triangle):
+        with pytest.raises(ValueError):
+            local_community(triangle, 0, max_size=0)
+
+
+class TestDetectCommunities:
+    def test_labels_cover_graph(self, small_social):
+        labels = detect_communities(small_social, max_size=60)
+        assert set(labels) == set(small_social.vertices())
+
+    def test_two_cliques_get_two_labels(self):
+        g = two_cliques_bridge()
+        labels = detect_communities(g)
+        left = {labels[v] for v in range(5)}
+        right = {labels[v] for v in range(5, 10)}
+        assert len(left) == 1
+        assert len(right) == 1
+        assert left != right
+
+    def test_recovers_planted_communities(self):
+        num_comm = 4
+        n = 120
+        g = community_graph(n, 900, num_comm, 0.95, seed=2)
+        labels = detect_communities(g, max_size=n // num_comm + 10)
+        truth = [v * num_comm // n for v in sorted(g.vertices())]
+        found = [labels[v] for v in sorted(g.vertices())]
+        assert normalized_mutual_information(found, truth) > 0.5
+
+    def test_deterministic(self, small_social):
+        a = detect_communities(small_social, max_size=40)
+        b = detect_communities(small_social, max_size=40)
+        assert a == b

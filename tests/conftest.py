@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    community_graph,
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    holme_kim,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 — smallest graph with a cycle."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def small_social() -> Graph:
+    """A 300-vertex power-law graph with clustering (fast TLP workload)."""
+    return holme_kim(300, 4, 0.6, seed=7)
+
+
+@pytest.fixture
+def medium_social() -> Graph:
+    """A 1000-vertex power-law graph for integration-level checks."""
+    return holme_kim(1000, 6, 0.5, seed=11)
+
+
+@pytest.fixture
+def communities() -> Graph:
+    """Six planted communities — structure local partitioners should find."""
+    return community_graph(240, 1400, 6, intra_fraction=0.92, seed=5)
+
+
+@pytest.fixture
+def tree() -> Graph:
+    """A 200-vertex random tree (degenerate, no triangles)."""
+    return random_tree(200, seed=3)
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two disjoint triangles — the canonical disconnected test case."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)])
+
+
+@pytest.fixture
+def paper_figure5_graph() -> Graph:
+    """A small graph with a dense core and sparse boundary, Fig. 5 flavoured."""
+    edges = [
+        (0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3),  # dense core
+        (3, 4), (4, 5), (5, 6), (6, 7),  # tail path
+    ]
+    return Graph.from_edges(edges)
+
+
+@pytest.fixture(params=["path", "cycle", "star", "grid", "clique"])
+def structured_graph(request) -> Graph:
+    """Parametrised family of deterministic structured graphs."""
+    return {
+        "path": path_graph(20),
+        "cycle": cycle_graph(20),
+        "star": star_graph(20),
+        "grid": grid_2d(5, 6),
+        "clique": complete_graph(12),
+    }[request.param]

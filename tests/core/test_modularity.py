@@ -1,0 +1,92 @@
+"""Tests for the Claim 1 / Eq. 6 modularity-RF relationships."""
+
+import math
+
+import pytest
+
+from repro.core.modularity import (
+    claim1_rf_estimate,
+    degree_sum_identity_residuals,
+    exact_rf_decomposition,
+    rf_estimate_from_partition,
+)
+from repro.core.tlp import TLPPartitioner
+from repro.graph.generators import cycle_graph, holme_kim
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.random_edge import RandomPartitioner
+
+
+class TestClaim1Estimate:
+    def test_empty_partitions(self):
+        assert claim1_rf_estimate([]) == 1.0
+
+    def test_infinite_modularity_means_no_replication(self):
+        assert claim1_rf_estimate([math.inf, math.inf]) == 1.0
+
+    def test_formula(self):
+        # 1 + (1/2)(1/2 + 1/4) = 1.375
+        assert claim1_rf_estimate([2.0, 4.0]) == pytest.approx(1.375)
+
+    def test_monotone_in_modularity(self):
+        assert claim1_rf_estimate([1.0]) > claim1_rf_estimate([2.0])
+
+
+class TestExactIdentity:
+    def test_degree_sum_identity_always_zero(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        assert degree_sum_identity_residuals(part, small_social) == [0] * 5
+
+    def test_identity_holds_for_random_partition(self, small_social):
+        part = RandomPartitioner(seed=0).partition(small_social, 7)
+        assert all(
+            r == 0 for r in degree_sum_identity_residuals(part, small_social)
+        )
+
+    def test_exact_rf_decomposition_matches_rf(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        assert exact_rf_decomposition(part, small_social) == pytest.approx(
+            replication_factor(part, small_social)
+        )
+
+    def test_decomposition_matches_on_random(self, communities):
+        part = RandomPartitioner(seed=3).partition(communities, 4)
+        assert exact_rf_decomposition(part, communities) == pytest.approx(
+            replication_factor(part, communities)
+        )
+
+
+class TestAveragedEstimate:
+    def test_estimate_close_on_regular_balanced_graph(self):
+        """On a d-regular graph with equal partitions Eq. 6 is a tight
+        over-estimate (the paper's Eq. 5 counts each external edge as a full
+        edge although only one endpoint lies inside, so the estimate gives an
+        upper bound on this family)."""
+        g = cycle_graph(40)
+        part = TLPPartitioner(seed=0).partition(g, 4)
+        estimate = rf_estimate_from_partition(part, g)
+        rf = replication_factor(part, g)
+        assert rf <= estimate <= rf * 1.25
+
+    def test_estimate_close_on_social_graph(self):
+        """On a skewed graph Eq. 6 is an approximation but must correlate."""
+        g = holme_kim(400, 5, 0.5, seed=2)
+        tlp = TLPPartitioner(seed=0).partition(g, 5)
+        rnd = RandomPartitioner(seed=0).partition(g, 5)
+        # Ordering is preserved: better partitions have lower estimates.
+        assert rf_estimate_from_partition(tlp, g) < rf_estimate_from_partition(rnd, g)
+        assert replication_factor(tlp, g) < replication_factor(rnd, g)
+
+    def test_claim1_negative_correlation(self, communities):
+        """Claim 1: higher average modularity <-> lower RF across methods."""
+        from repro.partitioning.metrics import partition_modularities
+
+        results = []
+        for partitioner in (TLPPartitioner(seed=0), RandomPartitioner(seed=0)):
+            part = partitioner.partition(communities, 6)
+            mods = partition_modularities(part, communities)
+            finite = [m for m in mods if m != math.inf]
+            avg_inv = sum(1 / m for m in finite) / len(mods) if finite else 0.0
+            results.append((avg_inv, replication_factor(part, communities)))
+        results.sort()
+        rf_values = [rf for _, rf in results]
+        assert rf_values == sorted(rf_values)

@@ -1,0 +1,82 @@
+"""Unit tests for stage-division policies."""
+
+import pytest
+
+from repro.core.stages import (
+    STAGE_ONE,
+    STAGE_TWO,
+    EdgeCountStagePolicy,
+    FixedStagePolicy,
+    ModularityStagePolicy,
+)
+
+
+class FakeState:
+    """Minimal stand-in exposing internal/external counts."""
+
+    def __init__(self, internal, external):
+        self.internal = internal
+        self.external = external
+
+
+class TestModularityPolicy:
+    def test_stage_one_when_loose(self):
+        # M = 2/3 <= 1 (paper Fig. 5a)
+        assert ModularityStagePolicy().stage(FakeState(2, 3), 100) == STAGE_ONE
+
+    def test_stage_two_when_compact(self):
+        # M = 5 (paper Fig. 5b)
+        assert ModularityStagePolicy().stage(FakeState(5, 1), 100) == STAGE_TWO
+
+    def test_boundary_m_equal_one_is_stage_one(self):
+        # Table II: Stage I is 0 <= M <= 1 (inclusive).
+        assert ModularityStagePolicy().stage(FakeState(4, 4), 100) == STAGE_ONE
+
+    def test_initial_empty_partition_is_stage_one(self):
+        assert ModularityStagePolicy().stage(FakeState(0, 7), 100) == STAGE_ONE
+
+    def test_can_flip_back_to_stage_one(self):
+        policy = ModularityStagePolicy()
+        assert policy.stage(FakeState(5, 4), 100) == STAGE_TWO
+        assert policy.stage(FakeState(5, 9), 100) == STAGE_ONE
+
+    def test_describe_mentions_tlp(self):
+        assert "TLP" in ModularityStagePolicy().describe()
+
+
+class TestEdgeCountPolicy:
+    def test_below_threshold_stage_one(self):
+        assert EdgeCountStagePolicy(0.5).stage(FakeState(49, 0), 100) == STAGE_ONE
+
+    def test_at_threshold_stage_two(self):
+        # Table V: Stage II when |E(P_k)| >= R*C.
+        assert EdgeCountStagePolicy(0.5).stage(FakeState(50, 0), 100) == STAGE_TWO
+
+    def test_ratio_zero_pure_stage_two(self):
+        policy = EdgeCountStagePolicy(0.0)
+        assert policy.stage(FakeState(0, 5), 100) == STAGE_TWO
+
+    def test_ratio_one_pure_stage_one(self):
+        policy = EdgeCountStagePolicy(1.0)
+        assert policy.stage(FakeState(99, 0), 100) == STAGE_ONE
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeCountStagePolicy(1.5)
+        with pytest.raises(ValueError):
+            EdgeCountStagePolicy(-0.1)
+
+    def test_describe_includes_ratio(self):
+        assert "R=0.3" in EdgeCountStagePolicy(0.3).describe()
+
+
+class TestFixedPolicy:
+    def test_fixed_one(self):
+        assert FixedStagePolicy(1).stage(FakeState(99, 0), 100) == STAGE_ONE
+
+    def test_fixed_two(self):
+        assert FixedStagePolicy(2).stage(FakeState(0, 99), 100) == STAGE_TWO
+
+    def test_invalid_stage_rejected(self):
+        with pytest.raises(ValueError):
+            FixedStagePolicy(3)

@@ -1,0 +1,50 @@
+"""Unit tests for stage telemetry (Table VI raw material)."""
+
+from repro.core.stages import STAGE_ONE, STAGE_TWO
+from repro.core.telemetry import StageTelemetry
+
+
+def sample_telemetry():
+    t = StageTelemetry()
+    t.record(partition=0, stage=STAGE_ONE, vertex=1, degree=40, allocated=5)
+    t.record(partition=0, stage=STAGE_ONE, vertex=2, degree=60, allocated=4)
+    t.record(partition=0, stage=STAGE_TWO, vertex=3, degree=10, allocated=3)
+    t.record(partition=1, stage=STAGE_TWO, vertex=4, degree=6, allocated=2)
+    return t
+
+
+class TestStageTelemetry:
+    def test_mean_degree_per_stage(self):
+        t = sample_telemetry()
+        assert t.mean_degree(STAGE_ONE) == 50.0
+        assert t.mean_degree(STAGE_TWO) == 8.0
+
+    def test_mean_degree_empty_stage(self):
+        assert StageTelemetry().mean_degree(STAGE_ONE) == 0.0
+
+    def test_selection_counts(self):
+        t = sample_telemetry()
+        assert t.selection_count(STAGE_ONE) == 2
+        assert t.selection_count(STAGE_TWO) == 2
+
+    def test_stage_fraction(self):
+        t = sample_telemetry()
+        assert t.stage_fraction(STAGE_ONE) == 0.5
+        assert StageTelemetry().stage_fraction(STAGE_ONE) == 0.0
+
+    def test_degrees_in_stage(self):
+        t = sample_telemetry()
+        assert t.degrees_in_stage(STAGE_ONE) == [40, 60]
+
+    def test_reseed_counter(self):
+        t = StageTelemetry()
+        t.record_reseed()
+        t.record_reseed()
+        assert t.reseeds == 2
+
+    def test_summary_keys(self):
+        summary = sample_telemetry().summary()
+        assert summary["stage1_mean_degree"] == 50.0
+        assert summary["stage2_mean_degree"] == 8.0
+        assert summary["stage1_selections"] == 2.0
+        assert summary["reseeds"] == 0.0

@@ -1,0 +1,180 @@
+"""Tests of the TLP partitioner end to end."""
+
+import pytest
+
+from repro.core.stages import STAGE_ONE, STAGE_TWO
+from repro.core.tlp import (
+    StageOneOnlyPartitioner,
+    StageTwoOnlyPartitioner,
+    TLPPartitioner,
+)
+from repro.graph.generators import complete_graph, path_graph
+from repro.graph.graph import Graph
+from repro.partitioning.metrics import edge_balance, replication_factor
+
+
+class TestBasicContract:
+    def test_covers_every_edge_exactly_once(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 8)
+        part.validate_against(small_social)
+
+    def test_exact_partition_count(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 8)
+        assert part.num_partitions == 8
+
+    def test_strict_capacity_respected(self, small_social):
+        import math
+
+        p = 7
+        part = TLPPartitioner(seed=1).partition(small_social, p)
+        capacity = math.ceil(small_social.num_edges / p)
+        assert all(size <= capacity for size in part.partition_sizes())
+
+    def test_balance_near_perfect_in_strict_mode(self, medium_social):
+        part = TLPPartitioner(seed=2).partition(medium_social, 10)
+        assert edge_balance(part) <= 1.01
+
+    def test_rf_at_least_one(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        assert replication_factor(part, small_social) >= 1.0
+
+    def test_single_partition_rf_is_one(self, small_social):
+        part = TLPPartitioner(seed=0).partition(small_social, 1)
+        assert replication_factor(part, small_social) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self, small_social):
+        a = TLPPartitioner(seed=123).partition(small_social, 6)
+        b = TLPPartitioner(seed=123).partition(small_social, 6)
+        assert [sorted(a.edges_of(k)) for k in range(6)] == [
+            sorted(b.edges_of(k)) for k in range(6)
+        ]
+
+    def test_different_seeds_generally_differ(self, small_social):
+        a = TLPPartitioner(seed=1).partition(small_social, 6)
+        b = TLPPartitioner(seed=2).partition(small_social, 6)
+        assert [sorted(a.edges_of(k)) for k in range(6)] != [
+            sorted(b.edges_of(k)) for k in range(6)
+        ]
+
+    def test_invalid_p_rejected(self, small_social):
+        with pytest.raises(ValueError):
+            TLPPartitioner(seed=0).partition(small_social, 0)
+
+
+class TestEdgeCases:
+    def test_p_greater_than_edges(self):
+        g = path_graph(4)  # 3 edges
+        part = TLPPartitioner(seed=0).partition(g, 10)
+        part.validate_against(g)
+        assert part.num_partitions == 10
+        assert sum(part.partition_sizes()) == 3
+
+    def test_empty_graph(self):
+        part = TLPPartitioner(seed=0).partition(Graph.empty(), 3)
+        assert part.num_partitions == 3
+        assert part.num_edges == 0
+
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        part = TLPPartitioner(seed=0).partition(g, 2)
+        assert sum(part.partition_sizes()) == 1
+
+    def test_disconnected_graph_fully_covered(self, two_triangles):
+        part = TLPPartitioner(seed=0).partition(two_triangles, 2)
+        part.validate_against(two_triangles)
+        assert sum(part.partition_sizes()) == 6
+
+    def test_many_components_reseeding(self):
+        edges = []
+        for block in range(20):
+            base = block * 3
+            edges += [(base, base + 1), (base + 1, base + 2), (base, base + 2)]
+        g = Graph.from_edges(edges)
+        partitioner = TLPPartitioner(seed=0)
+        part = partitioner.partition(g, 4)
+        part.validate_against(g)
+        assert partitioner.last_telemetry.reseeds > 0
+
+    def test_clique_partition(self):
+        g = complete_graph(12)
+        part = TLPPartitioner(seed=0).partition(g, 3)
+        part.validate_against(g)
+
+
+class TestPaperProperties:
+    def test_stage1_selects_higher_degree_than_stage2(self, medium_social):
+        """The Table VI property: Stage-I mean degree >> Stage-II."""
+        partitioner = TLPPartitioner(seed=3)
+        partitioner.partition(medium_social, 10)
+        telemetry = partitioner.last_telemetry
+        assert telemetry.selection_count(STAGE_ONE) > 0
+        assert telemetry.selection_count(STAGE_TWO) > 0
+        assert telemetry.mean_degree(STAGE_ONE) > telemetry.mean_degree(STAGE_TWO)
+
+    def test_tlp_beats_one_stage_heuristics_on_communities(self, communities):
+        """Figs. 9-11 conclusion: two stages beat either single stage."""
+        rf = {}
+        for name, cls in [
+            ("tlp", TLPPartitioner),
+            ("s1", StageOneOnlyPartitioner),
+            ("s2", StageTwoOnlyPartitioner),
+        ]:
+            values = []
+            for seed in range(3):
+                part = cls(seed=seed).partition(communities, 6)
+                values.append(replication_factor(part, communities))
+            rf[name] = sum(values) / len(values)
+        assert rf["tlp"] <= min(rf["s1"], rf["s2"]) + 0.35
+
+    def test_both_stages_visited_on_social_graph(self, small_social):
+        partitioner = TLPPartitioner(seed=0)
+        partitioner.partition(small_social, 6)
+        stages = {rec.stage for rec in partitioner.last_telemetry.records}
+        assert stages == {STAGE_ONE, STAGE_TWO}
+
+
+class TestOptions:
+    def test_loose_capacity_mode_covers_graph(self, small_social):
+        part = TLPPartitioner(seed=0, strict_capacity=False).partition(small_social, 6)
+        part.validate_against(small_social)
+
+    def test_loose_mode_can_overshoot(self, medium_social):
+        import math
+
+        p = 10
+        capacity = math.ceil(medium_social.num_edges / p)
+        part = TLPPartitioner(seed=0, strict_capacity=False).partition(medium_social, p)
+        # At least one non-final partition typically overshoots by < max degree.
+        assert max(part.partition_sizes()) >= capacity
+
+    def test_no_reseed_literal_break(self, two_triangles):
+        # 2 triangles, p=1: without reseeding, one round stops at the first
+        # component and the remaining edges overflow into... nothing;
+        # Algorithm 1's literal break leaves edges unassigned, which the
+        # partitioner surfaces by returning fewer edges than the graph has.
+        part = TLPPartitioner(seed=0, reseed_on_break=False).partition(
+            two_triangles, 1
+        )
+        assert sum(part.partition_sizes()) == 3  # one triangle only
+
+    def test_similarity_scope_original_works(self, small_social):
+        part = TLPPartitioner(seed=0, similarity_scope="original").partition(
+            small_social, 6
+        )
+        part.validate_against(small_social)
+
+    def test_slack_increases_capacity(self, small_social):
+        import math
+
+        p = 7
+        part = TLPPartitioner(seed=0, slack=1.2).partition(small_social, p)
+        capacity = math.ceil(1.2 * small_social.num_edges / p)
+        assert all(size <= capacity for size in part.partition_sizes())
+
+    def test_invalid_slack_rejected(self):
+        with pytest.raises(ValueError):
+            TLPPartitioner(seed=0, slack=0.5)
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            TLPPartitioner(seed=0, similarity_scope="nope")

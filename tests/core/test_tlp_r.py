@@ -1,0 +1,65 @@
+"""Tests for the TLP_R ablation partitioner."""
+
+import pytest
+
+from repro.core.stages import STAGE_ONE, STAGE_TWO
+from repro.core.tlp_r import TLPRPartitioner
+from repro.partitioning.metrics import replication_factor
+
+
+class TestTLPR:
+    def test_valid_partition(self, small_social):
+        part = TLPRPartitioner(0.4, seed=0).partition(small_social, 6)
+        part.validate_against(small_social)
+
+    def test_name_encodes_ratio(self):
+        assert TLPRPartitioner(0.3, seed=0).name == "TLP_R(R=0.3)"
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            TLPRPartitioner(1.2, seed=0)
+
+    def test_r_zero_is_pure_stage_two(self, small_social):
+        partitioner = TLPRPartitioner(0.0, seed=0)
+        partitioner.partition(small_social, 6)
+        stages = {rec.stage for rec in partitioner.last_telemetry.records}
+        assert stages == {STAGE_TWO}
+
+    def test_r_one_is_pure_stage_one(self, small_social):
+        partitioner = TLPRPartitioner(1.0, seed=0)
+        partitioner.partition(small_social, 6)
+        stages = {rec.stage for rec in partitioner.last_telemetry.records}
+        assert stages == {STAGE_ONE}
+
+    def test_interior_r_uses_both_stages(self, small_social):
+        partitioner = TLPRPartitioner(0.5, seed=0)
+        partitioner.partition(small_social, 6)
+        stages = {rec.stage for rec in partitioner.last_telemetry.records}
+        assert stages == {STAGE_ONE, STAGE_TWO}
+
+    def test_stage_transition_point_respects_ratio(self, medium_social):
+        """Within each round, Stage I runs exactly while |E| < R*C."""
+        import math
+
+        p, ratio = 8, 0.4
+        partitioner = TLPRPartitioner(ratio, seed=1)
+        partitioner.partition(medium_social, p)
+        capacity = math.ceil(medium_social.num_edges / p)
+        threshold = ratio * capacity
+        internal = {}
+        for rec in partitioner.last_telemetry.records:
+            filled = internal.get(rec.partition, 0)
+            if rec.stage == STAGE_ONE:
+                assert filled < threshold
+            else:
+                # Stage II only after threshold (last partition may be tiny).
+                assert filled >= threshold or rec.partition == p - 1
+            internal[rec.partition] = filled + rec.allocated
+
+    def test_interior_r_competitive_on_communities(self, communities):
+        """Figs. 9-11: interior R should not be far worse than endpoints."""
+        rf = {}
+        for r in (0.0, 0.5, 1.0):
+            part = TLPRPartitioner(r, seed=0).partition(communities, 6)
+            rf[r] = replication_factor(part, communities)
+        assert rf[0.5] <= max(rf[0.0], rf[1.0]) + 0.1

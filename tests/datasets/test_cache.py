@@ -1,0 +1,49 @@
+"""Tests for the on-disk dataset cache."""
+
+import pytest
+
+from repro.datasets.cache import (
+    cache_dir,
+    cached_path_if_exists,
+    clear_cache,
+    load_cached,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+class TestCache:
+    def test_miss_generates_and_stores(self):
+        assert cached_path_if_exists("G1", scale=0.02, seed=0) is None
+        g = load_cached("G1", scale=0.02, seed=0)
+        assert g.num_edges > 0
+        assert cached_path_if_exists("G1", scale=0.02, seed=0) is not None
+
+    def test_hit_returns_identical_graph(self):
+        first = load_cached("G1", scale=0.02, seed=0)
+        second = load_cached("G1", scale=0.02, seed=0)
+        assert sorted(first.edge_list()) == sorted(second.edge_list())
+
+    def test_different_keys_different_files(self):
+        load_cached("G1", scale=0.02, seed=0)
+        load_cached("G1", scale=0.02, seed=1)
+        files = list(cache_dir().glob("*.edges.gz"))
+        assert len(files) == 2
+
+    def test_refresh_regenerates(self):
+        load_cached("G1", scale=0.02, seed=0)
+        path = cached_path_if_exists("G1", scale=0.02, seed=0)
+        before = path.stat().st_mtime_ns
+        g = load_cached("G1", scale=0.02, seed=0, refresh=True)
+        assert g.num_edges > 0
+        assert cached_path_if_exists("G1", scale=0.02, seed=0) is not None
+
+    def test_clear_cache(self):
+        load_cached("G1", scale=0.02, seed=0)
+        removed = clear_cache()
+        assert removed == 1
+        assert cached_path_if_exists("G1", scale=0.02, seed=0) is None

@@ -1,0 +1,66 @@
+"""Tests for the dataset catalog (Table III)."""
+
+import pytest
+
+from repro.datasets.catalog import PAPER_DATASETS, dataset_by_key, table3_rows
+
+
+class TestCatalog:
+    def test_nine_datasets(self):
+        assert len(PAPER_DATASETS) == 9
+        assert [s.key for s in PAPER_DATASETS] == [f"G{i}" for i in range(1, 10)]
+
+    def test_published_statistics(self):
+        g1 = dataset_by_key("G1")
+        assert (g1.name, g1.vertices, g1.edges) == ("email-Eu-core", 1005, 25571)
+        g9 = dataset_by_key("G9")
+        assert (g9.vertices, g9.edges) == (4_309_321, 7_030_787)
+
+    def test_g8_typo_corrected(self):
+        """The paper prints |V|=77,36 for Slashdot0811; we use SNAP's 77,360."""
+        assert dataset_by_key("G8").vertices == 77_360
+
+    def test_size_column(self):
+        g1 = dataset_by_key("G1")
+        assert g1.size == 26_576  # matches Table III's last column
+
+    def test_average_degree(self):
+        g9 = dataset_by_key("G9")
+        assert g9.average_degree == pytest.approx(3.26, abs=0.01)
+
+    def test_kinds(self):
+        assert all(
+            s.kind == ("genealogy" if s.key == "G9" else "social")
+            for s in PAPER_DATASETS
+        )
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_by_key("G42")
+
+
+class TestScaled:
+    def test_scaling_rounds_counts(self):
+        spec = dataset_by_key("G1").scaled(0.1)
+        assert spec.vertices == 100  # round(1005 * 0.1) = 100 (banker's rounding)
+        assert spec.edges == 2557
+
+    def test_scale_floor(self):
+        spec = dataset_by_key("G1").scaled(1e-9)
+        assert spec.vertices >= 10
+        assert spec.edges >= 10
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            dataset_by_key("G1").scaled(0)
+
+    def test_name_annotated(self):
+        assert "@0.5" in dataset_by_key("G2").scaled(0.5).name
+
+
+class TestTable3Rows:
+    def test_rows_match_catalog(self):
+        rows = table3_rows()
+        assert len(rows) == 9
+        assert rows[0]["Graph Name"] == "email-Eu-core"
+        assert rows[8]["|V(G)|+|E(G)|"] == 4_309_321 + 7_030_787

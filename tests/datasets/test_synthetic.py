@@ -1,0 +1,78 @@
+"""Tests for synthetic dataset stand-ins."""
+
+import pytest
+
+from repro.datasets.catalog import dataset_by_key
+from repro.datasets.synthetic import instantiate, load_dataset
+from repro.graph.degree import degree_gini
+
+
+class TestInstantiate:
+    def test_exact_counts_at_scale(self):
+        spec = dataset_by_key("G1")
+        g = instantiate(spec, scale=0.1, seed=0)
+        scaled = spec.scaled(0.1)
+        assert g.num_vertices == scaled.vertices
+        assert g.num_edges == scaled.edges
+
+    def test_deterministic(self):
+        a = instantiate(dataset_by_key("G1"), scale=0.05, seed=3)
+        b = instantiate(dataset_by_key("G1"), scale=0.05, seed=3)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+    def test_seeds_differ(self):
+        a = instantiate(dataset_by_key("G4"), scale=0.02, seed=1)
+        b = instantiate(dataset_by_key("G4"), scale=0.02, seed=2)
+        assert sorted(a.edge_list()) != sorted(b.edge_list())
+
+    def test_dense_dataset_capped_at_complete_graph(self):
+        """G1 (avg degree ~51) at tiny scales saturates; instantiate must
+        still succeed with the edge target capped."""
+        g = instantiate(dataset_by_key("G1"), scale=0.02, seed=0)
+        n = g.num_vertices
+        assert g.num_edges <= n * (n - 1) // 2
+
+    def test_social_graphs_are_skewed(self):
+        g = instantiate(dataset_by_key("G2"), scale=0.06, seed=0)
+        assert degree_gini(g) > 0.25
+
+    @staticmethod
+    def _triangle_density(g):
+        triangles = 0
+        for u, v in g.edges():
+            smaller = g.neighbors(u) if g.degree(u) < g.degree(v) else g.neighbors(v)
+            larger = g.neighbors(v) if g.degree(u) < g.degree(v) else g.neighbors(u)
+            triangles += sum(1 for w in smaller if w in larger)
+        return triangles / (3 * g.num_edges) if g.num_edges else 0.0
+
+    def test_genealogy_is_near_tree(self):
+        """The huapu stand-in: right average degree and (unlike the social
+        stand-ins) almost no triadic closure."""
+        g = instantiate(dataset_by_key("G9"), scale=0.001, seed=0)
+        assert g.average_degree() == pytest.approx(3.26, abs=0.15)
+        social = instantiate(dataset_by_key("G2"), scale=0.06, seed=0)
+        assert self._triangle_density(g) < 0.1 * self._triangle_density(social)
+
+    def test_average_degree_preserved_across_scales(self):
+        spec = dataset_by_key("G3")
+        for scale in (0.02, 0.05):
+            g = instantiate(spec, scale=scale, seed=0)
+            assert g.average_degree() == pytest.approx(
+                spec.average_degree, rel=0.05
+            )
+
+
+class TestLoadDataset:
+    def test_by_key(self):
+        g = load_dataset("G1", scale=0.05, seed=0)
+        assert g.num_edges == dataset_by_key("G1").scaled(0.05).edges
+
+    def test_bench_default_scale(self):
+        g = load_dataset("G1", bench=True)
+        expected = dataset_by_key("G1").scaled(dataset_by_key("G1").bench_scale)
+        assert g.num_edges == expected.edges
+
+    def test_spec_object_accepted(self):
+        spec = dataset_by_key("G1")
+        g = load_dataset(spec, scale=0.05)
+        assert g.num_edges == spec.scaled(0.05).edges

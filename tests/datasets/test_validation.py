@@ -1,0 +1,47 @@
+"""Tests for dataset stand-in validation."""
+
+import pytest
+
+from repro.datasets.catalog import dataset_by_key
+from repro.datasets.validation import (
+    render_validation,
+    validate_all,
+    validate_standin,
+)
+
+
+class TestValidateStandin:
+    def test_counts_exact_for_sparse_dataset(self):
+        v = validate_standin(dataset_by_key("G4"), scale=0.02, seed=0)
+        assert v.counts_exact
+        assert v.average_degree == pytest.approx(v.target_average_degree, rel=0.05)
+
+    def test_social_structure_flags(self):
+        v = validate_standin(dataset_by_key("G2"), scale=0.06, seed=0)
+        assert v.degree_gini > 0.2
+        assert v.clustering > 0.05
+
+    def test_genealogy_structure_flags(self):
+        v = validate_standin(dataset_by_key("G9"), scale=0.0008, seed=0)
+        assert v.clustering < 0.05
+        assert v.average_degree == pytest.approx(3.26, abs=0.2)
+
+    def test_accepts_pregenerated_graph(self):
+        from repro.datasets.synthetic import instantiate
+
+        spec = dataset_by_key("G4")
+        graph = instantiate(spec, scale=0.02, seed=0)
+        v = validate_standin(spec, 0.02, seed=0, graph=graph)
+        assert v.vertices == graph.num_vertices
+
+
+class TestValidateAll:
+    def test_covers_all_nine(self):
+        validations = validate_all(seed=0)
+        assert [v.key for v in validations] == [f"G{i}" for i in range(1, 10)]
+        assert all(v.counts_exact for v in validations)
+
+    def test_render(self):
+        out = render_validation(validate_all(seed=0))
+        assert "gini" in out
+        assert "G9" in out

@@ -1,0 +1,76 @@
+"""Unit tests for GraphBuilder normalisation and statistics."""
+
+from repro.graph.builder import BuildStats, GraphBuilder
+
+
+class TestAddEdge:
+    def test_new_edge_returns_true(self):
+        b = GraphBuilder()
+        assert b.add_edge(1, 2) is True
+
+    def test_duplicate_returns_false(self):
+        b = GraphBuilder()
+        b.add_edge(1, 2)
+        assert b.add_edge(1, 2) is False
+
+    def test_reverse_duplicate_detected(self):
+        b = GraphBuilder()
+        b.add_edge(1, 2)
+        assert b.add_edge(2, 1) is False
+        assert b.stats.duplicates_dropped == 1
+
+    def test_self_loop_dropped_but_vertex_kept(self):
+        b = GraphBuilder()
+        b.add_edge(3, 3)
+        g = b.build()
+        assert g.num_edges == 0
+        assert g.has_vertex(3)
+        assert b.stats.self_loops_dropped == 1
+
+    def test_add_edges_returns_new_count(self):
+        b = GraphBuilder()
+        added = b.add_edges([(0, 1), (1, 0), (1, 2), (3, 3)])
+        assert added == 2
+
+
+class TestStats:
+    def test_counts_everything(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 0), (2, 2), (3, 4)])
+        b.add_vertex(9)
+        b.build()
+        assert b.stats.edges_seen == 4
+        assert b.stats.edges_kept == 2
+        assert b.stats.duplicates_dropped == 1
+        assert b.stats.self_loops_dropped == 1
+        assert b.stats.isolated_vertices == 2  # vertex 2 (loop only) and 9
+
+    def test_as_dict_roundtrip(self):
+        stats = BuildStats(edges_seen=5, edges_kept=3)
+        d = stats.as_dict()
+        assert d["edges_seen"] == 5
+        assert d["edges_kept"] == 3
+
+
+class TestRelabel:
+    def test_relabel_compacts_ids(self):
+        b = GraphBuilder(relabel=True)
+        b.add_edge(100, 200)
+        b.add_edge(200, 300)
+        g = b.build()
+        assert sorted(g.vertices()) == [0, 1, 2]
+        assert g.num_edges == 2
+
+    def test_relabel_preserves_structure(self):
+        b = GraphBuilder(relabel=True)
+        b.add_edges([(10, 20), (20, 30), (10, 30)])
+        g = b.build()
+        assert g.num_edges == 3
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_no_relabel_keeps_original_ids(self):
+        b = GraphBuilder()
+        b.add_edge(100, 200)
+        g = b.build()
+        assert g.has_vertex(100)
+        assert g.has_vertex(200)

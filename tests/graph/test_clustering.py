@@ -1,0 +1,94 @@
+"""Tests for triangle counting and clustering coefficients."""
+
+import pytest
+
+from repro.graph.clustering import (
+    average_clustering,
+    local_clustering,
+    transitivity,
+    triangle_count,
+    triangles_per_vertex,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    holme_kim,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestTriangleCount:
+    def test_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_clique(self):
+        # K5 has C(5,3) = 10 triangles.
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_tree_has_none(self):
+        assert triangle_count(random_tree(50, seed=0)) == 0
+
+    def test_cycle_has_none(self):
+        assert triangle_count(cycle_graph(10)) == 0
+
+    def test_two_components(self, two_triangles):
+        assert triangle_count(two_triangles) == 2
+
+    def test_per_vertex_sum(self, small_social):
+        per_vertex = triangles_per_vertex(small_social)
+        assert sum(per_vertex.values()) == 3 * triangle_count(small_social)
+
+    def test_per_vertex_on_paw(self):
+        # Triangle 0-1-2 plus pendant 3 attached to 0.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+        per_vertex = triangles_per_vertex(g)
+        assert per_vertex == {0: 1, 1: 1, 2: 1, 3: 0}
+
+    def test_empty(self):
+        assert triangle_count(Graph.empty()) == 0
+
+
+class TestLocalClustering:
+    def test_triangle_vertex_is_one(self, triangle):
+        assert local_clustering(triangle, 0) == 1.0
+
+    def test_star_hub_is_zero(self):
+        g = star_graph(10)
+        assert local_clustering(g, 0) == 0.0
+
+    def test_degree_one_is_zero(self):
+        g = path_graph(3)
+        assert local_clustering(g, 0) == 0.0
+
+    def test_paw_center(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+        # Vertex 0 has 3 neighbours, 1 link among them -> 2/6.
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+
+
+class TestAggregates:
+    def test_clique_everything_one(self):
+        g = complete_graph(6)
+        assert average_clustering(g) == 1.0
+        assert transitivity(g) == 1.0
+
+    def test_tree_everything_zero(self):
+        g = random_tree(40, seed=1)
+        assert average_clustering(g) == 0.0
+        assert transitivity(g) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph.empty()) == 0.0
+        assert transitivity(Graph.empty()) == 0.0
+
+    def test_holme_kim_more_clustered_than_tree(self):
+        social = holme_kim(300, 4, 0.7, seed=0)
+        tree = random_tree(300, seed=0)
+        assert average_clustering(social) > 0.1
+        assert average_clustering(social) > average_clustering(tree)
+
+    def test_transitivity_in_unit_interval(self, small_social):
+        assert 0.0 <= transitivity(small_social) <= 1.0

@@ -1,0 +1,51 @@
+"""Unit tests for the CSR graph view."""
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import holme_kim, star_graph
+from repro.graph.graph import Graph
+
+
+class TestCSRGraph:
+    def test_shapes(self, small_social):
+        csr = CSRGraph(small_social)
+        assert csr.num_vertices == small_social.num_vertices
+        assert csr.num_edges == small_social.num_edges
+        assert len(csr.indptr) == csr.num_vertices + 1
+        assert len(csr.indices) == 2 * csr.num_edges
+
+    def test_degrees_match(self, small_social):
+        csr = CSRGraph(small_social)
+        degrees = csr.degrees()
+        for i, v in enumerate(csr.ids):
+            assert degrees[i] == small_social.degree(int(v))
+
+    def test_neighbors_match(self):
+        g = star_graph(6)
+        csr = CSRGraph(g)
+        hub = csr.index_of[0]
+        nbrs = {int(csr.ids[j]) for j in csr.neighbors_of_index(hub)}
+        assert nbrs == {1, 2, 3, 4, 5}
+
+    def test_non_contiguous_ids(self):
+        g = Graph.from_edges([(100, 200), (200, 300)])
+        csr = CSRGraph(g)
+        assert set(csr.index_of) == {100, 200, 300}
+        mid = csr.index_of[200]
+        assert len(csr.neighbors_of_index(mid)) == 2
+
+    def test_symmetry(self):
+        g = holme_kim(80, 3, 0.5, seed=1)
+        csr = CSRGraph(g)
+        # adjacency must be symmetric: count (i, j) == count (j, i)
+        pairs = set()
+        for i in range(csr.num_vertices):
+            for j in csr.neighbors_of_index(i):
+                pairs.add((i, int(j)))
+        assert all((j, i) in pairs for i, j in pairs)
+
+    def test_empty_graph(self):
+        csr = CSRGraph(Graph.empty())
+        assert csr.num_vertices == 0
+        assert np.array_equal(csr.indptr, np.zeros(1, dtype=np.int64))

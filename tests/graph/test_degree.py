@@ -1,0 +1,70 @@
+"""Unit tests for degree statistics."""
+
+import math
+
+from repro.graph.degree import (
+    degree_gini,
+    degree_histogram,
+    degree_sequence,
+    max_degree,
+    mean,
+    powerlaw_alpha_mle,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestBasics:
+    def test_sequence_descending(self):
+        g = star_graph(5)
+        assert degree_sequence(g) == [4, 1, 1, 1, 1]
+
+    def test_histogram(self):
+        g = star_graph(5)
+        assert degree_histogram(g) == {4: 1, 1: 4}
+
+    def test_max_degree(self):
+        assert max_degree(star_graph(9)) == 8
+        assert max_degree(Graph.empty()) == 0
+
+    def test_mean_helper(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestGini:
+    def test_regular_graph_is_zero(self):
+        assert degree_gini(cycle_graph(30)) == 0.0
+
+    def test_clique_is_zero(self):
+        assert degree_gini(complete_graph(10)) == 0.0
+
+    def test_star_is_high(self):
+        assert degree_gini(star_graph(50)) > 0.4
+
+    def test_ba_higher_than_regular(self):
+        ba = barabasi_albert(400, 3, seed=0)
+        assert degree_gini(ba) > degree_gini(cycle_graph(400))
+
+    def test_empty_graph(self):
+        assert degree_gini(Graph.empty()) == 0.0
+
+
+class TestPowerlawMLE:
+    def test_regular_graph_closed_form(self):
+        # All degrees equal d: alpha = 1 + 1/ln(d / (d - 0.5)) exactly.
+        alpha = powerlaw_alpha_mle(cycle_graph(20), d_min=2)
+        assert alpha == 1.0 + 1.0 / math.log(2.0 / 1.5)
+
+    def test_empty_graph_infinite(self):
+        assert powerlaw_alpha_mle(Graph.empty()) == math.inf
+
+    def test_ba_alpha_in_plausible_range(self):
+        g = barabasi_albert(3000, 3, seed=0)
+        alpha = powerlaw_alpha_mle(g, d_min=3)
+        assert 1.5 < alpha < 4.0

@@ -1,0 +1,231 @@
+"""Unit tests for synthetic graph generators."""
+
+import pytest
+
+from repro.graph.degree import degree_gini, max_degree
+from repro.graph.generators import (
+    barabasi_albert,
+    community_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    genealogy_graph,
+    grid_2d,
+    holme_kim,
+    path_graph,
+    random_forest,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+    with_exact_edges,
+)
+from repro.graph.traversal import connected_components, is_connected
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_counts(self):
+        g = erdos_renyi_gnm(50, 100, seed=0)
+        assert g.num_vertices == 50
+        assert g.num_edges == 100
+
+    def test_gnm_rejects_too_many_edges(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            erdos_renyi_gnm(5, 11, seed=0)
+
+    def test_gnm_saturates_to_clique(self):
+        g = erdos_renyi_gnm(6, 15, seed=0)
+        assert g.num_edges == 15  # K6
+
+    def test_gnp_zero_probability(self):
+        assert erdos_renyi_gnp(20, 0.0, seed=0).num_edges == 0
+
+    def test_gnp_one_probability_is_clique(self):
+        g = erdos_renyi_gnp(8, 1.0, seed=0)
+        assert g.num_edges == 28
+
+    def test_gnp_expected_count_ballpark(self):
+        g = erdos_renyi_gnp(200, 0.1, seed=1)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_gnm(30, 60, seed=9)
+        b = erdos_renyi_gnm(30, 60, seed=9)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+
+class TestPreferentialAttachment:
+    def test_ba_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        assert g.num_edges == 3 * 97  # each new vertex adds exactly m edges
+
+    def test_ba_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5, seed=0)
+
+    def test_ba_has_hub(self):
+        g = barabasi_albert(500, 2, seed=0)
+        assert max_degree(g) > 15  # heavy tail
+
+    def test_holme_kim_edge_count(self):
+        g = holme_kim(100, 3, 0.7, seed=0)
+        assert g.num_edges == 3 * 97
+
+    def test_holme_kim_more_skewed_than_regular(self):
+        g = holme_kim(800, 4, 0.6, seed=1)
+        assert degree_gini(g) > 0.2
+
+    def test_holme_kim_zero_triad_like_ba(self):
+        g = holme_kim(100, 2, 0.0, seed=3)
+        assert g.num_edges == 2 * 98
+
+
+class TestWattsStrogatz:
+    def test_edge_count_preserved_by_rewiring(self):
+        g = watts_strogatz(60, 4, 0.3, seed=0)
+        assert g.num_edges == 60 * 2
+
+    def test_zero_beta_is_ring_lattice(self):
+        g = watts_strogatz(10, 2, 0.0, seed=0)
+        assert sorted(g.edge_list()) == [(i, (i + 1) % 10) if i < 9 else (0, 9) for i in range(10)] or g.num_edges == 10
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            watts_strogatz(10, 3, 0.1, seed=0)
+
+
+class TestCommunityGraph:
+    def test_exact_edge_count(self):
+        g = community_graph(120, 600, 4, 0.9, seed=0)
+        assert g.num_edges == 600
+
+    def test_intra_edges_dominate(self):
+        num_comm = 4
+        n = 200
+        g = community_graph(n, 1000, num_comm, 0.95, seed=1)
+        block = lambda v: v * num_comm // n
+        intra = sum(1 for u, v in g.edges() if block(u) == block(v))
+        assert intra / g.num_edges > 0.75
+
+    def test_more_communities_than_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            community_graph(3, 2, 5, 0.5, seed=0)
+
+
+class TestTrees:
+    def test_random_tree_is_tree(self):
+        g = random_tree(50, seed=0)
+        assert g.num_edges == 49
+        assert is_connected(g)
+
+    def test_forest_component_count(self):
+        g = random_forest(100, 5, seed=0)
+        assert g.num_edges == 95
+        assert len(connected_components(g)) == 5
+
+    def test_genealogy_matches_edges(self):
+        g = genealogy_graph(500, 700, seed=0)
+        assert g.num_vertices == 500
+        assert g.num_edges == 700
+
+    def test_genealogy_small_m_grows_forest(self):
+        g = genealogy_graph(100, 40, seed=0)
+        assert g.num_edges == 40
+
+    def test_genealogy_near_tree_structure(self):
+        g = genealogy_graph(1000, 1100, seed=0)
+        assert degree_gini(g) < 0.5  # far less skewed than social graphs
+
+
+class TestDeterministicFamilies:
+    def test_star(self):
+        g = star_graph(10)
+        assert g.degree(0) == 9
+        assert g.num_edges == 9
+
+    def test_path(self):
+        g = path_graph(10)
+        assert g.num_edges == 9
+        assert g.degree(0) == 1
+        assert g.degree(5) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(10)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(7)
+        assert g.num_edges == 21
+
+    def test_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.num_edges == 12
+        assert not g.has_edge(0, 1)  # same side
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+class TestRMAT:
+    def test_vertex_count_is_power_of_two(self):
+        from repro.graph.generators import rmat
+
+        g = rmat(scale=6, edge_factor=4, seed=0)
+        assert g.num_vertices == 64
+
+    def test_edge_count_bounded_by_samples(self):
+        from repro.graph.generators import rmat
+
+        g = rmat(scale=6, edge_factor=4, seed=0)
+        assert 0 < g.num_edges <= 4 * 64
+
+    def test_skewed_parameters_give_skewed_degrees(self):
+        from repro.graph.degree import degree_gini
+        from repro.graph.generators import rmat
+
+        skewed = rmat(scale=9, edge_factor=8, seed=1)
+        uniform = rmat(scale=9, edge_factor=8, a=0.25, b=0.25, c=0.25, seed=1)
+        assert degree_gini(skewed) > degree_gini(uniform)
+
+    def test_deterministic(self):
+        from repro.graph.generators import rmat
+
+        a = rmat(scale=5, edge_factor=3, seed=7)
+        b = rmat(scale=5, edge_factor=3, seed=7)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+    def test_invalid_probabilities(self):
+        from repro.graph.generators import rmat
+
+        with pytest.raises(ValueError, match="exceeds 1"):
+            rmat(scale=4, a=0.5, b=0.4, c=0.3)
+
+
+class TestWithExactEdges:
+    def test_add_edges(self):
+        g = path_graph(10)
+        adjusted = with_exact_edges(g, 20, seed=0)
+        assert adjusted.num_edges == 20
+        assert adjusted.num_vertices == 10
+
+    def test_remove_edges(self):
+        g = complete_graph(8)
+        adjusted = with_exact_edges(g, 10, seed=0)
+        assert adjusted.num_edges == 10
+
+    def test_noop(self, triangle):
+        adjusted = with_exact_edges(triangle, 3, seed=0)
+        assert sorted(adjusted.edge_list()) == sorted(triangle.edge_list())
+
+    def test_impossible_target_rejected(self, triangle):
+        with pytest.raises(ValueError, match="exceeds"):
+            with_exact_edges(triangle, 100, seed=0)

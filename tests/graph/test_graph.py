@@ -1,0 +1,99 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.graph.graph import Graph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+
+    def test_keeps_ordered_pair(self):
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            normalize_edge(3, 3)
+
+
+class TestConstruction:
+    def test_from_edges_counts(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_collapses_duplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            Graph.from_edges([(2, 2)])
+
+    def test_extra_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_empty(self):
+        g = Graph.empty()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+
+
+class TestQueries:
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(0) == {1, 2}
+
+    def test_degree(self, triangle):
+        assert all(triangle.degree(v) == 2 for v in triangle.vertices())
+
+    def test_has_edge_both_orientations(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0)
+
+    def test_has_edge_absent(self):
+        g = Graph.from_edges([(0, 1)])
+        assert not g.has_edge(0, 2)
+
+    def test_has_vertex_and_contains(self, triangle):
+        assert triangle.has_vertex(2)
+        assert 2 in triangle
+        assert 99 not in triangle
+
+    def test_edges_canonical_unique(self, triangle):
+        edges = triangle.edge_list()
+        assert sorted(edges) == [(0, 1), (0, 2), (1, 2)]
+        assert all(u < v for u, v in edges)
+
+    def test_len_counts_vertices(self, triangle):
+        assert len(triangle) == 3
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == 2.0
+
+
+class TestDerivedViews:
+    def test_adjacency_copy_is_deep(self, triangle):
+        copy = triangle.adjacency_copy()
+        copy[0].discard(1)
+        assert triangle.has_edge(0, 1)
+
+    def test_subgraph_induces_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sorted(sub.edge_list()) == [(0, 1), (1, 2)]
+
+    def test_subgraph_disjoint_vertices(self):
+        g = Graph.from_edges([(0, 1)])
+        sub = g.subgraph([5])
+        assert sub.num_vertices == 0
+
+    def test_subgraph_keeps_isolates_present_in_graph(self):
+        g = Graph.from_edges([(0, 1)], vertices=[7])
+        sub = g.subgraph([0, 7])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0

@@ -1,0 +1,146 @@
+"""Unit tests for SNAP edge-list IO."""
+
+import gzip
+
+import pytest
+
+from repro.graph.generators import holme_kim
+from repro.graph.io import iter_edge_list, read_edge_list, write_edge_list
+
+
+class TestIterEdgeList:
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% other comment\n0 1\n1\t2\n")
+        assert list(iter_edge_list(path)) == [(0, 1), (1, 2)]
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\njust-one-token\n")
+        with pytest.raises(ValueError, match=":2:"):
+            list(iter_edge_list(path))
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            list(iter_edge_list(path))
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 weight=3\n")
+        assert list(iter_edge_list(path)) == [(0, 1)]
+
+
+class TestReadEdgeList:
+    def test_normalises_directed_duplicates(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n2 2\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_relabel(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n")
+        g = read_edge_list(path, relabel=True)
+        assert sorted(g.vertices()) == [0, 1]
+
+
+class TestMetisFormat:
+    def test_round_trip(self, tmp_path, small_social):
+        from repro.graph.io import read_metis_graph, write_metis_graph
+
+        path = tmp_path / "g.metis"
+        mapping = write_metis_graph(small_social, path)
+        back = read_metis_graph(path)
+        assert back.num_vertices == small_social.num_vertices
+        assert back.num_edges == small_social.num_edges
+        # Structure preserved under the relabelling.
+        for u, v in small_social.edges():
+            assert back.has_edge(mapping[u] - 1, mapping[v] - 1)
+
+    def test_triangle_file_contents(self, tmp_path, triangle):
+        from repro.graph.io import write_metis_graph
+
+        path = tmp_path / "t.metis"
+        write_metis_graph(triangle, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "3 3"
+        assert lines[1].split() == ["2", "3"]
+
+    def test_comment_lines_skipped(self, tmp_path):
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        g = read_metis_graph(path)
+        assert g.num_edges == 1
+
+    def test_header_mismatch_detected(self, tmp_path):
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(ValueError, match="header says 5 edges"):
+            read_metis_graph(path)
+
+    def test_vertex_count_mismatch_detected(self, tmp_path):
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(ValueError, match="3 vertices"):
+            read_metis_graph(path)
+
+    def test_weighted_format_rejected(self, tmp_path):
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 011\n2 5\n1 5\n")
+        with pytest.raises(ValueError, match="not supported"):
+            read_metis_graph(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_metis_graph(path)
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        from repro.graph.io import read_metis_graph, write_metis_graph
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        path = tmp_path / "g.metis"
+        write_metis_graph(g, path)
+        back = read_metis_graph(path)
+        assert back.num_vertices == 3
+        assert back.degree(2) == 0
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, tmp_path, small_social):
+        path = tmp_path / "g.edges"
+        write_edge_list(small_social, path, header=["test graph"])
+        back = read_edge_list(path)
+        assert back.num_edges == small_social.num_edges
+        assert sorted(back.edge_list()) == sorted(small_social.edge_list())
+
+    def test_gzip_roundtrip(self, tmp_path):
+        g = holme_kim(100, 3, 0.5, seed=2)
+        path = tmp_path / "g.edges.gz"
+        write_edge_list(g, path)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#")
+        back = read_edge_list(path)
+        assert sorted(back.edge_list()) == sorted(g.edge_list())
+
+    def test_header_written(self, tmp_path, triangle):
+        path = tmp_path / "g.edges"
+        write_edge_list(triangle, path, header=["alpha", "beta"])
+        text = path.read_text()
+        assert "# alpha" in text
+        assert "# beta" in text
+        assert "# Nodes: 3 Edges: 3" in text

@@ -1,0 +1,81 @@
+"""Tests for graph samplers."""
+
+import pytest
+
+from repro.graph.generators import holme_kim, path_graph
+from repro.graph.graph import Graph
+from repro.graph.sampling import bfs_sample, random_edge_sample, random_vertex_sample
+from repro.graph.traversal import is_connected
+
+
+class TestRandomEdgeSample:
+    def test_fraction_zero_empty(self, small_social):
+        assert random_edge_sample(small_social, 0.0, seed=0).num_edges == 0
+
+    def test_fraction_one_keeps_all(self, small_social):
+        sampled = random_edge_sample(small_social, 1.0, seed=0)
+        assert sampled.num_edges == small_social.num_edges
+
+    def test_expected_size(self, medium_social):
+        sampled = random_edge_sample(medium_social, 0.5, seed=0)
+        expected = 0.5 * medium_social.num_edges
+        assert abs(sampled.num_edges - expected) < 0.1 * medium_social.num_edges
+
+    def test_edges_are_subset(self, small_social):
+        sampled = random_edge_sample(small_social, 0.3, seed=1)
+        original = set(small_social.edge_list())
+        assert set(sampled.edge_list()) <= original
+
+    def test_deterministic(self, small_social):
+        a = random_edge_sample(small_social, 0.4, seed=9)
+        b = random_edge_sample(small_social, 0.4, seed=9)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+
+class TestRandomVertexSample:
+    def test_induced_edges_only(self, small_social):
+        sampled = random_vertex_sample(small_social, 0.5, seed=0)
+        for u, v in sampled.edges():
+            assert small_social.has_edge(u, v)
+
+    def test_fraction_one_identity(self, small_social):
+        sampled = random_vertex_sample(small_social, 1.0, seed=0)
+        assert sampled.num_vertices == small_social.num_vertices
+        assert sampled.num_edges == small_social.num_edges
+
+
+class TestBFSSample:
+    def test_exact_size(self, medium_social):
+        sampled = bfs_sample(medium_social, 100, seed=0)
+        assert sampled.num_vertices == 100
+
+    def test_whole_graph_when_requesting_more(self, small_social):
+        sampled = bfs_sample(small_social, 10_000, seed=0)
+        assert sampled.num_vertices == small_social.num_vertices
+
+    def test_ball_is_connected_on_connected_graph(self):
+        g = holme_kim(500, 4, 0.5, seed=2)
+        sampled = bfs_sample(g, 80, seed=0)
+        assert is_connected(sampled)
+
+    def test_restarts_cover_components(self, two_triangles):
+        sampled = bfs_sample(two_triangles, 6, seed=0)
+        assert sampled.num_vertices == 6
+
+    def test_explicit_seed_vertex(self):
+        g = path_graph(50)
+        sampled = bfs_sample(g, 5, seed_vertex=0)
+        assert set(sampled.vertices()) == {0, 1, 2, 3, 4}
+
+    def test_unknown_seed_vertex(self, small_social):
+        with pytest.raises(KeyError):
+            bfs_sample(small_social, 5, seed_vertex=10**9)
+
+    def test_empty_graph(self):
+        assert bfs_sample(Graph.empty(), 5, seed=0).num_vertices == 0
+
+    def test_preserves_local_density(self):
+        """A BFS ball of a clustered graph keeps most internal edges."""
+        g = holme_kim(500, 5, 0.7, seed=1)
+        sampled = bfs_sample(g, 100, seed=3)
+        assert sampled.average_degree() > 0.4 * g.average_degree()

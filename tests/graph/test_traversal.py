@@ -1,0 +1,90 @@
+"""Unit tests for BFS/DFS traversals and components."""
+
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_edge_order,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    is_connected,
+    largest_component,
+)
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, triangle):
+        assert next(bfs_order(triangle, 1)) == 1
+
+    def test_order_visits_reachable_once(self, small_social):
+        order = list(bfs_order(small_social, 0))
+        assert len(order) == len(set(order))
+
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_unreachable_absent(self, two_triangles):
+        dist = bfs_distances(two_triangles, 0)
+        assert 10 not in dist
+        assert set(dist) == {0, 1, 2}
+
+    def test_star_distances(self):
+        g = star_graph(6)
+        dist = bfs_distances(g, 0)
+        assert all(dist[v] == 1 for v in range(1, 6))
+
+
+class TestDFS:
+    def test_visits_component(self, two_triangles):
+        assert set(dfs_order(two_triangles, 10)) == {10, 11, 12}
+
+    def test_no_duplicates(self, small_social):
+        order = list(dfs_order(small_social, 0))
+        assert len(order) == len(set(order))
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        assert connected_components(triangle) == [{0, 1, 2}]
+
+    def test_two_components_sorted_by_size(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (10, 11)])
+        comps = connected_components(g)
+        assert comps[0] == {0, 1, 2, 3}
+        assert comps[1] == {10, 11}
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5])
+        assert {5} in connected_components(g)
+
+    def test_largest_component_empty_graph(self):
+        assert largest_component(Graph.empty()) == set()
+
+    def test_is_connected(self, triangle, two_triangles):
+        assert is_connected(triangle)
+        assert not is_connected(two_triangles)
+        assert is_connected(Graph.empty())
+
+
+class TestBFSEdgeOrder:
+    def test_covers_all_edges_once(self, small_social):
+        edges = list(bfs_edge_order(small_social))
+        assert len(edges) == small_social.num_edges
+        assert len(set(edges)) == small_social.num_edges
+
+    def test_covers_disconnected(self, two_triangles):
+        edges = list(bfs_edge_order(two_triangles))
+        assert len(edges) == 6
+
+    def test_source_component_first(self, two_triangles):
+        edges = list(bfs_edge_order(two_triangles, source=10))
+        first_three = {v for e in edges[:3] for v in e}
+        assert first_three == {10, 11, 12}
+
+    def test_cycle_edges_localised(self):
+        g = cycle_graph(10)
+        edges = list(bfs_edge_order(g, source=0))
+        # First two edges must touch the source on a cycle.
+        assert all(0 in e for e in edges[:2])

@@ -1,0 +1,127 @@
+"""Integration tests: the paper's qualitative results, end to end.
+
+These run the real pipeline (dataset stand-in -> partitioners -> metrics)
+at small scale with fixed seeds and assert the *shape* of the paper's
+findings.  They are the acceptance tests of the reproduction.
+"""
+
+import pytest
+
+from repro.bench.figures import fig8, tlp_r_sweep
+from repro.bench.tables import table4, table6
+from repro.datasets.synthetic import instantiate
+from repro.datasets.catalog import dataset_by_key
+from repro.graph.generators import community_graph
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.registry import make_partitioner
+
+
+@pytest.fixture(scope="module")
+def g1():
+    return instantiate(dataset_by_key("G1"), scale=0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def g4():
+    return instantiate(dataset_by_key("G4"), scale=0.03, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig8_small(g1, g4):
+    return fig8(graphs={"G1": g1, "G4": g4}, p_values=(10,), seed=0)
+
+
+class TestFig8Shape:
+    """Fig. 8: TLP and METIS lead; Random is worst everywhere."""
+
+    def test_random_is_worst_everywhere(self, fig8_small):
+        for dataset in ("G1", "G4"):
+            worst = fig8_small.rf(dataset, "Random", 10)
+            for algo in ("TLP", "METIS", "LDG", "DBH"):
+                assert fig8_small.rf(dataset, algo, 10) < worst
+
+    def test_tlp_and_metis_lead(self, fig8_small):
+        for dataset in ("G1", "G4"):
+            best_two = sorted(
+                ("TLP", "METIS", "LDG", "DBH"),
+                key=lambda a: fig8_small.rf(dataset, a, 10),
+            )[:2]
+            assert "TLP" in best_two
+
+    def test_tlp_beats_streaming_baselines(self, fig8_small):
+        for dataset in ("G1", "G4"):
+            tlp = fig8_small.rf(dataset, "TLP", 10)
+            assert tlp < fig8_small.rf(dataset, "LDG", 10)
+            assert tlp < fig8_small.rf(dataset, "DBH", 10)
+
+
+class TestTable4Shape:
+    """Table IV: dRF > 0 on most datasets and positive on average."""
+
+    def test_delta_rf_positive_majority(self, fig8_small):
+        data = table4(fig8_data=fig8_small)
+        assert data.positive_fraction(10) >= 0.5
+        assert data.average(10) > 0
+
+
+class TestFigs9To11Shape:
+    """Figs. 9-11: endpoints (one-stage) lose to the best interior R, and
+    TLP lands near the best interior without tuning."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, g1):
+        return tlp_r_sweep(
+            g1, "G1", 10, r_values=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0), seed=0
+        )
+
+    def test_interior_beats_endpoints(self, sweep):
+        assert sweep.best_interior() <= sweep.endpoint_worst()
+
+    def test_tlp_near_best_interior(self, sweep):
+        assert sweep.tlp_rf <= sweep.best_interior() * 1.30
+
+    def test_rf_values_sane(self, sweep):
+        assert all(rf >= 1.0 for rf in sweep.tlp_r_rf)
+
+
+class TestTable6Shape:
+    """Table VI: Stage I selects far higher-degree vertices than Stage II."""
+
+    def test_stage1_degree_dominates(self, g1, g4):
+        data = table6(graphs={"G1": g1, "G4": g4}, p_values=(10,), seed=0)
+        for dataset in ("G1", "G4"):
+            s1, s2 = data.mean_degrees[(dataset, 10)]
+            assert s1 > s2
+        # On the sparser dataset the gap is wide, as in the paper's Table VI
+        # (the ultra-dense G1 stand-in compresses the degree range at small
+        # scale, so only the ordering is asserted there).
+        s1, s2 = data.mean_degrees[("G4", 10)]
+        assert s1 > 1.5 * s2
+
+
+class TestRFGrowsWithP:
+    """More partitions -> more replication, for every algorithm (Fig. 8 a-c)."""
+
+    @pytest.mark.parametrize("algo", ["TLP", "METIS", "Random"])
+    def test_monotone_in_p(self, g1, algo):
+        rf = [
+            replication_factor(
+                make_partitioner(algo, seed=0).partition(g1, p), g1
+            )
+            for p in (5, 10, 20)
+        ]
+        assert rf[0] < rf[1] < rf[2]
+
+
+class TestCommunityRecovery:
+    """A local partitioner given planted communities should find them:
+    RF stays near 1 when p matches the community count."""
+
+    def test_tlp_on_planted_partition(self):
+        g = community_graph(400, 2400, 8, 0.95, seed=0)
+        part = make_partitioner("TLP", seed=0).partition(g, 8)
+        rf = replication_factor(part, g)
+        rnd = replication_factor(
+            make_partitioner("Random", seed=0).partition(g, 8), g
+        )
+        assert rf < 0.45 * rnd

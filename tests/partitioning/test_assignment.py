@@ -1,0 +1,81 @@
+"""Unit tests for the EdgePartition result type."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.partitioning.assignment import EdgePartition
+
+
+@pytest.fixture
+def square():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+@pytest.fixture
+def square_partition():
+    return EdgePartition([[(0, 1), (1, 2)], [(2, 3), (0, 3)]])
+
+
+class TestConstruction:
+    def test_normalises_edges(self):
+        part = EdgePartition([[(2, 1)], [(3, 0)]])
+        assert part.edges_of(0) == [(1, 2)]
+        assert part.edges_of(1) == [(0, 3)]
+
+    def test_from_assignment(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        part = EdgePartition.from_assignment(edges, [0, 1, 0], 2)
+        assert part.partition_sizes() == [2, 1]
+
+    def test_empty_partitions_allowed(self):
+        part = EdgePartition([[], [(0, 1)], []])
+        assert part.num_partitions == 3
+        assert part.partition_sizes() == [0, 1, 0]
+
+
+class TestViews:
+    def test_vertex_sets(self, square_partition):
+        assert square_partition.vertex_sets() == [{0, 1, 2}, {0, 2, 3}]
+
+    def test_vertex_counts(self, square_partition):
+        assert square_partition.vertex_counts() == [3, 3]
+
+    def test_num_edges(self, square_partition):
+        assert square_partition.num_edges == 4
+
+    def test_edge_to_partition(self, square_partition):
+        mapping = square_partition.edge_to_partition()
+        assert mapping[(0, 1)] == 0
+        assert mapping[(0, 3)] == 1
+
+    def test_partition_of_normalises(self, square_partition):
+        assert square_partition.partition_of(3, 2) == 1
+
+    def test_partition_of_missing_raises(self, square_partition):
+        with pytest.raises(KeyError):
+            square_partition.partition_of(0, 2)
+
+    def test_replicas(self, square_partition):
+        assert square_partition.replicas(0) == 2
+        assert square_partition.replicas(1) == 1
+        assert square_partition.replicas(99) == 0
+
+    def test_duplicate_edge_detected(self):
+        part = EdgePartition([[(0, 1)], [(1, 0)]])
+        with pytest.raises(ValueError, match="assigned to partitions"):
+            part.edge_to_partition()
+
+
+class TestValidation:
+    def test_valid_partition_passes(self, square, square_partition):
+        square_partition.validate_against(square)
+
+    def test_missing_edge_detected(self, square):
+        part = EdgePartition([[(0, 1)], [(1, 2), (2, 3)]])
+        with pytest.raises(ValueError, match="covers 3 edges"):
+            part.validate_against(square)
+
+    def test_foreign_edge_detected(self, square):
+        part = EdgePartition([[(0, 1), (0, 2)], [(1, 2), (2, 3)]])
+        with pytest.raises(ValueError):
+            part.validate_against(square)

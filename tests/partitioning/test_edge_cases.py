@@ -1,0 +1,139 @@
+"""Edge-case tests targeting less-travelled branches across partitioners."""
+
+import pytest
+
+from repro.graph.generators import holme_kim, star_graph
+from repro.graph.graph import Graph
+from repro.partitioning.dbh import DBHPartitioner
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.grid import GridPartitioner
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.metis import MetisLikePartitioner
+from repro.partitioning.ne import NEPartitioner
+from repro.partitioning.random_edge import RandomPartitioner
+
+
+class TestEmptyGraphEverywhere:
+    @pytest.mark.parametrize(
+        "partitioner",
+        [
+            RandomPartitioner(seed=0),
+            DBHPartitioner(),
+            GridPartitioner(),
+            GreedyPartitioner(seed=0),
+            HDRFPartitioner(seed=0),
+            NEPartitioner(seed=0),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_edge_partitioners_on_empty_graph(self, partitioner):
+        part = partitioner.partition(Graph.empty(), 3)
+        assert part.num_partitions == 3
+        assert part.num_edges == 0
+
+    @pytest.mark.parametrize(
+        "partitioner",
+        [LDGPartitioner(seed=0), MetisLikePartitioner(seed=0)],
+        ids=lambda p: p.name,
+    )
+    def test_vertex_partitioners_on_empty_graph(self, partitioner):
+        assert partitioner.partition_vertices(Graph.empty(), 3) == {}
+
+
+class TestSingleEdge:
+    @pytest.mark.parametrize(
+        "partitioner",
+        [
+            RandomPartitioner(seed=0),
+            DBHPartitioner(),
+            GridPartitioner(),
+            GreedyPartitioner(seed=0),
+            HDRFPartitioner(seed=0),
+            NEPartitioner(seed=0),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_one_edge_many_partitions(self, partitioner):
+        g = Graph.from_edges([(0, 1)])
+        part = partitioner.partition(g, 5)
+        part.validate_against(g)
+        assert sum(part.partition_sizes()) == 1
+
+
+class TestGreedyRules:
+    def test_rule_one_intersection(self):
+        """Both endpoints seen in the same partition -> edge joins it."""
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        part = GreedyPartitioner(seed=0).assign_stream(
+            [(0, 1), (0, 2), (1, 2)], 3, graph=g
+        )
+        # After (0,1) and (0,2) land somewhere, (1,2)'s endpoints share at
+        # least the partition where 0's edges went if colocated; in any case
+        # every vertex should span at most 2 partitions on a triangle.
+        for v in (0, 1, 2):
+            assert part.replicas(v) <= 2
+
+    def test_rule_four_fresh_vertices_least_loaded(self):
+        part = GreedyPartitioner(seed=0).assign_stream(
+            [(0, 1), (2, 3), (4, 5)], 3
+        )
+        # Three disjoint edges over three partitions: each rule-4 placement
+        # picks a least-loaded empty partition.
+        assert sorted(part.partition_sizes()) == [1, 1, 1]
+
+
+class TestHDRFPartialDegrees:
+    def test_streaming_degrees_differ_from_exact(self, small_social):
+        edges = small_social.edge_list()
+        with_graph = HDRFPartitioner(seed=0).assign_stream(
+            edges, 6, graph=small_social
+        )
+        without_graph = HDRFPartitioner(seed=0).assign_stream(edges, 6, graph=None)
+        with_graph.validate_against(small_social)
+        without_graph.validate_against(small_social)
+
+
+class TestGridConstraints:
+    def test_p_one(self):
+        g = holme_kim(100, 3, 0.5, seed=0)
+        part = GridPartitioner().partition(g, 1)
+        assert part.partition_sizes() == [g.num_edges]
+
+    def test_prime_p(self, small_social):
+        part = GridPartitioner().partition(small_social, 13)
+        part.validate_against(small_social)
+
+    def test_p_two(self, small_social):
+        part = GridPartitioner().partition(small_social, 2)
+        part.validate_against(small_social)
+
+
+class TestNEHeapMaintenance:
+    def test_star_graph(self):
+        g = star_graph(50)
+        part = NEPartitioner(seed=0).partition(g, 5)
+        part.validate_against(g)
+
+    def test_two_hubs(self):
+        edges = [(0, i) for i in range(2, 30)] + [(1, i) for i in range(2, 30)]
+        g = Graph.from_edges(edges)
+        part = NEPartitioner(seed=0).partition(g, 4)
+        part.validate_against(g)
+
+
+class TestMetisSmallGraphs:
+    def test_p_equals_n(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(g, 3)
+        assert set(assignment.values()) == {0, 1, 2}
+
+    def test_p_exceeds_n(self):
+        g = Graph.from_edges([(0, 1)])
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(g, 4)
+        assert set(assignment) == {0, 1}
+
+    def test_two_vertex_graph(self):
+        g = Graph.from_edges([(0, 1)])
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(g, 2)
+        assert assignment[0] != assignment[1]

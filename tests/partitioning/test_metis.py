@@ -1,0 +1,226 @@
+"""Tests for the from-scratch multilevel (METIS-like) partitioner."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    community_graph,
+    complete_graph,
+    grid_2d,
+    holme_kim,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.partitioning.metis.coarsen import coarsen
+from repro.partitioning.metis.initial import bisection_weights, grow_bisection
+from repro.partitioning.metis.matching import heavy_edge_matching
+from repro.partitioning.metis.multilevel import MetisLikePartitioner, multilevel_bisect
+from repro.partitioning.metis.refine import fm_refine
+from repro.partitioning.metis.wgraph import WeightedGraph
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.random_edge import RandomPartitioner
+from repro.partitioning.vertex_adapter import VertexToEdgePartitioner
+
+
+def wgraph_of(graph):
+    wg, ids = WeightedGraph.from_graph(graph)
+    return wg
+
+
+class TestWeightedGraph:
+    def test_from_graph_unit_weights(self, triangle):
+        wg, ids = WeightedGraph.from_graph(triangle)
+        assert wg.num_vertices == 3
+        assert wg.num_edges() == 3
+        assert wg.vertex_weight == [1, 1, 1]
+        assert wg.total_vertex_weight == 3
+
+    def test_edge_cut(self, triangle):
+        wg = wgraph_of(triangle)
+        assert wg.edge_cut([0, 0, 0]) == 0
+        assert wg.edge_cut([0, 0, 1]) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph([1, 1], [dict()])
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, small_social):
+        wg = wgraph_of(small_social)
+        match = heavy_edge_matching(wg, random.Random(0))
+        for v, partner in enumerate(match):
+            assert match[partner] == v
+
+    def test_matches_prefer_heavy_edges(self):
+        # Triangle 0-1-2 with a heavy edge 0-1.
+        wg = WeightedGraph(
+            [1, 1, 1],
+            [{1: 10, 2: 1}, {0: 10, 2: 1}, {0: 1, 1: 1}],
+        )
+        match = heavy_edge_matching(wg, random.Random(0))
+        assert match[0] == 1 and match[1] == 0
+        assert match[2] == 2  # left unmatched
+
+    def test_weight_limit_blocks_merges(self):
+        wg = WeightedGraph([10, 10], [{1: 1}, {0: 1}])
+        match = heavy_edge_matching(wg, random.Random(0), max_vertex_weight=15)
+        assert match == [0, 1]  # merge would weigh 20 > 15
+
+
+class TestCoarsen:
+    def test_halves_path(self):
+        wg = wgraph_of(path_graph(8))
+        match = heavy_edge_matching(wg, random.Random(1))
+        coarse, projection = coarsen(wg, match)
+        assert coarse.num_vertices < wg.num_vertices
+        assert coarse.total_vertex_weight == wg.total_vertex_weight
+        assert len(projection) == wg.num_vertices
+
+    def test_edge_weights_accumulate(self):
+        # Square 0-1-2-3-0; matching (0,1) and (2,3) -> coarse edge weight 2.
+        wg = wgraph_of(Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)]))
+        match = [1, 0, 3, 2]
+        coarse, projection = coarsen(wg, match)
+        assert coarse.num_vertices == 2
+        assert coarse.adj[0].get(1) == 2
+        assert coarse.adj[1].get(0) == 2
+
+    def test_cut_preserved_under_projection(self, small_social):
+        wg = wgraph_of(small_social)
+        match = heavy_edge_matching(wg, random.Random(2))
+        coarse, projection = coarsen(wg, match)
+        rng = random.Random(0)
+        coarse_side = [rng.randrange(2) for _ in range(coarse.num_vertices)]
+        fine_side = [coarse_side[projection[v]] for v in range(wg.num_vertices)]
+        assert coarse.edge_cut(coarse_side) == wg.edge_cut(fine_side)
+
+
+class TestInitialBisection:
+    def test_region_hits_target_weight(self):
+        wg = wgraph_of(grid_2d(6, 6))
+        side = grow_bisection(wg, target_weight=18, rng=random.Random(0))
+        w0, w1 = bisection_weights(side, wg)
+        assert w0 >= 18
+        assert w0 <= 18 + 1  # greedy stops on crossing the target
+
+    def test_grid_bisection_cut_is_small(self):
+        wg = wgraph_of(grid_2d(8, 8))
+        side = grow_bisection(wg, target_weight=32, rng=random.Random(0))
+        # The optimum cut of an 8x8 grid bisection is 8.
+        assert wg.edge_cut(side) <= 24
+
+    def test_disconnected_graph_topped_up(self, two_triangles):
+        wg = wgraph_of(two_triangles)
+        side = grow_bisection(wg, target_weight=4, rng=random.Random(0))
+        w0, _ = bisection_weights(side, wg)
+        assert w0 >= 4
+
+
+class TestFMRefine:
+    def test_never_worsens_cut(self, small_social):
+        wg = wgraph_of(small_social)
+        rng = random.Random(0)
+        side = [rng.randrange(2) for _ in range(wg.num_vertices)]
+        before = wg.edge_cut(side)
+        refined, after = fm_refine(wg, side, target0=wg.num_vertices // 2, rng=rng)
+        assert after <= before
+        assert after == wg.edge_cut(refined)
+
+    def test_fixes_obvious_misplacement(self):
+        # Two cliques joined by one edge; start with one vertex on the wrong side.
+        edges = []
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((i, j))
+                edges.append((5 + i, 5 + j))
+        edges.append((0, 5))
+        g = Graph.from_edges(edges)
+        wg, ids = WeightedGraph.from_graph(g)
+        index = {v: i for i, v in enumerate(ids)}
+        side = [0 if v < 5 else 1 for v in ids]
+        side[index[7]] = 0  # misplace vertex 7
+        refined, cut = fm_refine(wg, side, target0=5, rng=random.Random(0))
+        assert cut == 1  # back to the single bridge edge
+
+    def test_respects_balance_window(self, small_social):
+        wg = wgraph_of(small_social)
+        target = wg.num_vertices // 2
+        side = [v % 2 for v in range(wg.num_vertices)]
+        refined, _ = fm_refine(
+            wg, side, target0=target, rng=random.Random(0), tolerance=0.05
+        )
+        w0 = sum(1 for s in refined if s == 0)
+        slack = max(int(0.05 * wg.num_vertices), 1)
+        assert target - slack <= w0 <= target + slack
+
+
+class TestMultilevel:
+    def test_bisect_balances_fraction(self, medium_social):
+        wg = wgraph_of(medium_social)
+        side = multilevel_bisect(wg, 0.5, random.Random(0))
+        w0, w1 = bisection_weights(side, wg)
+        assert abs(w0 - w1) <= 0.12 * wg.total_vertex_weight
+
+    def test_uneven_fraction(self, medium_social):
+        wg = wgraph_of(medium_social)
+        side = multilevel_bisect(wg, 2 / 3, random.Random(0))
+        w0, _ = bisection_weights(side, wg)
+        assert abs(w0 - 2 * wg.total_vertex_weight / 3) <= 0.12 * wg.total_vertex_weight
+
+    def test_grid_cut_quality(self):
+        g = grid_2d(12, 12)
+        wg = wgraph_of(g)
+        side = multilevel_bisect(wg, 0.5, random.Random(0))
+        assert wg.edge_cut(side) <= 30  # optimum 12
+
+    def test_star_graph_does_not_hang(self):
+        """Stars defeat matching (one round coarsens almost nothing)."""
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(
+            star_graph(200), 4
+        )
+        assert set(assignment) == set(range(200))
+
+
+class TestMetisPartitioner:
+    def test_assigns_every_vertex(self, small_social):
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(small_social, 5)
+        assert set(assignment) == set(small_social.vertices())
+        assert set(assignment.values()) == set(range(5))
+
+    def test_nonpower_of_two(self, small_social):
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(small_social, 7)
+        sizes = [0] * 7
+        for k in assignment.values():
+            sizes[k] += 1
+        mean = small_social.num_vertices / 7
+        assert max(sizes) <= 1.45 * mean
+
+    def test_empty_graph(self):
+        assert MetisLikePartitioner(seed=0).partition_vertices(Graph.empty(), 3) == {}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MetisLikePartitioner(coarsen_to=0)
+        with pytest.raises(ValueError):
+            MetisLikePartitioner(tolerance=0.7)
+
+    def test_recovers_planted_communities(self):
+        g = community_graph(120, 900, 4, 0.95, seed=8)
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(g, 4)
+        internal = sum(1 for u, v in g.edges() if assignment[u] == assignment[v])
+        assert internal / g.num_edges > 0.7
+
+    def test_edge_adapter_beats_random(self):
+        g = holme_kim(700, 5, 0.5, seed=4)
+        metis = VertexToEdgePartitioner(MetisLikePartitioner(seed=0)).partition(g, 8)
+        rnd = RandomPartitioner(seed=0).partition(g, 8)
+        metis.validate_against(g)
+        assert replication_factor(metis, g) < replication_factor(rnd, g)
+
+    def test_clique_any_partition_valid(self):
+        g = complete_graph(20)
+        assignment = MetisLikePartitioner(seed=0).partition_vertices(g, 4)
+        assert set(assignment.values()) == set(range(4))

@@ -1,0 +1,67 @@
+"""Tests for the partitioner registry and base-class helpers."""
+
+import pytest
+
+from repro.partitioning.base import default_capacity
+from repro.partitioning.registry import (
+    EXTENDED_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    available_partitioners,
+    make_partitioner,
+    register_partitioner,
+)
+
+
+class TestDefaultCapacity:
+    def test_ceil_division(self):
+        assert default_capacity(10, 3) == 4
+        assert default_capacity(9, 3) == 3
+
+    def test_minimum_one(self):
+        assert default_capacity(0, 5) == 1
+
+    def test_slack(self):
+        assert default_capacity(100, 10, slack=1.2) == 12
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            default_capacity(10, 0)
+        with pytest.raises(ValueError):
+            default_capacity(10, 2, slack=0.9)
+
+
+class TestRegistry:
+    def test_paper_algorithms_all_registered(self):
+        available = available_partitioners()
+        for name in PAPER_ALGORITHMS:
+            assert name in available
+
+    def test_extended_algorithms_all_registered(self):
+        available = available_partitioners()
+        for name in EXTENDED_ALGORITHMS:
+            assert name in available
+
+    @pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+    def test_factories_build_named_partitioners(self, name):
+        partitioner = make_partitioner(name, seed=1)
+        assert partitioner.name == name
+
+    def test_tlp_r_addressing(self):
+        partitioner = make_partitioner("TLP_R:0.4", seed=0)
+        assert partitioner.ratio == 0.4
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            make_partitioner("NotAThing")
+
+    def test_register_custom(self, small_social):
+        from repro.partitioning.random_edge import RandomPartitioner
+
+        register_partitioner("custom-test", lambda seed: RandomPartitioner(seed=seed))
+        part = make_partitioner("custom-test", seed=0).partition(small_social, 3)
+        part.validate_against(small_social)
+
+    def test_each_paper_algorithm_partitions_small_graph(self, small_social):
+        for name in PAPER_ALGORITHMS:
+            part = make_partitioner(name, seed=0).partition(small_social, 4)
+            part.validate_against(small_social)

@@ -1,0 +1,97 @@
+"""Tests for partition save/load round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core.tlp import TLPPartitioner
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.serialization import (
+    MANIFEST_NAME,
+    load_partition,
+    partition_metadata,
+    save_partition,
+)
+
+
+@pytest.fixture
+def sample_partition(small_social):
+    return TLPPartitioner(seed=0).partition(small_social, 4)
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_edges(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out")
+        loaded = load_partition(tmp_path / "out")
+        assert loaded.num_partitions == sample_partition.num_partitions
+        for k in range(loaded.num_partitions):
+            assert sorted(loaded.edges_of(k)) == sorted(sample_partition.edges_of(k))
+
+    def test_round_trip_validates_against_graph(
+        self, sample_partition, small_social, tmp_path
+    ):
+        save_partition(sample_partition, tmp_path / "out")
+        load_partition(tmp_path / "out").validate_against(small_social)
+
+    def test_empty_partitions_survive(self, tmp_path):
+        partition = EdgePartition([[(0, 1)], [], [(1, 2)]])
+        save_partition(partition, tmp_path / "out")
+        loaded = load_partition(tmp_path / "out")
+        assert loaded.partition_sizes() == [1, 0, 1]
+
+    def test_metadata_round_trip(self, sample_partition, tmp_path):
+        save_partition(
+            sample_partition,
+            tmp_path / "out",
+            metadata={"algorithm": "TLP", "p": 4},
+        )
+        meta = partition_metadata(tmp_path / "out")
+        assert meta == {"algorithm": "TLP", "p": 4}
+
+    def test_deterministic_files(self, sample_partition, tmp_path):
+        m1 = save_partition(sample_partition, tmp_path / "a")
+        m2 = save_partition(sample_partition, tmp_path / "b")
+        assert m1.read_text() == m2.read_text()
+
+
+class TestVerification:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_partition(tmp_path)
+
+    def test_truncated_file_detected(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out")
+        target = next((tmp_path / "out").glob("part_*.edges"))
+        lines = target.read_text().splitlines()
+        target.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_partition(tmp_path / "out")
+
+    def test_corrupted_edge_detected(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out")
+        target = next((tmp_path / "out").glob("part_*.edges"))
+        lines = target.read_text().splitlines()
+        u, v = lines[0].split()
+        lines[0] = f"{int(u) + 1_000_000}\t{v}"
+        target.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="checksum"):
+            load_partition(tmp_path / "out")
+
+    def test_verification_can_be_skipped(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out")
+        target = next((tmp_path / "out").glob("part_*.edges"))
+        lines = target.read_text().splitlines()
+        u, v = lines[0].split()
+        lines[0] = f"{int(u) + 1_000_000}\t{v}"
+        target.write_text("\n".join(lines) + "\n")
+        loaded = load_partition(tmp_path / "out", verify=False)
+        assert loaded.num_partitions == sample_partition.num_partitions
+
+    def test_unsupported_version(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out")
+        manifest_path = tmp_path / "out" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_partition(tmp_path / "out")

@@ -1,0 +1,156 @@
+"""Tests for the streaming edge partitioners: Random, DBH, Grid, Greedy, HDRF."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import complete_graph, holme_kim, star_graph
+from repro.partitioning.dbh import DBHPartitioner, _hash_vertex
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.grid import GridPartitioner, _grid_shape
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.metrics import edge_balance, replication_factor
+from repro.partitioning.random_edge import RandomPartitioner
+
+ALL_STREAMING = [
+    RandomPartitioner(seed=0),
+    DBHPartitioner(salt=0),
+    GridPartitioner(salt=0),
+    GreedyPartitioner(seed=0),
+    HDRFPartitioner(seed=0),
+]
+
+
+@pytest.mark.parametrize("partitioner", ALL_STREAMING, ids=lambda p: p.name)
+class TestStreamingContract:
+    def test_covers_graph(self, partitioner, small_social):
+        part = partitioner.partition(small_social, 7)
+        part.validate_against(small_social)
+        assert part.num_partitions == 7
+
+    def test_single_partition(self, partitioner, small_social):
+        part = partitioner.partition(small_social, 1)
+        assert replication_factor(part, small_social) == 1.0
+
+    def test_stream_order_is_respected(self, partitioner, triangle):
+        edges = triangle.edge_list()
+        part = partitioner.assign_stream(edges, 2, graph=triangle)
+        assert part.num_edges == 3
+
+
+class TestRandom:
+    def test_balanced_mode_respects_capacity(self, medium_social):
+        part = RandomPartitioner(seed=0, balanced=True).partition(medium_social, 9)
+        cap = math.ceil(medium_social.num_edges / 9)
+        assert max(part.partition_sizes()) <= cap + 1
+
+    def test_unbalanced_mode_is_iid(self, medium_social):
+        part = RandomPartitioner(seed=0, balanced=False).partition(medium_social, 4)
+        sizes = part.partition_sizes()
+        mean = sum(sizes) / 4
+        assert all(abs(s - mean) < 0.2 * mean for s in sizes)
+
+    def test_rf_worse_than_informed_methods(self, communities):
+        rnd = RandomPartitioner(seed=0).partition(communities, 8)
+        dbh = DBHPartitioner().partition(communities, 8)
+        assert replication_factor(rnd, communities) > replication_factor(
+            dbh, communities
+        )
+
+    def test_deterministic(self, small_social):
+        a = RandomPartitioner(seed=5).partition(small_social, 4)
+        b = RandomPartitioner(seed=5).partition(small_social, 4)
+        assert a.partition_sizes() == b.partition_sizes()
+        assert [sorted(a.edges_of(k)) for k in range(4)] == [
+            sorted(b.edges_of(k)) for k in range(4)
+        ]
+
+
+class TestDBH:
+    def test_hash_is_deterministic_and_in_range(self):
+        for v in range(100):
+            k = _hash_vertex(v, salt=3, num_partitions=7)
+            assert 0 <= k < 7
+            assert k == _hash_vertex(v, salt=3, num_partitions=7)
+
+    def test_star_cuts_only_the_hub(self):
+        """DBH hashes the low-degree endpoint -> each leaf pins its edge, the
+        hub is the replicated one."""
+        g = star_graph(50)
+        part = DBHPartitioner().partition(g, 5)
+        # Every leaf appears in exactly one partition.
+        for leaf in range(1, 50):
+            assert part.replicas(leaf) == 1
+        assert part.replicas(0) == 5
+
+    def test_streaming_mode_without_graph(self, small_social):
+        edges = small_social.edge_list()
+        part = DBHPartitioner().assign_stream(edges, 6, graph=None)
+        part.validate_against(small_social)
+
+    def test_rf_better_than_random_on_powerlaw(self):
+        g = holme_kim(800, 4, 0.4, seed=9)
+        dbh = DBHPartitioner().partition(g, 10)
+        rnd = RandomPartitioner(seed=0).partition(g, 10)
+        assert replication_factor(dbh, g) < replication_factor(rnd, g)
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        assert _grid_shape(9) == (3, 3)
+        assert _grid_shape(10) == (3, 4)
+        assert _grid_shape(1) == (1, 1)
+
+    def test_replication_bounded_by_row_plus_column(self):
+        g = holme_kim(300, 5, 0.4, seed=1)
+        p = 9  # 3x3 grid -> max replicas = 3 + 3 - 1 = 5
+        part = GridPartitioner().partition(g, p)
+        for v in g.vertices():
+            assert part.replicas(v) <= 5
+
+    def test_nonsquare_p_works(self, small_social):
+        part = GridPartitioner().partition(small_social, 7)
+        part.validate_against(small_social)
+
+
+class TestGreedy:
+    def test_intersection_rule_reuses_partition(self):
+        g = complete_graph(4)
+        part = GreedyPartitioner(seed=0).partition(g, 2)
+        # Greedy on a small clique should not replicate every vertex everywhere.
+        assert replication_factor(part, g) <= 2.0
+
+    def test_rf_better_than_random(self, communities):
+        greedy = GreedyPartitioner(seed=0).partition(communities, 8)
+        rnd = RandomPartitioner(seed=0).partition(communities, 8)
+        assert replication_factor(greedy, communities) < replication_factor(
+            rnd, communities
+        )
+
+
+class TestHDRF:
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            HDRFPartitioner(lam=-1)
+
+    def test_balance_reasonable(self, medium_social):
+        part = HDRFPartitioner(lam=1.1, seed=0).partition(medium_social, 8)
+        assert edge_balance(part) < 1.6
+
+    def test_higher_lambda_more_balanced(self, medium_social):
+        loose = HDRFPartitioner(lam=0.0, seed=0).partition(medium_social, 8)
+        tight = HDRFPartitioner(lam=4.0, seed=0).partition(medium_social, 8)
+        assert edge_balance(tight) <= edge_balance(loose) + 1e-9
+
+    def test_rf_better_than_random(self, communities):
+        hdrf = HDRFPartitioner(seed=0).partition(communities, 8)
+        rnd = RandomPartitioner(seed=0).partition(communities, 8)
+        assert replication_factor(hdrf, communities) < replication_factor(
+            rnd, communities
+        )
+
+    def test_replicates_hubs_first(self):
+        g = star_graph(60)
+        part = HDRFPartitioner(seed=0).partition(g, 4)
+        for leaf in range(1, 60):
+            assert part.replicas(leaf) == 1

@@ -1,0 +1,145 @@
+"""Tests for LDG and FENNEL vertex partitioners and the vertex->edge adapter."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import community_graph, holme_kim
+from repro.partitioning.fennel import FennelPartitioner
+from repro.partitioning.ldg import LDGPartitioner, vertex_stream
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.random_edge import RandomPartitioner
+from repro.partitioning.vertex_adapter import (
+    VertexToEdgePartitioner,
+    edges_from_vertex_assignment,
+)
+
+
+class TestVertexStream:
+    def test_natural_order(self, small_social):
+        assert vertex_stream(small_social, "natural") == small_social.vertex_list()
+
+    def test_random_is_permutation(self, small_social):
+        stream = vertex_stream(small_social, "random", seed=1)
+        assert sorted(stream) == sorted(small_social.vertex_list())
+
+    def test_bfs_and_dfs_cover_all(self, two_triangles):
+        for order in ("bfs", "dfs"):
+            stream = vertex_stream(two_triangles, order, seed=0)
+            assert sorted(stream) == sorted(two_triangles.vertex_list())
+
+    def test_unknown_order_rejected(self, small_social):
+        with pytest.raises(ValueError, match="unknown order"):
+            vertex_stream(small_social, "spiral")
+
+
+@pytest.mark.parametrize(
+    "partitioner_cls", [LDGPartitioner, FennelPartitioner], ids=["LDG", "FENNEL"]
+)
+class TestVertexPartitionerContract:
+    def test_assigns_every_vertex_once(self, partitioner_cls, small_social):
+        assignment = partitioner_cls(seed=0).partition_vertices(small_social, 6)
+        assert set(assignment) == set(small_social.vertices())
+        assert set(assignment.values()) <= set(range(6))
+
+    def test_single_partition(self, partitioner_cls, small_social):
+        assignment = partitioner_cls(seed=0).partition_vertices(small_social, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_invalid_order_rejected(self, partitioner_cls):
+        with pytest.raises(ValueError):
+            partitioner_cls(order="zigzag")
+
+
+class TestLDG:
+    def test_capacity_respected(self, medium_social):
+        p = 8
+        assignment = LDGPartitioner(seed=0).partition_vertices(medium_social, p)
+        cap = math.ceil(medium_social.num_vertices / p)
+        sizes = [0] * p
+        for k in assignment.values():
+            sizes[k] += 1
+        assert max(sizes) <= cap
+
+    def test_groups_communities(self):
+        g = community_graph(80, 600, 2, 0.95, seed=4)
+        assignment = LDGPartitioner(seed=0, order="bfs").partition_vertices(g, 2)
+        # Most vertices of each planted block should land together.
+        same = sum(
+            1
+            for u, v in g.edges()
+            if assignment[u] == assignment[v]
+        )
+        assert same / g.num_edges > 0.6
+
+    def test_slack_validation(self):
+        with pytest.raises(ValueError):
+            LDGPartitioner(slack=0.9)
+
+
+class TestFennel:
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            FennelPartitioner(gamma=1.0)
+
+    def test_nu_validation(self):
+        with pytest.raises(ValueError):
+            FennelPartitioner(nu=0.5)
+
+    def test_balance_within_nu(self, medium_social):
+        p, nu = 8, 1.1
+        assignment = FennelPartitioner(seed=0, nu=nu).partition_vertices(
+            medium_social, p
+        )
+        cap = math.ceil(nu * medium_social.num_vertices / p)
+        sizes = [0] * p
+        for k in assignment.values():
+            sizes[k] += 1
+        assert max(sizes) <= cap
+
+
+class TestAdapter:
+    def test_strategies_cover_edges(self, small_social):
+        assignment = LDGPartitioner(seed=0).partition_vertices(small_social, 5)
+        for strategy in ("balanced", "first", "random"):
+            part = edges_from_vertex_assignment(
+                small_social.edges(), assignment, 5, strategy, seed=0
+            )
+            part.validate_against(small_social)
+
+    def test_internal_edges_stay_home(self, small_social):
+        assignment = LDGPartitioner(seed=0).partition_vertices(small_social, 5)
+        part = edges_from_vertex_assignment(
+            small_social.edges(), assignment, 5, "balanced"
+        )
+        for k in range(5):
+            for u, v in part.edges_of(k):
+                assert assignment[u] == k or assignment[v] == k
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            edges_from_vertex_assignment([], {}, 2, "weird")
+        with pytest.raises(ValueError, match="unknown strategy"):
+            VertexToEdgePartitioner(LDGPartitioner(), strategy="weird")
+
+    def test_wrapper_exposes_inner_name(self):
+        wrapper = VertexToEdgePartitioner(LDGPartitioner())
+        assert wrapper.name == "LDG"
+
+    def test_wrapped_ldg_beats_random(self):
+        g = holme_kim(600, 5, 0.5, seed=3)
+        ldg = VertexToEdgePartitioner(LDGPartitioner(seed=0)).partition(g, 8)
+        rnd = RandomPartitioner(seed=0).partition(g, 8)
+        assert replication_factor(ldg, g) < replication_factor(rnd, g)
+
+    def test_balanced_strategy_improves_balance(self):
+        g = holme_kim(600, 5, 0.5, seed=3)
+        first = VertexToEdgePartitioner(
+            LDGPartitioner(seed=0), strategy="first"
+        ).partition(g, 8)
+        balanced = VertexToEdgePartitioner(
+            LDGPartitioner(seed=0), strategy="balanced"
+        ).partition(g, 8)
+        from repro.partitioning.metrics import edge_balance
+
+        assert edge_balance(balanced) <= edge_balance(first) + 1e-9

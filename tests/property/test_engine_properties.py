@@ -1,0 +1,84 @@
+"""Property-based tests: the GAS engine equals the single-machine reference
+on arbitrary random graphs and partitionings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi_gnm
+from repro.partitioning.registry import make_partitioner
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import (
+    ConnectedComponents,
+    PageRank,
+    SingleSourceShortestPaths,
+    run_reference,
+)
+
+
+@st.composite
+def graph_partition(draw):
+    n = draw(st.integers(min_value=3, max_value=24))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=1, max_value=min(max_m, 60)))
+    graph_seed = draw(st.integers(0, 2**31))
+    graph = erdos_renyi_gnm(n, m, seed=graph_seed)
+    p = draw(st.integers(min_value=1, max_value=5))
+    algo = draw(st.sampled_from(["TLP", "Random", "DBH"]))
+    partition = make_partitioner(algo, seed=draw(st.integers(0, 100))).partition(
+        graph, p
+    )
+    return graph, partition
+
+
+@given(graph_partition())
+@settings(max_examples=25, deadline=None)
+def test_connected_components_partition_independent(gp):
+    graph, partition = gp
+    reference = run_reference(ConnectedComponents(), graph)
+    result = GASEngine(graph, partition, ConnectedComponents()).run()
+    assert result.values == reference
+
+
+@given(graph_partition())
+@settings(max_examples=15, deadline=None)
+def test_pagerank_partition_independent(gp):
+    graph, partition = gp
+    reference = run_reference(PageRank(), graph, max_supersteps=50)
+    result = GASEngine(graph, partition, PageRank()).run(max_supersteps=50)
+    for v, expected in reference.items():
+        assert abs(result.values[v] - expected) < 1e-9
+
+
+@given(graph_partition(), st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_sssp_partition_independent(gp, source_seed):
+    graph, partition = gp
+    import random
+
+    source = random.Random(source_seed).choice(graph.vertex_list())
+    program = SingleSourceShortestPaths(source)
+    reference = run_reference(program, graph)
+    result = GASEngine(graph, partition, program).run()
+    assert result.values == reference
+
+
+@given(graph_partition(), st.integers(1, 4), st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_failure_recovery_is_transparent(gp, checkpoint_every, fail_at):
+    graph, partition = gp
+    clean = GASEngine(graph, partition, ConnectedComponents()).run()
+    failed = GASEngine(graph, partition, ConnectedComponents()).run(
+        checkpoint_every=checkpoint_every, fail_at=[fail_at]
+    )
+    assert failed.values == clean.values
+
+
+@given(graph_partition())
+@settings(max_examples=20, deadline=None)
+def test_gather_messages_equal_mirrors(gp):
+    graph, partition = gp
+    engine = GASEngine(graph, partition, ConnectedComponents())
+    result = engine.run(max_supersteps=3)
+    mirrors = engine.replication.total_mirrors()
+    for step in result.stats.supersteps:
+        assert step.gather_messages == mirrors

@@ -1,0 +1,97 @@
+"""Property-based tests on the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import erdos_renyi_gnm, with_exact_edges
+from repro.graph.graph import Graph
+from repro.graph.residual import ResidualGraph
+from repro.graph.traversal import connected_components
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=120
+)
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_builder_handshake_lemma(edges):
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    g = builder.build()
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_builder_stats_are_consistent(edges):
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    builder.build()
+    s = builder.stats
+    assert s.edges_seen == len(edges)
+    assert s.edges_kept + s.duplicates_dropped + s.self_loops_dropped == s.edges_seen
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_edges_round_trip_through_from_edges(edges):
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    g = builder.build()
+    g2 = Graph.from_edges(g.edges(), vertices=g.vertices())
+    assert sorted(g2.edge_list()) == sorted(g.edge_list())
+    assert g2.num_vertices == g.num_vertices
+
+
+@given(st.integers(2, 25), st.integers(1, 60), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_gnm_exact(n, m, seed):
+    m = min(m, n * (n - 1) // 2)
+    g = erdos_renyi_gnm(n, m, seed=seed)
+    assert g.num_vertices == n
+    assert g.num_edges == m
+    assert all(u != v for u, v in g.edges())
+
+
+@given(st.integers(3, 20), st.integers(0, 40), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_with_exact_edges_hits_target(n, target, seed):
+    target = min(target, n * (n - 1) // 2)
+    base = erdos_renyi_gnm(n, min(n, n * (n - 1) // 2), seed=seed)
+    adjusted = with_exact_edges(base, target, seed=seed)
+    assert adjusted.num_edges == target
+    assert adjusted.num_vertices == n
+
+
+@given(edge_lists, st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_residual_removal_conserves_counts(edges, seed):
+    import random
+
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    g = builder.build()
+    residual = ResidualGraph(g)
+    rng = random.Random(seed)
+    all_edges = list(residual.edges())
+    rng.shuffle(all_edges)
+    removed = 0
+    for u, v in all_edges[: len(all_edges) // 2]:
+        residual.remove_edge(u, v)
+        removed += 1
+    assert residual.num_edges == g.num_edges - removed
+    assert sum(residual.degree(v) for v in g.vertices()) == 2 * residual.num_edges
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_components_partition_vertex_set(edges):
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    g = builder.build()
+    comps = connected_components(g)
+    union = set().union(*comps) if comps else set()
+    assert union == set(g.vertices())
+    assert sum(len(c) for c in comps) == g.num_vertices

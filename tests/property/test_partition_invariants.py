@@ -1,0 +1,106 @@
+"""Property-based tests: partitioning invariants over random graphs.
+
+Every partitioner, on any graph, must produce a true edge partition; TLP in
+strict mode must additionally satisfy Definition 3's capacity bound; and the
+exact degree-sum identity behind Claim 1 must hold for any valid partition.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modularity import degree_sum_identity_residuals
+from repro.core.tlp import TLPPartitioner
+from repro.core.tlp_r import TLPRPartitioner
+from repro.graph.generators import erdos_renyi_gnm
+from repro.partitioning.metrics import replication_factor
+from repro.partitioning.registry import make_partitioner
+
+
+@st.composite
+def random_graph(draw, max_n=40, max_extra_edges=80):
+    """A connected-ish G(n, m) with n >= 2 and at least one edge."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=1, max_value=min(max_m, max_extra_edges)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return erdos_renyi_gnm(n, m, seed=seed)
+
+
+graph_and_p = st.tuples(random_graph(), st.integers(min_value=1, max_value=8))
+
+
+@given(graph_and_p)
+@settings(max_examples=40, deadline=None)
+def test_tlp_is_always_a_true_partition(graph_p):
+    graph, p = graph_p
+    part = TLPPartitioner(seed=0).partition(graph, p)
+    part.validate_against(graph)
+    assert part.num_partitions == p
+
+
+@given(graph_and_p)
+@settings(max_examples=40, deadline=None)
+def test_tlp_strict_capacity_bound(graph_p):
+    graph, p = graph_p
+    part = TLPPartitioner(seed=0).partition(graph, p)
+    capacity = math.ceil(graph.num_edges / p)
+    assert all(size <= capacity for size in part.partition_sizes())
+
+
+@given(graph_and_p)
+@settings(max_examples=40, deadline=None)
+def test_tlp_rf_bounds(graph_p):
+    graph, p = graph_p
+    part = TLPPartitioner(seed=0).partition(graph, p)
+    rf = replication_factor(part, graph)
+    non_isolated = sum(1 for v in graph.vertices() if graph.degree(v) > 0)
+    assert 1.0 <= rf <= min(p, 2 * graph.num_edges / max(non_isolated, 1)) + 1e-9
+
+
+@given(graph_and_p, st.sampled_from(["TLP", "Random", "DBH", "NE", "Greedy"]))
+@settings(max_examples=30, deadline=None)
+def test_every_partitioner_is_a_true_partition(graph_p, name):
+    graph, p = graph_p
+    part = make_partitioner(name, seed=1).partition(graph, p)
+    part.validate_against(graph)
+
+
+@given(graph_and_p, st.sampled_from(["TLP", "Random", "LDG"]))
+@settings(max_examples=30, deadline=None)
+def test_degree_sum_identity_for_any_partition(graph_p, name):
+    graph, p = graph_p
+    part = make_partitioner(name, seed=2).partition(graph, p)
+    assert all(r == 0 for r in degree_sum_identity_residuals(part, graph))
+
+
+@given(random_graph(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_tlp_r_valid_for_any_ratio(graph, ratio):
+    part = TLPRPartitioner(round(ratio, 3), seed=0).partition(graph, 4)
+    part.validate_against(graph)
+
+
+@given(graph_and_p)
+@settings(max_examples=30, deadline=None)
+def test_strict_and_loose_modes_cover_identically(graph_p):
+    """Strict truncation changes *where* edges land, never coverage."""
+    graph, p = graph_p
+    strict = TLPPartitioner(seed=3, strict_capacity=True).partition(graph, p)
+    loose = TLPPartitioner(seed=3, strict_capacity=False).partition(graph, p)
+    strict.validate_against(graph)
+    loose.validate_against(graph)
+    capacity = math.ceil(graph.num_edges / p)
+    assert all(size <= capacity for size in strict.partition_sizes())
+
+
+@given(graph_and_p)
+@settings(max_examples=25, deadline=None)
+def test_partition_deterministic_given_seed(graph_p):
+    graph, p = graph_p
+    a = TLPPartitioner(seed=99).partition(graph, p)
+    b = TLPPartitioner(seed=99).partition(graph, p)
+    assert [sorted(a.edges_of(k)) for k in range(p)] == [
+        sorted(b.edges_of(k)) for k in range(p)
+    ]

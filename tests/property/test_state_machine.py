@@ -1,0 +1,63 @@
+"""Property-based tests of PartitionState against brute-force recomputation.
+
+Drives a growing partition with arbitrary valid selections (not just the TLP
+heuristics) and re-derives every incremental quantity from scratch after each
+step — the strongest check that the incremental bookkeeping can't drift.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import PartitionState
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.residual import ResidualGraph
+
+
+@given(
+    st.integers(3, 25),
+    st.integers(2, 60),
+    st.integers(0, 2**31),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_incremental_state_matches_brute_force(n, m, graph_seed, pick_seed):
+    m = min(m, n * (n - 1) // 2)
+    graph = erdos_renyi_gnm(n, m, seed=graph_seed)
+    residual = ResidualGraph(graph)
+    state = PartitionState(residual, graph)
+    rng = random.Random(pick_seed)
+    try:
+        state.seed(residual.sample_seed(rng))
+    except LookupError:
+        return  # edgeless graph
+
+    for _ in range(n):
+        if state.frontier_empty():
+            break
+        # Arbitrary (possibly non-heuristic) valid selection.
+        candidates = [v for v in graph.vertices() if v in state.frontier]
+        v = rng.choice(candidates)
+        state.add_vertex(v)
+
+        # Brute-force external count and frontier membership.
+        external = 0
+        frontier = set()
+        for a, b in residual.edges():
+            a_in = a in state.members
+            b_in = b in state.members
+            assert not (a_in and b_in), "residual edge inside the partition"
+            if a_in != b_in:
+                external += 1
+                frontier.add(b if a_in else a)
+        assert state.external == external
+        assert frontier == {u for u in graph.vertices() if u in state.frontier}
+        # c values sum to the external count.
+        assert (
+            sum(state.frontier.c_of(u) for u in frontier) == external
+        )
+        # internal count equals allocated edges.
+        assert state.internal == len(state.edges)
+        # allocated + residual = all edges.
+        assert state.internal + residual.num_edges == graph.num_edges

@@ -1,0 +1,90 @@
+"""Property-based tests over vertex partitioners and their metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi_gnm
+from repro.partitioning.kl import KLPartitioner
+from repro.partitioning.ldg import LDGPartitioner
+from repro.partitioning.metis import MetisLikePartitioner
+from repro.partitioning.vertex_adapter import edges_from_vertex_assignment
+from repro.partitioning.vertex_metrics import (
+    cross_partition_edges,
+    ghost_count,
+    vertex_balance,
+    vertex_replication_factor,
+)
+
+
+@st.composite
+def graph_and_p(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_m, 70)))
+    seed = draw(st.integers(0, 2**31))
+    p = draw(st.integers(min_value=1, max_value=6))
+    return erdos_renyi_gnm(n, m, seed=seed), p
+
+
+PARTITIONERS = [
+    lambda seed: LDGPartitioner(seed=seed),
+    lambda seed: MetisLikePartitioner(seed=seed),
+    lambda seed: KLPartitioner(seed=seed),
+]
+
+
+@given(graph_and_p(), st.integers(0, 2), st.integers(0, 99))
+@settings(max_examples=30, deadline=None)
+def test_total_assignment(gp, which, seed):
+    graph, p = gp
+    assignment = PARTITIONERS[which](seed).partition_vertices(graph, p)
+    assert set(assignment) == set(graph.vertices())
+    assert all(0 <= k < p for k in assignment.values())
+
+
+@given(graph_and_p(), st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_metric_bounds(gp, which):
+    graph, p = gp
+    assignment = PARTITIONERS[which](0).partition_vertices(graph, p)
+    cut = cross_partition_edges(graph, assignment)
+    ghosts = ghost_count(graph, assignment)
+    assert 0 <= cut <= graph.num_edges
+    # Each cut edge induces at least one ghost endpoint pairing, at most two;
+    # ghosts are deduplicated per (vertex, partition), hence <= 2 * cut.
+    assert ghosts <= 2 * cut
+    if cut > 0:
+        assert ghosts >= 1
+    assert vertex_replication_factor(graph, assignment) >= 1.0
+    if graph.num_vertices:
+        assert vertex_balance(graph, assignment, p) >= 1.0 or graph.num_vertices < p
+
+
+@given(graph_and_p(), st.sampled_from(["balanced", "first", "random"]))
+@settings(max_examples=25, deadline=None)
+def test_adapter_always_yields_true_partition(gp, strategy):
+    graph, p = gp
+    assignment = LDGPartitioner(seed=0).partition_vertices(graph, p)
+    partition = edges_from_vertex_assignment(
+        graph.edges(), assignment, p, strategy, seed=0
+    )
+    partition.validate_against(graph)
+    # Each edge lives in one of its endpoints' partitions.
+    for k in range(p):
+        for u, v in partition.edges_of(k):
+            assert assignment[u] == k or assignment[v] == k
+
+
+@given(graph_and_p())
+@settings(max_examples=20, deadline=None)
+def test_windowed_partitioner_covers_stream(gp):
+    from repro.core.windowed import WindowedLocalPartitioner
+
+    graph, p = gp
+    if graph.num_edges == 0:
+        return
+    window = max(1, graph.num_edges)  # full window always valid
+    partition = WindowedLocalPartitioner(window_size=window, seed=0).partition(
+        graph, p
+    )
+    partition.validate_against(graph)

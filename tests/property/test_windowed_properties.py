@@ -1,0 +1,66 @@
+"""Property-based tests for the windowed streaming-local partitioner."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windowed import WindowedLocalPartitioner
+from repro.graph.generators import erdos_renyi_gnm
+from repro.partitioning.metrics import replication_factor
+
+
+@st.composite
+def graph_p_window(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=1, max_value=min(max_m, 70)))
+    graph = erdos_renyi_gnm(n, m, seed=draw(st.integers(0, 2**31)))
+    p = draw(st.integers(min_value=1, max_value=5))
+    capacity = max(1, math.ceil(m / p))
+    window = draw(st.integers(min_value=capacity, max_value=max(capacity, m)))
+    return graph, p, window
+
+
+@given(graph_p_window())
+@settings(max_examples=40, deadline=None)
+def test_any_valid_window_covers_graph(gpw):
+    graph, p, window = gpw
+    partition = WindowedLocalPartitioner(window_size=window, seed=0).partition(
+        graph, p
+    )
+    partition.validate_against(graph)
+    assert partition.num_partitions == p
+
+
+@given(graph_p_window())
+@settings(max_examples=30, deadline=None)
+def test_strict_capacity_always_holds(gpw):
+    graph, p, window = gpw
+    partition = WindowedLocalPartitioner(window_size=window, seed=0).partition(
+        graph, p
+    )
+    capacity = math.ceil(graph.num_edges / p)
+    assert all(size <= capacity for size in partition.partition_sizes())
+
+
+@given(graph_p_window())
+@settings(max_examples=25, deadline=None)
+def test_rf_within_trivial_bounds(gpw):
+    graph, p, window = gpw
+    partition = WindowedLocalPartitioner(window_size=window, seed=0).partition(
+        graph, p
+    )
+    rf = replication_factor(partition, graph)
+    assert 1.0 <= rf <= p + 1e-9
+
+
+@given(graph_p_window(), st.integers(0, 20))
+@settings(max_examples=25, deadline=None)
+def test_deterministic_per_seed(gpw, seed):
+    graph, p, window = gpw
+    a = WindowedLocalPartitioner(window_size=window, seed=seed).partition(graph, p)
+    b = WindowedLocalPartitioner(window_size=window, seed=seed).partition(graph, p)
+    assert [sorted(a.edges_of(k)) for k in range(p)] == [
+        sorted(b.edges_of(k)) for k in range(p)
+    ]

@@ -1,0 +1,108 @@
+"""Tests for failure injection / checkpoint recovery and the makespan model."""
+
+import pytest
+
+from repro.core.tlp import TLPPartitioner
+from repro.graph.generators import community_graph
+from repro.partitioning.random_edge import RandomPartitioner
+from repro.runtime.engine import GASEngine
+from repro.runtime.programs import ConnectedComponents, PageRank
+from repro.runtime.stats import MachineLoad, RunStats, SuperstepStats, estimate_makespan
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = community_graph(200, 1200, 5, 0.9, seed=4)
+    partition = TLPPartitioner(seed=0).partition(graph, 5)
+    return graph, partition
+
+
+class TestFailureRecovery:
+    def test_recovery_preserves_results(self, setup):
+        graph, partition = setup
+        program = ConnectedComponents()
+        clean = GASEngine(graph, partition, program).run()
+        failed = GASEngine(graph, partition, program).run(
+            checkpoint_every=3, fail_at=[5]
+        )
+        assert failed.values == clean.values
+        assert failed.converged
+
+    def test_recovery_counted(self, setup):
+        graph, partition = setup
+        clean = GASEngine(graph, partition, ConnectedComponents()).run()
+        assert clean.stats.num_supersteps >= 4  # fixture sanity
+        result = GASEngine(graph, partition, ConnectedComponents()).run(
+            checkpoint_every=2, fail_at=[3]
+        )
+        assert result.stats.recoveries == 1
+        assert result.stats.wasted_supersteps == 3 - 2
+
+    def test_failure_without_checkpoints_restarts_from_zero(self, setup):
+        graph, partition = setup
+        result = GASEngine(graph, partition, ConnectedComponents()).run(fail_at=[3])
+        assert result.stats.recoveries == 1
+        assert result.stats.wasted_supersteps == 3
+        clean = GASEngine(graph, partition, ConnectedComponents()).run()
+        assert result.values == clean.values
+
+    def test_multiple_failures(self, setup):
+        graph, partition = setup
+        result = GASEngine(graph, partition, PageRank()).run(
+            checkpoint_every=2, fail_at=[3, 6]
+        )
+        assert result.stats.recoveries == 2
+        clean = GASEngine(graph, partition, PageRank()).run()
+        assert result.values == clean.values
+
+    def test_failure_past_convergence_never_fires(self, setup):
+        graph, partition = setup
+        result = GASEngine(graph, partition, ConnectedComponents()).run(
+            fail_at=[10_000]
+        )
+        assert result.stats.recoveries == 0
+        assert result.converged
+
+    def test_pagerank_with_failures_matches_reference(self, setup):
+        graph, partition = setup
+        from repro.runtime.programs import run_reference
+
+        reference = run_reference(PageRank(), graph)
+        result = GASEngine(graph, partition, PageRank()).run(
+            checkpoint_every=5, fail_at=[7]
+        )
+        for v in reference:
+            assert result.values[v] == pytest.approx(reference[v], abs=1e-9)
+
+
+class TestMakespan:
+    def make_stats(self, messages_per_step, steps):
+        stats = RunStats()
+        for i in range(steps):
+            stats.add(SuperstepStats(i, messages_per_step, 0, 0))
+        return stats
+
+    def test_zero_for_no_machines(self):
+        assert estimate_makespan([], self.make_stats(10, 3)) == 0.0
+
+    def test_compute_term(self):
+        loads = [MachineLoad(0, 100, 0, 0), MachineLoad(1, 50, 0, 0)]
+        stats = self.make_stats(0, 2)
+        assert estimate_makespan(loads, stats, edge_cost=1.0) == 200.0
+
+    def test_message_term_shares_bandwidth(self):
+        loads = [MachineLoad(k, 0, 0, 0) for k in range(4)]
+        stats = self.make_stats(40, 1)
+        assert estimate_makespan(loads, stats, message_cost=2.0) == 20.0
+
+    def test_better_partition_lower_makespan(self, setup):
+        graph, tlp_partition = setup
+        rnd_partition = RandomPartitioner(seed=0).partition(graph, 5)
+        makespans = {}
+        for name, partition in [("tlp", tlp_partition), ("rnd", rnd_partition)]:
+            engine = GASEngine(graph, partition, PageRank())
+            result = engine.run(max_supersteps=5)
+            makespans[name] = estimate_makespan(
+                engine.machine_loads(), result.stats, edge_cost=1.0, message_cost=2.0
+            )
+        assert makespans["tlp"] < makespans["rnd"]

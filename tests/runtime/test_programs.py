@@ -1,0 +1,80 @@
+"""Tests for the GAS vertex programs and their references."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.runtime.programs import (
+    ConnectedComponents,
+    PageRank,
+    SingleSourceShortestPaths,
+    run_reference,
+)
+
+
+class TestPageRank:
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.0)
+
+    def test_regular_graph_uniform(self):
+        g = cycle_graph(10)
+        values = run_reference(PageRank(), g)
+        assert all(v == pytest.approx(1.0, abs=1e-6) for v in values.values())
+
+    def test_hub_ranks_highest(self):
+        g = star_graph(20)
+        values = run_reference(PageRank(), g)
+        assert values[0] == max(values.values())
+
+    def test_total_mass_preserved(self):
+        g = path_graph(30)
+        values = run_reference(PageRank(), g, max_supersteps=500)
+        assert sum(values.values()) == pytest.approx(30.0, rel=1e-6)
+
+
+class TestConnectedComponents:
+    def test_two_components(self, two_triangles):
+        values = run_reference(ConnectedComponents(), two_triangles)
+        assert values[0] == values[1] == values[2] == 0.0
+        assert values[10] == values[11] == values[12] == 10.0
+
+    def test_connected_graph_single_label(self, small_social):
+        values = run_reference(ConnectedComponents(), small_social)
+        labels = set(values.values())
+        from repro.graph.traversal import connected_components
+
+        assert len(labels) == len(connected_components(small_social))
+
+
+class TestSSSP:
+    def test_path_distances(self):
+        g = path_graph(6)
+        values = run_reference(SingleSourceShortestPaths(0), g)
+        assert values == {v: float(v) for v in range(6)}
+
+    def test_unreachable_is_inf(self, two_triangles):
+        values = run_reference(SingleSourceShortestPaths(0), two_triangles)
+        assert values[10] == math.inf
+        assert values[2] == 1.0
+
+    def test_matches_bfs(self, small_social):
+        from repro.graph.traversal import bfs_distances
+
+        source = next(iter(small_social.vertices()))
+        values = run_reference(SingleSourceShortestPaths(source), small_social)
+        bfs = bfs_distances(small_social, source)
+        for v, d in bfs.items():
+            assert values[v] == float(d)
+
+
+class TestRunReference:
+    def test_max_supersteps_caps_work(self):
+        g = path_graph(100)
+        values = run_reference(SingleSourceShortestPaths(0), g, max_supersteps=3)
+        assert values[50] == math.inf  # not yet reached
+
+    def test_empty_graph(self):
+        assert run_reference(PageRank(), Graph.empty()) == {}

@@ -1,0 +1,49 @@
+"""Tests for master/mirror replication tables."""
+
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.metrics import total_replicas
+from repro.runtime.replication import ReplicationTable
+
+
+def square_partition():
+    # P0 = {(0,1), (1,2)}, P1 = {(2,3), (0,3)}
+    return EdgePartition([[(0, 1), (1, 2)], [(2, 3), (0, 3)]])
+
+
+class TestReplicationTable:
+    def test_replica_sets(self):
+        table = ReplicationTable(square_partition())
+        assert table.replicas_of(0) == (0, 1)
+        assert table.replicas_of(1) == (0,)
+        assert table.replicas_of(3) == (1,)
+        assert table.replicas_of(42) == ()
+
+    def test_master_prefers_most_edges(self):
+        # vertex 1 has 2 edges in P0 -> master 0.
+        table = ReplicationTable(square_partition())
+        assert table.master_of(1) == 0
+
+    def test_master_tie_breaks_to_lowest_partition(self):
+        # vertex 0 has one edge in each partition -> master 0.
+        table = ReplicationTable(square_partition())
+        assert table.master_of(0) == 0
+
+    def test_mirror_counts(self):
+        table = ReplicationTable(square_partition())
+        assert table.mirror_count(0) == 1
+        assert table.mirror_count(1) == 0
+        assert table.total_mirrors() == 2  # vertices 0 and 2
+
+    def test_spanned_vertices(self):
+        table = ReplicationTable(square_partition())
+        assert sorted(table.spanned_vertices()) == [0, 2]
+
+    def test_total_mirrors_equals_rf_numerator(self, small_social):
+        from repro.core.tlp import TLPPartitioner
+
+        part = TLPPartitioner(seed=0).partition(small_social, 5)
+        table = ReplicationTable(part)
+        covered_vertices = len(
+            {v for vs in part.vertex_sets() for v in vs}
+        )
+        assert table.total_mirrors() == total_replicas(part) - covered_vertices

@@ -1,0 +1,49 @@
+"""Tests for runtime statistics containers."""
+
+from repro.runtime.stats import (
+    MachineLoad,
+    RunStats,
+    SuperstepStats,
+    load_imbalance,
+)
+
+
+class TestSuperstepStats:
+    def test_total_messages(self):
+        s = SuperstepStats(0, gather_messages=10, scatter_messages=5, changed_vertices=3)
+        assert s.total_messages == 15
+
+
+class TestRunStats:
+    def test_accumulation(self):
+        stats = RunStats()
+        stats.add(SuperstepStats(0, 10, 5, 3))
+        stats.add(SuperstepStats(1, 8, 2, 1))
+        assert stats.num_supersteps == 2
+        assert stats.total_messages == 25
+        assert stats.messages_per_superstep() == [15, 10]
+
+    def test_empty(self):
+        stats = RunStats()
+        assert stats.num_supersteps == 0
+        assert stats.total_messages == 0
+        assert stats.messages_per_superstep() == []
+
+    def test_failure_counters_default_zero(self):
+        stats = RunStats()
+        assert stats.recoveries == 0
+        assert stats.wasted_supersteps == 0
+
+
+class TestLoadImbalance:
+    def test_perfectly_balanced(self):
+        loads = [MachineLoad(k, 10, 5, 1) for k in range(4)]
+        assert load_imbalance(loads) == 1.0
+
+    def test_skewed(self):
+        loads = [MachineLoad(0, 30, 5, 1), MachineLoad(1, 10, 5, 1)]
+        assert load_imbalance(loads) == 1.5
+
+    def test_all_zero_edges(self):
+        loads = [MachineLoad(0, 0, 0, 0)]
+        assert load_imbalance(loads) == 1.0

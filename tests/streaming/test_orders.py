@@ -1,0 +1,41 @@
+"""Tests for edge-stream orderings."""
+
+import pytest
+
+from repro.graph.generators import cycle_graph
+from repro.streaming.orders import EDGE_ORDERS, edge_stream
+
+
+class TestEdgeStream:
+    @pytest.mark.parametrize("order", EDGE_ORDERS)
+    def test_every_order_is_a_permutation(self, order, small_social):
+        stream = edge_stream(small_social, order, seed=0)
+        assert sorted(stream) == sorted(small_social.edge_list())
+
+    def test_natural_matches_storage(self, small_social):
+        assert edge_stream(small_social, "natural") == small_social.edge_list()
+
+    def test_random_shuffles(self, small_social):
+        natural = edge_stream(small_social, "natural")
+        shuffled = edge_stream(small_social, "random", seed=1)
+        assert shuffled != natural
+
+    def test_random_deterministic_given_seed(self, small_social):
+        a = edge_stream(small_social, "random", seed=7)
+        b = edge_stream(small_social, "random", seed=7)
+        assert a == b
+
+    def test_bfs_localises_cycle(self):
+        g = cycle_graph(12)
+        stream = edge_stream(g, "bfs")
+        # first two edges share the BFS root.
+        roots = set(stream[0]) & set(stream[1])
+        assert roots
+
+    def test_dfs_covers_disconnected(self, two_triangles):
+        stream = edge_stream(two_triangles, "dfs")
+        assert len(stream) == 6
+
+    def test_unknown_order(self, small_social):
+        with pytest.raises(ValueError, match="unknown order"):
+            edge_stream(small_social, "sideways")

@@ -1,0 +1,42 @@
+"""Tests for the EdgeStream wrapper and memory models."""
+
+import pytest
+
+from repro.streaming.stream import EdgeStream, peak_local_state, peak_streaming_state
+
+
+class TestEdgeStream:
+    def test_iterates_all_edges(self, small_social):
+        stream = EdgeStream(small_social, order="random", seed=0)
+        assert sorted(stream) == sorted(small_social.edge_list())
+        assert len(stream) == small_social.num_edges
+
+    def test_replayable(self, small_social):
+        stream = EdgeStream(small_social, order="random", seed=0)
+        assert list(stream) == list(stream)
+
+    def test_windowed_stream_still_permutation(self, small_social):
+        stream = EdgeStream(small_social, order="random", seed=0, window_size=16)
+        assert sorted(stream.materialize()) == sorted(small_social.edge_list())
+
+    def test_invalid_order(self, small_social):
+        with pytest.raises(ValueError):
+            EdgeStream(small_social, order="backwards")
+
+    def test_invalid_window(self, small_social):
+        with pytest.raises(ValueError):
+            EdgeStream(small_social, window_size=0)
+
+
+class TestMemoryModels:
+    def test_streaming_state_grows_with_input(self):
+        assert peak_streaming_state(10) < peak_streaming_state(1000)
+
+    def test_local_state_independent_of_graph_size(self):
+        # One partition + frontier, regardless of how many edges streamed by.
+        assert peak_local_state(100, 50) == 150
+
+    def test_local_smaller_than_streaming_at_scale(self):
+        m = 1_000_000
+        p = 10
+        assert peak_local_state(m // p, 10_000) < peak_streaming_state(m)

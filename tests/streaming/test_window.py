@@ -1,0 +1,69 @@
+"""Tests for the sliding-window stream reordering (paper future work)."""
+
+import pytest
+
+from repro.graph.generators import community_graph, path_graph
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.metrics import replication_factor
+from repro.streaming.orders import edge_stream
+from repro.streaming.window import SlidingWindowReorder, windowed_stream
+
+
+class TestReorderContract:
+    def test_yields_permutation(self, small_social):
+        edges = edge_stream(small_social, "random", seed=0)
+        out = windowed_stream(edges, window_size=32)
+        assert sorted(out) == sorted(edges)
+
+    def test_window_one_is_identity(self, small_social):
+        edges = edge_stream(small_social, "random", seed=0)
+        assert windowed_stream(edges, window_size=1) == edges
+
+    def test_empty_stream(self):
+        assert windowed_stream([], window_size=8) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowReorder(0)
+
+    def test_stream_shorter_than_window(self):
+        edges = [(0, 1), (1, 2)]
+        assert sorted(windowed_stream(edges, window_size=100)) == edges
+
+
+class TestLocality:
+    @staticmethod
+    def locality_score(edges):
+        """Fraction of edges adjacent to an already-seen vertex."""
+        seen = set()
+        hits = 0
+        for u, v in edges:
+            if u in seen or v in seen:
+                hits += 1
+            seen.add(u)
+            seen.add(v)
+        return hits / len(edges)
+
+    def test_window_improves_locality_on_shuffled_path(self):
+        g = path_graph(300)
+        shuffled = edge_stream(g, "random", seed=3)
+        windowed = windowed_stream(shuffled, window_size=64)
+        assert self.locality_score(windowed) > self.locality_score(shuffled)
+
+    def test_larger_windows_monotone_ish(self):
+        g = community_graph(150, 900, 5, 0.9, seed=2)
+        shuffled = edge_stream(g, "random", seed=5)
+        small = self.locality_score(windowed_stream(shuffled, 8))
+        large = self.locality_score(windowed_stream(shuffled, 256))
+        assert large >= small
+
+    def test_window_helps_streaming_partitioner(self):
+        """The paper's future-work claim: windowing a stream lets a greedy
+        streaming partitioner approach its BFS-order quality."""
+        g = community_graph(200, 1200, 5, 0.92, seed=6)
+        shuffled = edge_stream(g, "random", seed=1)
+        plain = GreedyPartitioner(seed=0).assign_stream(shuffled, 5)
+        windowed = GreedyPartitioner(seed=0).assign_stream(
+            windowed_stream(shuffled, 256), 5
+        )
+        assert replication_factor(windowed, g) <= replication_factor(plain, g) * 1.05

@@ -1,0 +1,109 @@
+"""Tests for the top-level ``python -m repro`` partitioning CLI."""
+
+import pytest
+
+from repro.__main__ import main, write_assignments, write_partition_files
+from repro.graph.generators import holme_kim
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.partitioning.assignment import EdgePartition
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = holme_kim(120, 3, 0.5, seed=4)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+class TestMain:
+    def test_basic_run(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main([str(path), "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replication factor" in out
+
+    def test_detail_flag(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main([str(path), "-p", "4", "--detail"]) == 0
+        assert "modularity" in capsys.readouterr().out
+
+    def test_algorithm_selection(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main([str(path), "-p", "4", "--algorithm", "DBH"]) == 0
+        assert "DBH" in capsys.readouterr().out
+
+    def test_parameterised_algorithm(self, edge_file):
+        path, _ = edge_file
+        assert main([str(path), "-p", "4", "--algorithm", "TLP_R:0.3"]) == 0
+
+    def test_unknown_algorithm_fails(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main([str(path), "-p", "4", "--algorithm", "Nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nothing.txt"), "-p", "2"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_p_fails(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main([str(path), "-p", "0"]) == 2
+
+    def test_assignments_output(self, edge_file, tmp_path):
+        path, graph = edge_file
+        out = tmp_path / "assign.tsv"
+        assert main([str(path), "-p", "4", "--assignments", str(out)]) == 0
+        lines = [
+            line for line in out.read_text().splitlines() if not line.startswith("#")
+        ]
+        assert len(lines) == graph.num_edges
+        ks = {int(line.split("\t")[2]) for line in lines}
+        assert ks <= set(range(4))
+
+    def test_partition_files_output(self, edge_file, tmp_path):
+        path, graph = edge_file
+        out_dir = tmp_path / "parts"
+        assert main([str(path), "-p", "4", "--output-dir", str(out_dir)]) == 0
+        files = sorted(out_dir.glob("part_*.edges"))
+        assert len(files) == 4
+        total = sum(read_edge_list(f).num_edges for f in files)
+        assert total == graph.num_edges
+
+
+class TestSaveBundle:
+    def test_save_dir_round_trips(self, edge_file, tmp_path):
+        from repro.partitioning.serialization import (
+            load_partition,
+            partition_metadata,
+        )
+
+        path, graph = edge_file
+        bundle = tmp_path / "bundle"
+        assert main([str(path), "-p", "4", "--save-dir", str(bundle)]) == 0
+        loaded = load_partition(bundle)
+        loaded.validate_against(graph)
+        meta = partition_metadata(bundle)
+        assert meta["algorithm"] == "TLP"
+        assert meta["num_partitions"] == 4
+        assert meta["replication_factor"] >= 1.0
+
+
+class TestWriters:
+    def test_write_assignments_roundtrip(self, tmp_path):
+        part = EdgePartition([[(0, 1)], [(1, 2), (2, 3)]])
+        path = tmp_path / "a.tsv"
+        write_assignments(part, path)
+        rows = [
+            line.split("\t")
+            for line in path.read_text().splitlines()
+            if not line.startswith("#")
+        ]
+        assert ["0", "1", "0"] in rows
+        assert ["2", "3", "1"] in rows
+
+    def test_write_partition_files_headers(self, tmp_path):
+        part = EdgePartition([[(0, 1)], []])
+        paths = write_partition_files(part, tmp_path / "d")
+        assert paths[0].read_text().startswith("# partition 0: 1 edges")
+        assert "0 edges" in paths[1].read_text()

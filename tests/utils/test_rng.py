@@ -1,0 +1,48 @@
+"""Tests for seeded randomness helpers."""
+
+import random
+
+from repro.utils.rng import SeedSequence, make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_existing_generator_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestSpawn:
+    def test_children_are_independent_objects(self):
+        parent = make_rng(0)
+        a = spawn_rng(parent)
+        b = spawn_rng(parent)
+        assert a is not b
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic_from_parent_seed(self):
+        a = spawn_rng(make_rng(7)).random()
+        b = spawn_rng(make_rng(7)).random()
+        assert a == b
+
+
+class TestSeedSequence:
+    def test_spawn_count(self):
+        seq = SeedSequence(0)
+        seq.spawn()
+        seq.spawn()
+        assert seq.spawn_count == 2
+
+    def test_reproducible_stream_of_generators(self):
+        values_a = [SeedSequence(3).spawn().random() for _ in range(1)]
+        values_b = [SeedSequence(3).spawn().random() for _ in range(1)]
+        assert values_a == values_b
+
+    def test_spawned_generators_differ(self):
+        seq = SeedSequence(0)
+        assert seq.spawn().random() != seq.spawn().random()

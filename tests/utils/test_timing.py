@@ -1,0 +1,42 @@
+"""Tests for timing utilities."""
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        with watch.measure("a"):
+            pass
+        assert watch.count("a") == 2
+        assert watch.total("a") >= 0.0
+
+    def test_unmeasured_is_zero(self):
+        watch = Stopwatch()
+        assert watch.total("nothing") == 0.0
+        assert watch.count("nothing") == 0
+
+    def test_measures_despite_exception(self):
+        watch = Stopwatch()
+        try:
+            with watch.measure("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert watch.count("x") == 1
+
+    def test_as_dict_snapshot(self):
+        watch = Stopwatch()
+        with watch.measure("k"):
+            pass
+        snapshot = watch.as_dict()
+        assert "k" in snapshot
+
+
+class TestTimed:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = timed(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0

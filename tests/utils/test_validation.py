@@ -1,0 +1,51 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("y", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="y must be non-negative"):
+            check_non_negative("y", -1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match=r"p must be in \[0, 1\]"):
+            check_probability("p", value)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds_inclusive(self):
+        check_in_range("z", 1, 1, 5)
+        check_in_range("z", 5, 1, 5)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="z must be in"):
+            check_in_range("z", 6, 1, 5)
