@@ -1,0 +1,377 @@
+/* TLP grow-episode kernel: the whole inner loop of one local-partitioning
+ * episode (seed -> select -> allocate -> repeat) over the CSR residual
+ * arrays, with zero Python transitions per selection.
+ *
+ * Semantics are bit-for-bit identical to the reference backend
+ * (repro/core/state.py, repro/core/frontier.py):
+ *
+ *   - selection tie-breaks: max primary, then max secondary, then min
+ *     vertex (dense indices order like original ids by construction);
+ *   - Stage-II score (internal+c)/(external+r-2c) computed in IEEE double
+ *     with the same operand order as the numpy expression, +inf when the
+ *     denominator is non-positive;
+ *   - Stage-I similarity |N(u) ∩ N(j)| / |N(j)| via a two-pointer merge
+ *     over sorted CSR rows, lazily flushed exactly when Stage I selects
+ *     (early flushes on buffer pressure are score-neutral: a non-member's
+ *     live row is constant within a round, and updates to vertices that
+ *     later join are discarded with their frontier slot);
+ *   - capacity truncation cuts the sorted member-neighbour batch, leaving
+ *     frontier/membership untouched, ending the episode.
+ *
+ * All state lives in caller-owned buffers described by GrowState; the
+ * kernel never allocates.  Every scalar field is 8 bytes so the struct
+ * layout is unambiguous across the ctypes boundary.
+ */
+
+#include <stdint.h>
+#include <math.h>
+
+/* Non-negative doubles (all our scores) order like their int64 bit
+ * patterns, so every argmax below is a branch-free masked integer
+ * reduction the compiler can vectorise without fast-math. */
+
+typedef struct {
+    /* static CSR graph (dense index space), shared with CSRResidual */
+    int64_t n;
+    const int64_t *indptr;
+    const int64_t *indices;
+    const int64_t *twin;
+    uint8_t *alive;          /* per directed slot; both twins flip together */
+    int64_t *live_deg;
+    int64_t num_live;        /* residual undirected edge count */
+
+    /* frontier: compact parallel arrays + dense position index */
+    int64_t *f_ids;
+    double  *f_c;            /* exact small integers, stored as doubles so
+                              * the Stage-II scan vectorises without
+                              * int64->double converts */
+    double  *f_r;
+    double  *f_mu1;
+    double  *f_score;        /* Stage-II scratch, recomputed per selection */
+    int64_t *f_pos;          /* size n; -1 = not in frontier */
+    int64_t f_size;
+
+    uint8_t *member;         /* size n */
+
+    /* pending Stage-I batches: (member, snapshot range in pend_snap) */
+    int64_t *pend_v;
+    int64_t *pend_s;
+    int64_t *pend_e;
+    int64_t pend_count;
+    int64_t pend_cap;
+    int64_t *pend_snap;      /* flat round-start live-row snapshots */
+    int64_t pend_len;
+    int64_t pend_buf_cap;
+
+    /* outputs, reset per round by the caller */
+    int64_t *edge_u;         /* canonical (min, max) pairs, index space */
+    int64_t *edge_v;
+    int64_t edge_count;
+    int64_t *sel_idx;        /* per-selection telemetry */
+    int64_t *sel_stage;
+    int64_t *sel_alloc;
+    int64_t *sel_ldeg;       /* live degree after the add */
+    int64_t *sel_state;      /* internal + frontier size after the add */
+    int64_t sel_count;
+
+    /* config */
+    int64_t capacity;
+    int64_t strict;
+    int64_t policy;          /* 0=modularity, 1=edge-count ratio, 2=fixed I, 3=fixed II */
+    double ratio;
+    int64_t scope_original;
+
+    /* round totals */
+    int64_t internal_;
+    int64_t external_;
+} GrowState;
+
+enum { REASON_CAPACITY = 0, REASON_EMPTY = 1, REASON_TRUNCATED = 2 };
+
+/* -- Stage-I similarity ---------------------------------------------------- */
+
+static void flush_stage1(GrowState *st)
+{
+    for (int64_t pi = 0; pi < st->pend_count; pi++) {
+        int64_t j = st->pend_v[pi];
+        int64_t snap_s = st->pend_s[pi], snap_e = st->pend_e[pi];
+        const int64_t *nbrs_j;
+        int64_t deg_j;
+        if (st->scope_original) {
+            nbrs_j = st->indices + st->indptr[j];
+            deg_j = st->indptr[j + 1] - st->indptr[j];
+        } else {
+            nbrs_j = st->pend_snap + snap_s;
+            deg_j = snap_e - snap_s;
+        }
+        if (deg_j == 0)
+            continue;
+        for (int64_t t = snap_s; t < snap_e; t++) {
+            int64_t u = st->pend_snap[t];
+            if (st->member[u])
+                continue;
+            int64_t p = st->f_pos[u];
+            if (p < 0)
+                continue;
+            /* |N(u) ∩ N(j)|: merge u's (live) row with j's snapshot row */
+            int64_t count = 0;
+            int64_t a = st->indptr[u], ue = st->indptr[u + 1], b = 0;
+            if (st->scope_original) {
+                while (a < ue && b < deg_j) {
+                    int64_t x = st->indices[a], y = nbrs_j[b];
+                    if (x < y) a++;
+                    else if (x > y) b++;
+                    else { count++; a++; b++; }
+                }
+            } else {
+                while (a < ue && b < deg_j) {
+                    if (!st->alive[a]) { a++; continue; }
+                    int64_t x = st->indices[a], y = nbrs_j[b];
+                    if (x < y) a++;
+                    else if (x > y) b++;
+                    else { count++; a++; b++; }
+                }
+            }
+            double val = (double)count / (double)deg_j;
+            if (val > st->f_mu1[p])
+                st->f_mu1[p] = val;
+        }
+    }
+    st->pend_count = 0;
+    st->pend_len = 0;
+}
+
+/* -- frontier primitives --------------------------------------------------- */
+
+static inline void touch_inc(GrowState *st, int64_t u)
+{
+    int64_t p = st->f_pos[u];
+    if (p >= 0) {
+        st->f_c[p] += 1.0;
+        return;
+    }
+    p = st->f_size++;
+    st->f_ids[p] = u;
+    st->f_c[p] = 1.0;
+    st->f_r[p] = (double)st->live_deg[u];
+    st->f_mu1[p] = 0.0;
+    st->f_pos[u] = p;
+}
+
+static inline void frontier_remove(GrowState *st, int64_t u)
+{
+    int64_t p = st->f_pos[u];
+    if (p < 0)
+        return;
+    int64_t last = st->f_size - 1;
+    if (p != last) {
+        st->f_ids[p] = st->f_ids[last];
+        st->f_c[p] = st->f_c[last];
+        st->f_r[p] = st->f_r[last];
+        st->f_mu1[p] = st->f_mu1[last];
+        st->f_pos[st->f_ids[p]] = p;
+    }
+    st->f_pos[u] = -1;
+    st->f_size = last;
+}
+
+/* -- selection ------------------------------------------------------------- */
+
+static int64_t select_stage1(GrowState *st)
+{
+    flush_stage1(st);
+    int64_t n = st->f_size;
+    const int64_t *mu = (const int64_t *)st->f_mu1;
+    const int64_t *r = (const int64_t *)st->f_r;
+    const int64_t *ids = st->f_ids;
+    /* max mu1; among ties max r; among those min vertex — three masked
+     * reductions, identical tie-breaks to Frontier.select_stage1. */
+    int64_t bmu = mu[0];
+    for (int64_t i = 1; i < n; i++)
+        if (mu[i] > bmu)
+            bmu = mu[i];
+    /* Masked reductions use all-ones/zero masks (AND for max over
+     * non-negative values, OR for min) — the select form defeats the
+     * vectoriser, this form does not. */
+    uint64_t br = 0;
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t mask = (uint64_t)0 - (uint64_t)(mu[i] == bmu);
+        uint64_t rv = (uint64_t)r[i] & mask;
+        br = rv > br ? rv : br;
+    }
+    uint64_t bid = UINT64_MAX;
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t mask =
+            (uint64_t)0 - (uint64_t)((mu[i] == bmu) & ((uint64_t)r[i] == br));
+        uint64_t idv = (uint64_t)ids[i] | ~mask;
+        bid = idv < bid ? idv : bid;
+    }
+    return (int64_t)bid;
+}
+
+static int64_t select_stage2(GrowState *st)
+{
+    int64_t n = st->f_size;
+    const double *fc = st->f_c, *fr = st->f_r;
+    double *score = st->f_score;
+    double internal = (double)st->internal_;
+    double external = (double)st->external_;
+    /* Pass 1: branch-free score fill — pure double arithmetic so the
+     * divisions vectorise, which is where the selection's time goes. */
+    for (int64_t i = 0; i < n; i++) {
+        double num = internal + fc[i];
+        double den = external + (fr[i] - 2.0 * fc[i]);
+        double s = num / den;
+        score[i] = den > 0.0 ? s : INFINITY;
+    }
+    /* Pass 2: max score.  Every score is positive (or +inf), so its bit
+     * pattern orders like the double and an integer max-reduction
+     * vectorises without fast-math. */
+    const int64_t *bits = (const int64_t *)score;
+    int64_t bmax = bits[0];
+    for (int64_t i = 1; i < n; i++)
+        if (bits[i] > bmax)
+            bmax = bits[i];
+    /* Passes 3-4: among exact-max scores, max c then min vertex (same
+     * masked-reduction shape as Stage I; c bits are positive doubles). */
+    const int64_t *cb = (const int64_t *)fc;
+    const int64_t *ids = st->f_ids;
+    uint64_t bc = 0;
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t mask = (uint64_t)0 - (uint64_t)(bits[i] == bmax);
+        uint64_t cv = (uint64_t)cb[i] & mask;
+        bc = cv > bc ? cv : bc;
+    }
+    uint64_t bid = UINT64_MAX;
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t mask =
+            (uint64_t)0 - (uint64_t)((bits[i] == bmax) & ((uint64_t)cb[i] == bc));
+        uint64_t idv = (uint64_t)ids[i] | ~mask;
+        bid = idv < bid ? idv : bid;
+    }
+    return (int64_t)bid;
+}
+
+static inline int64_t pick_stage(GrowState *st)
+{
+    switch (st->policy) {
+    case 0:
+        return st->internal_ <= st->external_ ? 1 : 2;
+    case 1:
+        return (double)st->internal_ < st->ratio * (double)st->capacity ? 1 : 2;
+    case 2:
+        return 1;
+    default:
+        return 2;
+    }
+}
+
+/* -- growth ---------------------------------------------------------------- */
+
+static inline void ensure_pending_room(GrowState *st, int64_t rowlen)
+{
+    if (st->pend_count >= st->pend_cap ||
+        st->pend_len + rowlen > st->pend_buf_cap)
+        flush_stage1(st);
+}
+
+static void seed_vertex(GrowState *st, int64_t i)
+{
+    ensure_pending_room(st, st->indptr[i + 1] - st->indptr[i]);
+    int64_t snap_start = st->pend_len;
+    st->member[i] = 1;
+    for (int64_t x = st->indptr[i]; x < st->indptr[i + 1]; x++) {
+        if (!st->alive[x])
+            continue;
+        int64_t u = st->indices[x];
+        st->pend_snap[st->pend_len++] = u;
+        touch_inc(st, u);
+    }
+    st->external_ += st->pend_len - snap_start;
+    int64_t pc = st->pend_count++;
+    st->pend_v[pc] = i;
+    st->pend_s[pc] = snap_start;
+    st->pend_e[pc] = st->pend_len;
+}
+
+/* Returns 1 if the batch was capacity-truncated (ends the episode). */
+static int add_vertex(GrowState *st, int64_t i, int64_t max_edges,
+                      int64_t *allocated_out)
+{
+    ensure_pending_room(st, st->indptr[i + 1] - st->indptr[i]);
+    int64_t snap_start = st->pend_len;
+    int64_t alloc = 0, outside = 0;
+    int truncated = 0;
+    /* Single sorted scan: the snapshot records the full pre-kill live row
+     * (member neighbours included — flush classifies members at *flush*
+     * time), member edges are allocated in ascending-id order (canonical
+     * truncation), outside neighbours enter the frontier. */
+    for (int64_t x = st->indptr[i]; x < st->indptr[i + 1]; x++) {
+        if (!st->alive[x])
+            continue;
+        int64_t u = st->indices[x];
+        if (st->member[u]) {
+            if (max_edges >= 0 && alloc >= max_edges) {
+                truncated = 1;
+                break;
+            }
+            /* allocate edge {i, u}: kill both directed slots */
+            st->alive[x] = 0;
+            st->alive[st->twin[x]] = 0;
+            st->live_deg[i]--;
+            st->live_deg[u]--;
+            st->num_live--;
+            int64_t e = st->edge_count++;
+            st->edge_u[e] = u < i ? u : i;
+            st->edge_v[e] = u < i ? i : u;
+            alloc++;
+        } else {
+            outside++;
+        }
+        st->pend_snap[st->pend_len++] = u;
+    }
+    st->internal_ += alloc;
+    st->external_ -= alloc;
+    *allocated_out = alloc;
+    if (truncated) {
+        st->pend_len = snap_start;   /* roll back: no membership, no snapshot */
+        return 1;
+    }
+    st->member[i] = 1;
+    frontier_remove(st, i);
+    for (int64_t t = snap_start; t < st->pend_len; t++) {
+        int64_t u = st->pend_snap[t];
+        if (!st->member[u])
+            touch_inc(st, u);
+    }
+    st->external_ += outside;
+    int64_t pc = st->pend_count++;
+    st->pend_v[pc] = i;
+    st->pend_s[pc] = snap_start;
+    st->pend_e[pc] = st->pend_len;
+    return 0;
+}
+
+int64_t tlp_grow_episode(GrowState *st, int64_t seed_idx)
+{
+    seed_vertex(st, seed_idx);
+    for (;;) {
+        if (st->internal_ >= st->capacity)
+            return REASON_CAPACITY;
+        if (st->f_size == 0)
+            return REASON_EMPTY;
+        int64_t stage = pick_stage(st);
+        int64_t vi = stage == 1 ? select_stage1(st) : select_stage2(st);
+        int64_t max_edges = st->strict ? st->capacity - st->internal_ : -1;
+        int64_t alloc = 0;
+        int truncated = add_vertex(st, vi, max_edges, &alloc);
+        int64_t s = st->sel_count++;
+        st->sel_idx[s] = vi;
+        st->sel_stage[s] = stage;
+        st->sel_alloc[s] = alloc;
+        st->sel_ldeg[s] = st->live_deg[vi];
+        st->sel_state[s] = st->internal_ + st->f_size;
+        if (truncated)
+            return REASON_TRUNCATED;
+    }
+}

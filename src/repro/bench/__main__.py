@@ -14,7 +14,8 @@ Experiments (paper artefact in parentheses):
 * ``window``  — TLP-W window-size sweep (the §V future-work feature)
 * ``seeds``   — RF stability across random seeds, per algorithm
 * ``slack``   — TLP's balance-slack vs RF trade-off
-* ``all``    — everything above
+* ``perf``    — TLP backend throughput benchmark; writes ``BENCH_perf.json``
+* ``all``    — everything above (except ``perf``, which is run explicitly)
 
 ``--scale`` overrides each dataset's default scale (see DESIGN.md §5);
 ``--quick`` uses the small bench scales the pytest suite uses.
@@ -59,6 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "window",
             "seeds",
             "slack",
+            "perf",
             "all",
         ],
     )
@@ -224,6 +226,49 @@ def _run_slack(args, graphs) -> None:
     )
 
 
+def _run_perf(args) -> None:
+    from repro.bench.perf import (
+        FULL_SCALE,
+        PROBE_DATASET,
+        QUICK_SCALE,
+        run_perf,
+        write_report,
+    )
+    from repro.datasets.cache import load_cached
+
+    scale = args.scale if args.scale is not None else (
+        QUICK_SCALE if args.quick else FULL_SCALE
+    )
+    dataset = (args.datasets or [PROBE_DATASET])[0]
+    print(render_banner("Backend throughput — TLP hot-path benchmark"))
+    print(f"graph: {dataset} scale={scale:g}, p=8\n")
+    graph = load_cached(dataset, scale=scale, seed=args.seed)
+    report = run_perf(
+        graph,
+        dataset=dataset,
+        seeds=(args.seed, args.seed + 1),
+        quick=args.quick,
+        progress=lambda r: print(
+            f"  done {r.algorithm:14s} backend={r.backend:9s} seed={r.seed} "
+            f"{r.edges_per_s:>9.0f} edges/s RF={r.rf:.3f}",
+            file=sys.stderr,
+        ),
+    )
+    print(
+        render_table(
+            ["algorithm", "backend", "seed", "seconds", "edges/s", "RF"],
+            [
+                [r["algorithm"], r["backend"], r["seed"], r["seconds"],
+                 r["edges_per_s"], r["rf"]]
+                for r in report["results"]
+            ],
+        )
+    )
+    print(f"\nTLP speedup (csr vs reference): {report['speedup']:g}x")
+    path = write_report(report)
+    print(f"wrote {path}")
+
+
 def _run_scaling(args) -> None:
     print(render_banner("Scaling — TLP time/space vs graph size (§III-E)"))
     points = time_scaling_sweep(seed=args.seed)
@@ -318,6 +363,8 @@ def _dispatch(args) -> int:
             _run_seeds(args, graphs)
         elif want == "slack":
             _run_slack(args, graphs)
+        elif want == "perf":
+            _run_perf(args)
         elif want == "scaling":
             _run_scaling(args)
         print()

@@ -1,0 +1,144 @@
+"""Tracked throughput benchmark for the TLP hot path.
+
+The CSR backend exists purely for speed, so its speed is a tracked
+artefact: ``python -m repro.bench perf`` times the TLP hot loop on the G5
+(Slashdot) stand-in for every backend, checks that the CSR and reference
+backends produce *identical* partitionings (same RF per seed — the
+backends are bit-for-bit equivalent, so anything else is a bug), and
+writes the measurements to ``BENCH_perf.json`` so regressions show up in
+review diffs.
+
+METIS and LDG ride along as context: they bound what "fast" and "good"
+mean for a non-local streaming heuristic and an offline partitioner on
+the same workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.partitioning.metrics import replication_factor
+
+#: Bump when the schema of ``BENCH_perf.json`` changes.
+SCHEMA_VERSION = 1
+
+#: The probe workload: G5 (Slashdot0811) is the largest stand-in that the
+#: full benchmark finishes in a couple of minutes at scale 0.25.
+PROBE_DATASET = "G5"
+QUICK_SCALE = 0.05
+FULL_SCALE = 0.25
+DEFAULT_P = 8
+DEFAULT_REPORT = "BENCH_perf.json"
+
+
+@dataclass
+class PerfRow:
+    """One timed ``partition()`` call."""
+
+    dataset: str
+    algorithm: str
+    backend: str
+    p: int
+    seed: int
+    edges: int
+    seconds: float
+    edges_per_s: float
+    rf: float
+
+
+def _timed(partitioner, graph: Graph, p: int) -> tuple:
+    start = time.perf_counter()
+    partition = partitioner.partition(graph, p)
+    seconds = time.perf_counter() - start
+    return partition, seconds
+
+
+def run_perf(
+    graph: Graph,
+    dataset: str = PROBE_DATASET,
+    p: int = DEFAULT_P,
+    seeds: Sequence[int] = (0, 1),
+    quick: bool = False,
+    progress: Optional[Callable[[PerfRow], None]] = None,
+) -> Dict:
+    """Time every contender on ``graph`` and assemble the report dict.
+
+    Raises ``AssertionError`` if the CSR and reference TLP backends
+    disagree on any (p, seed) cell — equivalence is part of what this
+    benchmark tracks.
+    """
+    from repro.core.tlp import TLPPartitioner
+    from repro.core.tlp_r import TLPRPartitioner
+    from repro.partitioning.registry import make_partitioner
+
+    # Pay the one-off kernel compilation outside the timed region.
+    from repro.core.native_grow import native_kernel
+
+    native_kernel()
+
+    rows: List[PerfRow] = []
+
+    def record(algorithm: str, backend: str, partitioner, seed: int) -> PerfRow:
+        partition, seconds = _timed(partitioner, graph, p)
+        row = PerfRow(
+            dataset=dataset,
+            algorithm=algorithm,
+            backend=backend,
+            p=p,
+            seed=seed,
+            edges=graph.num_edges,
+            seconds=round(seconds, 4),
+            edges_per_s=round(graph.num_edges / seconds) if seconds else 0.0,
+            rf=round(replication_factor(partition, graph), 6),
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+        return row
+
+    ref_secs = csr_secs = 0.0
+    for seed in seeds:
+        csr = record("TLP", "csr", TLPPartitioner(seed=seed, backend="csr"), seed)
+        ref = record(
+            "TLP", "reference", TLPPartitioner(seed=seed, backend="reference"), seed
+        )
+        csr_secs += csr.seconds
+        ref_secs += ref.seconds
+        assert csr.rf == ref.rf, (
+            f"backend parity violated on {dataset} p={p} seed={seed}: "
+            f"csr RF={csr.rf} != reference RF={ref.rf}"
+        )
+        record(
+            "TLP_R(R=0.5)",
+            "csr",
+            TLPRPartitioner(0.5, seed=seed, backend="csr"),
+            seed,
+        )
+        record("METIS", "-", make_partitioner("METIS", seed=seed), seed)
+        record("LDG", "-", make_partitioner("LDG", seed=seed), seed)
+
+    return {
+        "version": SCHEMA_VERSION,
+        "quick": quick,
+        "dataset": dataset,
+        "p": p,
+        "seeds": list(seeds),
+        "edges": graph.num_edges,
+        "speedup": round(ref_secs / csr_secs, 2) if csr_secs else None,
+        "results": [asdict(row) for row in rows],
+    }
+
+
+def write_report(report: Dict, path: str = DEFAULT_REPORT) -> str:
+    """Write the report atomically; returns the path written."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Set, Tuple
 
-from repro.graph.graph import Edge, normalize_edge
+from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.partitioning.assignment import EdgePartition
 from repro.partitioning.refinement import refine_replication
 from repro.utils.validation import check_positive
@@ -44,6 +44,28 @@ class DynamicPartitioner:
                 row = self._incident.setdefault(w, {})
                 row[k] = row.get(k, 0) + 1
         self.insertions = 0
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        num_partitions: int,
+        slack: float = 1.1,
+        backend: str = "csr",
+        **tlp_kwargs,
+    ) -> "DynamicPartitioner":
+        """Bootstrap by running TLP on ``graph``, then maintain online.
+
+        The common lifecycle — partition a snapshot with TLP, keep placing
+        new edges as they arrive — in one call.  ``backend`` and any extra
+        keyword arguments go to :class:`~repro.core.tlp.TLPPartitioner`;
+        ``slack`` is shared between the initial partitioning and the online
+        capacity rule.
+        """
+        from repro.core.tlp import TLPPartitioner
+
+        tlp = TLPPartitioner(slack=slack, backend=backend, **tlp_kwargs)
+        return cls(tlp.partition(graph, num_partitions), slack=slack)
 
     # -- queries -------------------------------------------------------------
 

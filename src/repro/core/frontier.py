@@ -25,6 +25,28 @@ import numpy as np
 _INITIAL_CAPACITY = 64
 
 
+def argmax_with_ties(
+    primary: np.ndarray, secondary: np.ndarray, ids: np.ndarray
+) -> int:
+    """Index of the max of ``primary``; ties by max ``secondary``, min id.
+
+    Fast path: a single ``argmax`` plus one equality count; the full
+    tie-break machinery only runs when a genuine tie exists.  Shared by
+    the reference and CSR frontiers so both resolve ties identically.
+    """
+    i = int(np.argmax(primary))
+    best = primary[i]
+    tie_count = int(np.count_nonzero(primary == best))
+    if tie_count == 1:
+        return i
+    candidates = np.nonzero(primary == best)[0]
+    sec = secondary[candidates]
+    finalists = candidates[sec == sec.max()]
+    if len(finalists) == 1:
+        return int(finalists[0])
+    return int(finalists[np.argmin(ids[finalists])])
+
+
 class Frontier:
     """Dynamic arrays over the frontier with swap-and-pop deletion."""
 
@@ -116,23 +138,8 @@ class Frontier:
     def _argmax_with_ties(
         self, primary: np.ndarray, secondary: np.ndarray
     ) -> int:
-        """Index of the max of ``primary``; ties by max ``secondary``, min id.
-
-        Fast path: a single ``argmax`` plus one equality count; the full
-        tie-break machinery only runs when a genuine tie exists.
-        """
-        i = int(np.argmax(primary))
-        best = primary[i]
-        tie_count = int(np.count_nonzero(primary == best))
-        if tie_count == 1:
-            return i
-        candidates = np.nonzero(primary == best)[0]
-        sec = secondary[candidates]
-        finalists = candidates[sec == sec.max()]
-        if len(finalists) == 1:
-            return int(finalists[0])
-        ids = self._ids[finalists]
-        return int(finalists[np.argmin(ids)])
+        """Index of the max of ``primary``; ties by max ``secondary``, min id."""
+        return argmax_with_ties(primary, secondary, self._ids[: self._size])
 
     def select_stage1(self) -> Optional[int]:
         """Vertex maximising ``mu_s1`` (Eq. 8); ties to higher residual degree.
@@ -165,4 +172,111 @@ class Frontier:
         den = (external + r - 2 * c).astype(np.float64)
         score = np.where(den > 0, num / np.where(den > 0, den, 1.0), np.inf)
         i = self._argmax_with_ties(score, c)
+        return int(self._ids[i])
+
+
+class DenseFrontier:
+    """Int-indexed frontier over a fixed vertex universe ``0..n-1``.
+
+    The CSR backend's twin of :class:`Frontier`: membership is a dense
+    position array (``pos[v] == -1`` when absent) instead of a dict, so
+    every bookkeeping operation is a vectorised slice — no per-vertex
+    hashing.  Compact parallel arrays (``ids``/``c``/``r``/``mu1``) are
+    preallocated at full size, and the per-step argmax scans only the
+    live prefix.  Selection semantics (including tie-breaks) are shared
+    with :class:`Frontier` via :func:`argmax_with_ties`; here ``ids``
+    hold dense vertex *indices*, whose order matches original-id order
+    by construction of :class:`~repro.graph.residual_csr.CSRResidual`.
+    """
+
+    __slots__ = ("_ids", "_c", "_r", "_mu1", "_pos", "_size")
+
+    def __init__(self, num_vertices: int) -> None:
+        self._ids = np.empty(num_vertices, dtype=np.int64)
+        self._c = np.empty(num_vertices, dtype=np.int64)
+        self._r = np.empty(num_vertices, dtype=np.int64)
+        self._mu1 = np.empty(num_vertices, dtype=np.float64)
+        self._pos = np.full(num_vertices, -1, dtype=np.int64)
+        self._size = 0
+
+    # -- structure ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, v: int) -> bool:
+        return self._pos[v] >= 0
+
+    def c_of(self, v: int) -> int:
+        """Current ``c(v)``; 0 if ``v`` is not in the frontier."""
+        p = self._pos[v]
+        return int(self._c[p]) if p >= 0 else 0
+
+    def members(self) -> np.ndarray:
+        """The current frontier vertex indices (compact order)."""
+        return self._ids[: self._size]
+
+    def touch_and_increment_many(
+        self, vs: np.ndarray, live_deg: np.ndarray
+    ) -> None:
+        """Vectorised ``touch + c += 1`` over distinct vertices ``vs``.
+
+        New entries get ``c = 1`` and ``r`` sampled from ``live_deg`` at
+        entry time, exactly like the reference frontier's fused touch.
+        """
+        if len(vs) == 0:
+            return
+        pos = self._pos[vs]
+        is_new = pos < 0
+        old = pos[~is_new]
+        if len(old):
+            self._c[old] += 1
+        new = vs[is_new]
+        k = len(new)
+        if k:
+            i = self._size
+            self._ids[i : i + k] = new
+            self._c[i : i + k] = 1
+            self._r[i : i + k] = live_deg[new]
+            self._mu1[i : i + k] = 0.0
+            self._pos[new] = np.arange(i, i + k, dtype=np.int64)
+            self._size = i + k
+
+    def raise_mu1_many(self, vs: np.ndarray, values: np.ndarray) -> None:
+        """Monotone Stage-I score update for distinct frontier vertices."""
+        p = self._pos[vs]
+        self._mu1[p] = np.maximum(self._mu1[p], values)
+
+    def remove(self, v: int) -> None:
+        """Remove vertex index ``v`` (it became a member) via swap-and-pop."""
+        p = int(self._pos[v])
+        last = self._size - 1
+        if p != last:
+            for arr in (self._ids, self._c, self._r, self._mu1):
+                arr[p] = arr[last]
+            self._pos[self._ids[p]] = p
+        self._pos[v] = -1
+        self._size = last
+
+    # -- selection ----------------------------------------------------------
+
+    def select_stage1(self) -> Optional[int]:
+        """Vertex index maximising ``mu_s1``; same tie-breaks as :class:`Frontier`."""
+        n = self._size
+        if n == 0:
+            return None
+        i = argmax_with_ties(self._mu1[:n], self._r[:n], self._ids[:n])
+        return int(self._ids[i])
+
+    def select_stage2(self, internal: int, external: int) -> Optional[int]:
+        """Vertex index maximising the modularity gain (Eq. 9-11)."""
+        n = self._size
+        if n == 0:
+            return None
+        c = self._c[:n]
+        r = self._r[:n]
+        num = (internal + c).astype(np.float64)
+        den = (external + r - 2 * c).astype(np.float64)
+        score = np.where(den > 0, num / np.where(den > 0, den, 1.0), np.inf)
+        i = argmax_with_ties(score, c, self._ids[:n])
         return int(self._ids[i])

@@ -12,14 +12,27 @@ capacity, reseeding, telemetry) is shared here.
 from __future__ import annotations
 
 from repro.core.stages import STAGE_ONE, StagePolicy
-from repro.core.state import SIMILARITY_SCOPES, PartitionState
+from repro.core.state import SIMILARITY_SCOPES, CSRPartitionState, PartitionState
 from repro.core.telemetry import StageTelemetry
 from repro.graph.graph import Graph
 from repro.graph.residual import ResidualGraph
+from repro.graph.residual_csr import CSRResidual
 from repro.partitioning.assignment import EdgePartition
 from repro.partitioning.base import EdgePartitioner, default_capacity
 from repro.utils.rng import Seed, make_rng
 from repro.utils.validation import check_positive
+
+#: Recognised values of ``LocalEdgePartitioner(backend=...)``.
+#:
+#: ``"reference"``  — the original dict-of-sets implementation.
+#: ``"csr"``        — array-native path; uses the compiled C kernel when a
+#:                    toolchain is available, else the vectorised numpy path.
+#: ``"csr-python"`` — array-native path, numpy only (no compilation attempt).
+#: ``"csr-native"`` — array-native path, compiled kernel required (raises if
+#:                    it cannot be built).
+#:
+#: All backends are bit-for-bit equivalent under a fixed seed.
+BACKENDS = ("reference", "csr", "csr-python", "csr-native")
 
 
 class LocalEdgePartitioner(EdgePartitioner):
@@ -52,6 +65,11 @@ class LocalEdgePartitioner(EdgePartitioner):
         line 1).  ``"random"`` is the paper's choice; ``"max-degree"`` /
         ``"min-degree"`` sample a small pool of candidates and keep the
         highest/lowest residual degree — the seed-choice ablation.
+    backend:
+        Hot-loop implementation; see :data:`BACKENDS`.  The default
+        ``"csr"`` runs the array-native path (compiled kernel when
+        available) and produces output bit-for-bit identical to
+        ``"reference"`` under the same seed.
     """
 
     name = "Local"
@@ -68,6 +86,7 @@ class LocalEdgePartitioner(EdgePartitioner):
         reseed_on_break: bool = True,
         similarity_scope: str = "residual",
         seed_strategy: str = "random",
+        backend: str = "csr",
     ) -> None:
         if similarity_scope not in SIMILARITY_SCOPES:
             raise ValueError(
@@ -81,6 +100,10 @@ class LocalEdgePartitioner(EdgePartitioner):
                 f"seed_strategy must be one of {self.SEED_STRATEGIES}, "
                 f"got {seed_strategy!r}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.stage_policy = stage_policy
         self.seed = seed
         self.slack = slack
@@ -88,6 +111,7 @@ class LocalEdgePartitioner(EdgePartitioner):
         self.reseed_on_break = reseed_on_break
         self.similarity_scope = similarity_scope
         self.seed_strategy = seed_strategy
+        self.backend = backend
         #: Telemetry of the most recent :meth:`partition` call.
         self.last_telemetry: StageTelemetry = StageTelemetry()
 
@@ -98,23 +122,73 @@ class LocalEdgePartitioner(EdgePartitioner):
         check_positive("num_partitions", num_partitions)
         rng = make_rng(self.seed)
         telemetry = StageTelemetry()
-        residual = ResidualGraph(graph)
+        if self.backend == "reference":
+            residual = ResidualGraph(graph)
+        else:
+            residual = CSRResidual(graph)
+        runner = self._make_native_runner(residual, graph)
         capacity = default_capacity(graph.num_edges, num_partitions, self.slack)
         parts = []
         for k in range(num_partitions):
             is_last = k == num_partitions - 1
             cap = residual.num_edges if is_last else capacity
-            parts.append(self._grow_round(graph, residual, cap, k, rng, telemetry))
+            if runner is not None:
+                parts.append(
+                    runner.grow_round(
+                        cap,
+                        k,
+                        rng,
+                        telemetry,
+                        self._pick_seed,
+                        self.reseed_on_break,
+                    )
+                )
+            else:
+                parts.append(
+                    self._grow_round(graph, residual, cap, k, rng, telemetry)
+                )
         self.last_telemetry = telemetry
         partition = EdgePartition(parts)
         return partition
+
+    # -- backend dispatch ------------------------------------------------------
+
+    def _make_native_runner(self, residual, graph: Graph):
+        """A compiled-kernel round runner, or ``None`` for the numpy path.
+
+        ``"csr"`` silently falls back to numpy when no kernel is available
+        (no C toolchain, or a stage policy the kernel does not encode);
+        ``"csr-native"`` insists and raises instead.
+        """
+        if self.backend in ("reference", "csr-python"):
+            return None
+        from repro.core.native_grow import NativeRunner, native_kernel
+
+        require = self.backend == "csr-native"
+        kernel = native_kernel(require=require)
+        if kernel is None:
+            return None
+        runner = NativeRunner.try_create(
+            kernel,
+            residual,
+            graph,
+            self.stage_policy,
+            self.similarity_scope,
+            self.strict_capacity,
+        )
+        if runner is None and require:
+            raise ValueError(
+                "backend='csr-native' does not support stage policy "
+                f"{self.stage_policy.describe()!r}"
+            )
+        return runner
 
     # -- one round -----------------------------------------------------------
 
     def _grow_round(
         self,
         graph: Graph,
-        residual: ResidualGraph,
+        residual,
         capacity: int,
         k: int,
         rng,
@@ -122,7 +196,10 @@ class LocalEdgePartitioner(EdgePartitioner):
     ) -> list:
         if capacity <= 0 or residual.is_exhausted():
             return []
-        state = PartitionState(residual, graph, self.similarity_scope)
+        if isinstance(residual, CSRResidual):
+            state = CSRPartitionState(residual, self.similarity_scope)
+        else:
+            state = PartitionState(residual, graph, self.similarity_scope)
         state.seed(self._pick_seed(residual, rng))
         while state.internal < capacity:
             if state.frontier_empty():
@@ -144,7 +221,7 @@ class LocalEdgePartitioner(EdgePartitioner):
                 break
         return state.edges
 
-    def _pick_seed(self, residual: ResidualGraph, rng) -> int:
+    def _pick_seed(self, residual, rng) -> int:
         """Apply the configured seed strategy to the residual graph."""
         if self.seed_strategy == "random":
             return residual.sample_seed(rng)

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.graph.graph import Edge, Graph
 from repro.graph.residual import ResidualGraph
-from repro.core.frontier import Frontier
+from repro.graph.residual_csr import CSRResidual
+from repro.core.frontier import DenseFrontier, Frontier
 
 SIMILARITY_SCOPES = ("residual", "original")
 
@@ -101,7 +104,9 @@ class PartitionState:
         Returns ``(allocated, truncated)``.
         """
         snapshot = set(self._residual.neighbors(v))
-        member_nbrs = [u for u in snapshot if u in self.members]
+        # Sorted batch order makes capacity truncation canonical (smallest
+        # neighbour ids win), so every backend truncates identically.
+        member_nbrs = sorted(u for u in snapshot if u in self.members)
         truncated = max_edges is not None and len(member_nbrs) > max_edges
         batch = member_nbrs[:max_edges] if truncated else member_nbrs
         for u in batch:
@@ -172,3 +177,177 @@ class PartitionState:
     def select_stage2(self) -> Optional[int]:
         """Best Stage-II vertex (Eq. 11)."""
         return self.frontier.select_stage2(self.internal, self.external)
+
+
+class CSRPartitionState:
+    """Array-native twin of :class:`PartitionState` over a :class:`CSRResidual`.
+
+    Same public API and bit-for-bit identical selections under a fixed
+    seed, but every inner-loop operation is a vectorised slice over flat
+    CSR arrays:
+
+    * membership is a dense boolean mask indexed by vertex index;
+    * ``add_vertex`` classifies a whole adjacency row (live / member /
+      outside) with three boolean kernels and kills the allocated edges
+      through the slot-parallel ``alive`` mask;
+    * Stage-I similarity (Eq. 7) counts sorted-row intersections with one
+      ``searchsorted`` over the concatenated two-hop neighbourhood
+      instead of per-pair Python set intersections.
+
+    ``similarity_scope="original"`` uses the static (round-zero) CSR rows,
+    which are exactly the full input graph's adjacency.
+    """
+
+    def __init__(
+        self, residual: CSRResidual, similarity_scope: str = "residual"
+    ) -> None:
+        if similarity_scope not in SIMILARITY_SCOPES:
+            raise ValueError(
+                f"similarity_scope must be one of {SIMILARITY_SCOPES}, "
+                f"got {similarity_scope!r}"
+            )
+        self._residual = residual
+        self._similarity_scope = similarity_scope
+        n = residual.num_vertices
+        self._member_mask = np.zeros(n, dtype=bool)
+        self.edges: List[Edge] = []
+        self.internal = 0
+        self.external = 0
+        self.frontier = DenseFrontier(n)
+        # Members whose Stage-I similarity contributions are not yet
+        # applied: (member index, round-start live-neighbour row).
+        self._pending_mu1: List[Tuple[int, np.ndarray]] = []
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def members(self) -> Set[int]:
+        """Current member *ids* (materialised on demand; not a hot path)."""
+        idx = np.flatnonzero(self._member_mask)
+        return set(self._residual.ids[idx].tolist())
+
+    @property
+    def modularity(self) -> float:
+        """``M(P_k) = |E(P_k)| / |E_out(P_k)|`` (Definition 8); inf if closed."""
+        if self.external == 0:
+            return float("inf")
+        return self.internal / self.external
+
+    def frontier_empty(self) -> bool:
+        """True when ``N(P_k)`` is empty (equivalently ``E_out = 0``)."""
+        return len(self.frontier) == 0
+
+    # -- growth --------------------------------------------------------------
+
+    def seed(self, x: int) -> None:
+        """Start (or restart) growth from the vertex with original id ``x``."""
+        res = self._residual
+        i = res.index_of[x]
+        if self._member_mask[i]:
+            raise ValueError(f"seed {x} is already a member")
+        snapshot = res.live_row(i)
+        self._member_mask[i] = True
+        self.frontier.touch_and_increment_many(snapshot, res.live_deg)
+        self.external += len(snapshot)
+        self._pending_mu1.append((i, snapshot))
+
+    def add_vertex(self, v: int, max_edges: Optional[int] = None) -> Tuple[int, bool]:
+        """Move frontier vertex ``v`` (original id) into the partition.
+
+        Returns ``(allocated, truncated)`` with the same truncation
+        semantics as the reference backend: the batch is the member
+        neighbours in ascending id order, cut at ``max_edges``.
+        """
+        res = self._residual
+        i = res.index_of[v]
+        s, e = res.indptr[i], res.indptr[i + 1]
+        row = res.indices[s:e]
+        live = res.alive[s:e].view(bool)
+        snapshot = row[live]  # sorted: row is sorted, mask keeps order
+        mem = self._member_mask[snapshot]
+        member_nbrs = snapshot[mem]
+        slots = s + np.flatnonzero(live)[mem]
+        truncated = max_edges is not None and len(member_nbrs) > max_edges
+        if truncated:
+            member_nbrs = member_nbrs[:max_edges]
+            slots = slots[:max_edges]
+        res.kill_slots(i, slots, member_nbrs)
+        k = len(member_nbrs)
+        if k:
+            uids = res.ids[member_nbrs]
+            vid = int(res.ids[i])
+            lo = np.minimum(uids, vid)
+            hi = np.maximum(uids, vid)
+            self.edges.extend(zip(lo.tolist(), hi.tolist()))
+        self.internal += k
+        self.external -= k
+        if truncated:
+            # Round over: bookkeeping beyond the edge list no longer matters.
+            return k, True
+        self._member_mask[i] = True
+        if i in self.frontier:
+            self.frontier.remove(i)
+        outside = snapshot[~mem]
+        self.frontier.touch_and_increment_many(outside, res.live_deg)
+        self.external += len(outside)
+        self._pending_mu1.append((i, snapshot))
+        return k, False
+
+    # -- Stage-I score maintenance -------------------------------------------
+
+    def flush_stage1_scores(self) -> None:
+        """Apply pending Stage-I similarity updates (Eq. 7), vectorised.
+
+        For each unprocessed member ``v_j``, the live rows of all its
+        non-member snapshot neighbours are concatenated into one ragged
+        batch; a single ``searchsorted`` against the sorted ``N(v_j)`` row
+        counts every intersection at C speed.
+        """
+        if not self._pending_mu1:
+            return
+        res = self._residual
+        use_original = self._similarity_scope == "original"
+        member_mask = self._member_mask
+        indptr, indices, alive = res.indptr, res.indices, res.alive
+        for j, snapshot in self._pending_mu1:
+            nbrs_j = res.static_row(j) if use_original else snapshot
+            deg_j = len(nbrs_j)
+            if deg_j == 0:
+                continue
+            outside = snapshot[~member_mask[snapshot]]
+            if len(outside) == 0:
+                continue
+            starts = indptr[outside]
+            lens = indptr[outside + 1] - starts
+            total = int(lens.sum())
+            if total == 0:
+                continue
+            # Ragged gather: positions of every adjacency slot of every
+            # outside vertex, in one flat array.
+            prefix = np.zeros(len(outside), dtype=np.int64)
+            np.cumsum(lens[:-1], out=prefix[1:])
+            positions = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - prefix, lens
+            )
+            cat = indices[positions]
+            loc = np.searchsorted(nbrs_j, cat)
+            hit = nbrs_j[np.minimum(loc, deg_j - 1)] == cat
+            if not use_original:
+                hit &= alive[positions].view(bool)
+            labels = np.repeat(np.arange(len(outside), dtype=np.int64), lens)
+            counts = np.bincount(labels[hit], minlength=len(outside))
+            self.frontier.raise_mu1_many(outside, counts / deg_j)
+        self._pending_mu1.clear()
+
+    # -- selection -----------------------------------------------------------
+
+    def select_stage1(self) -> Optional[int]:
+        """Best Stage-I vertex id (Eq. 8), refreshing scores first."""
+        self.flush_stage1_scores()
+        i = self.frontier.select_stage1()
+        return None if i is None else int(self._residual.ids[i])
+
+    def select_stage2(self) -> Optional[int]:
+        """Best Stage-II vertex id (Eq. 11)."""
+        i = self.frontier.select_stage2(self.internal, self.external)
+        return None if i is None else int(self._residual.ids[i])

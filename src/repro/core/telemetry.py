@@ -41,6 +41,20 @@ class StageTelemetry:
         """Log one selection."""
         self.records.append(SelectionRecord(partition, stage, vertex, degree, allocated))
 
+    def record_batch(
+        self,
+        partition: int,
+        stages: List[int],
+        vertices: List[int],
+        degrees: List[int],
+        allocated: List[int],
+    ) -> None:
+        """Log a whole round of selections at once (the kernel backend)."""
+        self.records.extend(
+            SelectionRecord(partition, s, v, d, a)
+            for s, v, d, a in zip(stages, vertices, degrees, allocated)
+        )
+
     def record_reseed(self) -> None:
         """Log a mid-round reseed (disconnected residual)."""
         self.reseeds += 1

@@ -25,10 +25,11 @@ import math
 from typing import Iterable, Iterator, List, Optional
 
 from repro.core.stages import STAGE_ONE, ModularityStagePolicy, StagePolicy
-from repro.core.state import PartitionState
+from repro.core.state import CSRPartitionState, PartitionState
 from repro.core.telemetry import StageTelemetry
 from repro.graph.graph import Edge, Graph
 from repro.graph.residual import ResidualGraph
+from repro.graph.residual_csr import CSRResidual
 from repro.partitioning.assignment import EdgePartition
 from repro.partitioning.base import StreamingEdgePartitioner
 from repro.utils.rng import Seed, make_rng
@@ -47,16 +48,32 @@ class WindowedLocalPartitioner(StreamingEdgePartitioner):
         seed: Seed = None,
         slack: float = 1.0,
         similarity_scope: str = "residual",
+        backend: str = "csr",
     ) -> None:
         check_positive("window_size", window_size)
         if slack < 1.0:
             raise ValueError(f"slack must be >= 1.0, got {slack}")
+        # Import here to avoid a circular import at module load.
+        from repro.core.local import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.window_size = window_size
         self.stage_policy = stage_policy or ModularityStagePolicy()
         self.seed = seed
         self.slack = slack
         self.similarity_scope = similarity_scope
+        #: ``"reference"`` grows inside the dict buffer directly; every
+        #: ``"csr*"`` value grows inside an array mirror of the buffer
+        #: (rebuilt per refill) via the vectorised numpy path.  The windowed
+        #: partitioner never uses the compiled kernel: episodes are short
+        #: and the buffer mutates between them, so the numpy state is the
+        #: right trade-off.
+        self.backend = backend
         self.last_telemetry = StageTelemetry()
+        self._csr_mirror: Optional[CSRResidual] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -123,6 +140,9 @@ class WindowedLocalPartitioner(StreamingEdgePartitioner):
 
     def _refill(self, buffer: ResidualGraph, source: Iterator[Edge]) -> bool:
         """Top the buffer up to ``window_size`` edges; True when stream ended."""
+        # New edges invalidate the CSR mirror; it is rebuilt lazily on the
+        # next growth episode.
+        self._csr_mirror = None
         while buffer.num_edges < self.window_size:
             try:
                 u, v = next(source)
@@ -141,14 +161,33 @@ class WindowedLocalPartitioner(StreamingEdgePartitioner):
         graph: Optional[Graph],
     ) -> List[Edge]:
         """One local growth episode inside the (frozen) buffer."""
-        state = PartitionState(buffer, graph or Graph.empty(), "residual")
+        if self.backend == "reference":
+            mirrored = False
+            state = PartitionState(buffer, graph or Graph.empty(), "residual")
+        else:
+            mirrored = True
+            if self._csr_mirror is None:
+                self._csr_mirror = CSRResidual.from_adjacency(
+                    buffer.vertices(), buffer.neighbors, buffer.num_edges
+                )
+            state = CSRPartitionState(self._csr_mirror, "residual")
+        # The dict buffer stays authoritative for seed sampling so the RNG
+        # consumption — and hence the grown partitions — are identical
+        # across backends.
         state.seed(buffer.sample_seed(rng))
+        synced = 0
         while state.internal < cap:
             if state.frontier_empty():
                 break  # caller refills/reseeds with a fresh episode
             stage = self.stage_policy.stage(state, cap)
             v = state.select_stage1() if stage == STAGE_ONE else state.select_stage2()
             allocated, truncated = state.add_vertex(v, cap - state.internal)
+            if mirrored:
+                # Replay the allocation on the dict buffer so refills, seed
+                # sampling and degree telemetry see the same residual.
+                for a, b in state.edges[synced:]:
+                    buffer.remove_edge(a, b)
+                synced = len(state.edges)
             degree = graph.degree(v) if graph is not None and v in graph else buffer.degree(v)
             telemetry.record(k, stage, v, degree, allocated)
             telemetry.record_local_state(state.internal + len(state.frontier))

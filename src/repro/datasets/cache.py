@@ -5,13 +5,22 @@ seconds to minutes; experiments sweep the same nine graphs dozens of times.
 The cache stores each generated graph as a gzip edge list keyed by
 ``(dataset key, scale, seed, generator version)`` under a cache directory
 (``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the working directory).
+
+Cache files are written atomically (temp file + rename), and a file that
+fails to parse — e.g. a write interrupted before this hardening existed —
+is treated as a miss: it is logged, deleted, and regenerated rather than
+crashing every later run.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import tempfile
 from pathlib import Path
 from typing import Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.datasets.catalog import DatasetSpec, dataset_by_key
 from repro.datasets.synthetic import instantiate
@@ -46,14 +55,41 @@ def load_cached(
     )
     path = _cache_path(spec, scale, seed)
     if path.exists() and not refresh:
-        return read_edge_list(path)
+        try:
+            return read_edge_list(path)
+        except (OSError, EOFError, ValueError) as exc:
+            # Truncated or corrupt cache file (e.g. an interrupted write
+            # from before writes were atomic): regenerate instead of
+            # failing every run that touches this dataset.
+            logger.warning("discarding corrupt cache file %s: %s", path, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
     graph = instantiate(spec, scale=scale, seed=seed)
-    write_edge_list(
-        graph,
-        path,
-        header=[f"stand-in for {spec.name} scale={scale:g} seed={seed}"],
-    )
+    _write_atomic(graph, path, spec, scale, seed)
     return graph
+
+
+def _write_atomic(
+    graph: Graph, path: Path, spec: DatasetSpec, scale: float, seed: int
+) -> None:
+    """Write the cache entry via a temp file so readers never see a torn file."""
+    fd, tmp_name = tempfile.mkstemp(
+        suffix=".tmp.gz", prefix=path.stem + ".", dir=path.parent
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        write_edge_list(
+            graph,
+            tmp,
+            header=[f"stand-in for {spec.name} scale={scale:g} seed={seed}"],
+        )
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def clear_cache() -> int:

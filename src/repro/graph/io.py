@@ -9,7 +9,6 @@ or lazily as an edge iterator for the streaming partitioners.
 from __future__ import annotations
 
 import gzip
-import io
 import os
 from pathlib import Path
 from typing import IO, Dict, Iterable, Iterator, Tuple, Union
@@ -23,7 +22,7 @@ PathLike = Union[str, "os.PathLike[str]"]
 def _open_text(path: PathLike, mode: str) -> IO[str]:
     path = Path(path)
     if path.suffix == ".gz":
-        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
     return open(path, mode + "t", encoding="utf-8")
 
 

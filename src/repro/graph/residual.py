@@ -56,6 +56,10 @@ class ResidualGraph:
         nbrs = self._adj.get(v)
         return len(nbrs) if nbrs else 0
 
+    def vertices(self) -> List[int]:
+        """Known vertices in insertion order (live or not)."""
+        return list(self._adj)
+
     def neighbors(self, v: int) -> Set[int]:
         """Residual neighbour set of ``v``.  Treat as read-only."""
         return self._adj.get(v, set())

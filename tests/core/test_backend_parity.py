@@ -1,0 +1,120 @@
+"""Backend equivalence: every CSR backend reproduces the reference output.
+
+The contract of ``LocalEdgePartitioner(backend=...)`` is bit-for-bit
+equality under a fixed seed — same edge lists in the same order, same
+replication factor, same telemetry stream.  These tests pin that across
+dataset stand-ins, stage policies, capacity modes and reseed modes, for
+the automatic ``csr`` backend, the forced-numpy ``csr-python`` backend
+and (when a toolchain exists) the compiled ``csr-native`` backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.local import BACKENDS, LocalEdgePartitioner
+from repro.core.stages import EdgeCountStagePolicy, ModularityStagePolicy
+from repro.core.windowed import WindowedLocalPartitioner
+from repro.datasets.synthetic import load_dataset
+from repro.partitioning.metrics import replication_factor
+
+P = 6
+
+
+@pytest.fixture(scope="module", params=["G1", "G4", "G9"])
+def standin(request):
+    """Small dataset stand-ins spanning the paper's graph families."""
+    return load_dataset(request.param, bench=True)
+
+
+def _run(graph, backend, policy, strict, reseed, seed=0):
+    partitioner = LocalEdgePartitioner(
+        policy,
+        seed=seed,
+        strict_capacity=strict,
+        reseed_on_break=reseed,
+        backend=backend,
+    )
+    partition = partitioner.partition(graph, P)
+    telemetry = partitioner.last_telemetry
+    return {
+        "edges": [partition.edges_of(i) for i in range(P)],
+        "rf": replication_factor(partition, graph),
+        "records": [
+            (r.partition, r.stage, r.vertex, r.degree, r.allocated)
+            for r in telemetry.records
+        ],
+        "reseeds": telemetry.reseeds,
+        "peak": telemetry.peak_local_state,
+    }
+
+
+POLICIES = {
+    "modularity": ModularityStagePolicy,
+    "ratio": lambda: EdgeCountStagePolicy(0.4),
+}
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("strict", [True, False])
+    @pytest.mark.parametrize("reseed", [True, False])
+    def test_csr_matches_reference(self, standin, policy, strict, reseed):
+        make = POLICIES[policy]
+        ref = _run(standin, "reference", make(), strict, reseed)
+        csr = _run(standin, "csr", make(), strict, reseed)
+        assert csr == ref
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_numpy_path_matches_reference(self, standin, policy, monkeypatch):
+        """Force the pure-numpy CSR path even when a compiler exists."""
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        make = POLICIES[policy]
+        ref = _run(standin, "reference", make(), True, True)
+        numpy_csr = _run(standin, "csr", make(), True, True)
+        forced = _run(standin, "csr-python", make(), True, True)
+        assert numpy_csr == ref
+        assert forced == ref
+
+    def test_native_path_matches_reference(self, standin):
+        from repro.core.native_grow import native_kernel
+
+        if native_kernel() is None:
+            pytest.skip("no C toolchain available for csr-native")
+        ref = _run(standin, "reference", ModularityStagePolicy(), True, True)
+        native = _run(standin, "csr-native", ModularityStagePolicy(), True, True)
+        assert native == ref
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            LocalEdgePartitioner(ModularityStagePolicy(), backend="gpu")
+        assert "csr" in BACKENDS and "reference" in BACKENDS
+
+
+class TestWindowedBackendParity:
+    @pytest.mark.parametrize("window_divisor", [1, 3])
+    def test_windowed_csr_matches_reference(self, standin, window_divisor):
+        window = max(
+            standin.num_edges // window_divisor, standin.num_edges // P + 1
+        )
+        results = {}
+        for backend in ("reference", "csr"):
+            partitioner = WindowedLocalPartitioner(
+                window_size=window, seed=0, backend=backend
+            )
+            partition = partitioner.partition(standin, P)
+            telemetry = partitioner.last_telemetry
+            results[backend] = {
+                "edges": [partition.edges_of(i) for i in range(P)],
+                "rf": replication_factor(partition, standin),
+                "records": [
+                    (r.partition, r.stage, r.vertex, r.degree, r.allocated)
+                    for r in telemetry.records
+                ],
+                "reseeds": telemetry.reseeds,
+            }
+        assert results["csr"] == results["reference"]
+
+    def test_windowed_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            WindowedLocalPartitioner(window_size=100, backend="nope")

@@ -47,3 +47,37 @@ class TestCache:
         removed = clear_cache()
         assert removed == 1
         assert cached_path_if_exists("G1", scale=0.02, seed=0) is None
+
+
+class TestCorruptCache:
+    """A damaged cache file must behave like a miss, not a crash."""
+
+    def _corrupt(self, payload: bytes):
+        load_cached("G1", scale=0.02, seed=0)
+        path = cached_path_if_exists("G1", scale=0.02, seed=0)
+        path.write_bytes(payload)
+        return path
+
+    def test_bad_gzip_magic_regenerates(self, caplog):
+        # The observed failure mode: a torn write leaving a mangled header.
+        path = self._corrupt(b"\x1f\x08garbage")
+        with caplog.at_level("WARNING", logger="repro.datasets.cache"):
+            g = load_cached("G1", scale=0.02, seed=0)
+        assert g.num_edges > 0
+        assert any("corrupt cache" in r.message for r in caplog.records)
+        # The rewritten file is valid again.
+        again = load_cached("G1", scale=0.02, seed=0)
+        assert sorted(again.edge_list()) == sorted(g.edge_list())
+
+    def test_truncated_gzip_regenerates(self):
+        # A valid magic number but a body cut off mid-stream.
+        self._corrupt(b"\x1f\x8b\x08\x00")
+        g = load_cached("G1", scale=0.02, seed=0)
+        assert g.num_edges > 0
+
+    def test_writes_are_atomic_no_temp_left_behind(self):
+        load_cached("G1", scale=0.02, seed=0)
+        leftovers = [
+            p for p in cache_dir().iterdir() if not p.name.endswith(".edges.gz")
+        ]
+        assert leftovers == []
