@@ -7,6 +7,11 @@ optionally writes the result:
 * ``--assignments out.tsv`` — one ``u <TAB> v <TAB> partition`` line per edge;
 * ``--output-dir parts/``  — one ``part_<k>.edges`` file per partition.
 
+There is also a ``serve`` subcommand that answers routing queries against
+a saved partition bundle over TCP (see ``docs/SERVING.md``)::
+
+    python -m repro serve parts/ --port 7531
+
 Examples
 --------
 ::
@@ -15,6 +20,7 @@ Examples
     python -m repro graph.txt.gz -p 16 --algorithm METIS --seed 7 \
         --assignments parts.tsv --detail
     python -m repro graph.txt -p 8 --algorithm TLP-W:100000   # bounded memory
+    python -m repro graph.txt -p 8 --save-dir parts/ && python -m repro serve parts/
 """
 
 from __future__ import annotations
@@ -91,8 +97,84 @@ def write_partition_files(partition: EdgePartition, directory: Path) -> List[Pat
     return paths
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve routing queries against a saved partition bundle.",
+    )
+    parser.add_argument("directory", type=Path, help="a --save-dir bundle")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    parser.add_argument(
+        "--max-queue", type=int, default=1024, help="bounded request queue size"
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds to coalesce lookups into one batch",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=5.0,
+        help="per-request timeout in seconds",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip manifest checksum checks"
+    )
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    """The ``serve`` subcommand: run a server until interrupted."""
+    import asyncio
+
+    from repro.service.server import PartitionServer
+    from repro.service.store import PartitionStore
+
+    args = _build_serve_parser().parse_args(argv)
+    try:
+        store = PartitionStore.open(args.directory, verify=not args.no_verify)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot open {args.directory}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"opened {args.directory}: p={store.num_partitions}, "
+        f"{store.num_edges} edges, {store.num_vertices} vertices, "
+        f"RF={store.replication_factor():.4f}"
+    )
+
+    async def run() -> None:
+        server = PartitionServer(
+            store,
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            batch_window=args.batch_window,
+            request_timeout=args.request_timeout,
+        )
+        host, port = await server.start()
+        print(f"serving on {host}:{port} — Ctrl-C to drain and stop")
+        try:
+            await asyncio.Event().wait()  # until cancelled
+        finally:
+            print("draining in-flight requests ...")
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.partitions < 1:
         print("error: --partitions must be >= 1", file=sys.stderr)

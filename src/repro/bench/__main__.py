@@ -15,7 +15,8 @@ Experiments (paper artefact in parentheses):
 * ``seeds``   — RF stability across random seeds, per algorithm
 * ``slack``   — TLP's balance-slack vs RF trade-off
 * ``perf``    — TLP backend throughput benchmark; writes ``BENCH_perf.json``
-* ``all``    — everything above (except ``perf``, which is run explicitly)
+* ``serve``   — partition-service load test; writes ``BENCH_serve.json``
+* ``all``    — everything above (except ``perf``/``serve``, run explicitly)
 
 ``--scale`` overrides each dataset's default scale (see DESIGN.md §5);
 ``--quick`` uses the small bench scales the pytest suite uses.
@@ -61,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "seeds",
             "slack",
             "perf",
+            "serve",
             "all",
         ],
     )
@@ -269,6 +271,54 @@ def _run_perf(args) -> None:
     print(f"wrote {path}")
 
 
+def _run_serve(args) -> None:
+    from repro.bench.serve import (
+        DEFAULT_DATASET,
+        FULL_REQUESTS,
+        FULL_SCALE,
+        QUICK_REQUESTS,
+        QUICK_SCALE,
+        run_serve,
+        write_report,
+    )
+    from repro.datasets.cache import load_cached
+
+    scale = args.scale if args.scale is not None else (
+        QUICK_SCALE if args.quick else FULL_SCALE
+    )
+    dataset = (args.datasets or [DEFAULT_DATASET])[0]
+    requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
+    print(render_banner("Serving — partition-service load test"))
+    print(f"graph: {dataset} scale={scale:g}, p=8, {requests} mixed queries\n")
+    graph = load_cached(dataset, scale=scale, seed=args.seed)
+    report = run_serve(
+        graph,
+        dataset=dataset,
+        num_requests=requests,
+        seed=args.seed,
+        quick=args.quick,
+        progress=lambda message: print(f"  {message}", file=sys.stderr),
+    )
+    print(
+        render_table(
+            ["op", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms"],
+            [
+                [op, row["count"], row["mean_ms"], row["p50_ms"],
+                 row["p95_ms"], row["p99_ms"]]
+                for op, row in sorted(report["ops"].items())
+            ],
+        )
+    )
+    print(
+        f"\n{report['num_requests']} requests in {report['elapsed_s']:g}s "
+        f"= {report['requests_per_s']} req/s; "
+        f"verified {report['verified_neighbors']} neighbour fan-outs "
+        f"and {report['verified_edges']} edge routes"
+    )
+    path = write_report(report)
+    print(f"wrote {path}")
+
+
 def _run_scaling(args) -> None:
     print(render_banner("Scaling — TLP time/space vs graph size (§III-E)"))
     points = time_scaling_sweep(seed=args.seed)
@@ -365,6 +415,8 @@ def _dispatch(args) -> int:
             _run_slack(args, graphs)
         elif want == "perf":
             _run_perf(args)
+        elif want == "serve":
+            _run_serve(args)
         elif want == "scaling":
             _run_scaling(args)
         print()

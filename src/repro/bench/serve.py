@@ -1,0 +1,249 @@
+"""Tracked load test for the partition service: ``python -m repro.bench serve``.
+
+Starts an in-process :class:`~repro.service.server.PartitionServer` over a
+TLP partitioning of a dataset stand-in (persisted through
+``save_partition`` and reopened through ``PartitionStore.open``, so the
+whole serving path — disk format included — is what gets measured), then
+drives a mixed query workload through concurrent pipelined clients:
+
+* every ``neighbors`` response is checked **set-equal to the direct
+  ``Graph`` adjacency** — the routed fan-out must lose nothing;
+* every ``edge`` response is checked against the partition's own
+  edge → partition map;
+* client-side latency is recorded per operation and reported as exact
+  p50/p95/p99 over all samples, alongside the server's own histogram
+  snapshot.
+
+Results land in ``BENCH_serve.json`` so serving-path regressions show up
+in review diffs, like ``BENCH_perf.json`` does for the partitioner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+#: Bump when the schema of ``BENCH_serve.json`` changes.
+SCHEMA_VERSION = 1
+
+DEFAULT_REPORT = "BENCH_serve.json"
+DEFAULT_DATASET = "G1"
+QUICK_SCALE = 0.2
+FULL_SCALE = 1.0
+QUICK_REQUESTS = 1_500
+FULL_REQUESTS = 10_000
+DEFAULT_P = 8
+DEFAULT_CONCURRENCY = 8
+
+#: Workload mix (op, weight) — neighbour fan-out dominates, like a
+#: gather step; stats ride along as the cheap control-plane op.
+QUERY_MIX: Sequence[Tuple[str, float]] = (
+    ("neighbors", 0.45),
+    ("master", 0.25),
+    ("edge", 0.20),
+    ("partition_stats", 0.05),
+    ("stats", 0.05),
+)
+
+
+def _build_workload(
+    graph: Graph, partition, num_requests: int, seed: int
+) -> List[Tuple[str, Dict[str, int]]]:
+    """A deterministic shuffled list of (op, args) drawn from QUERY_MIX."""
+    rng = random.Random(seed)
+    vertices = graph.vertex_list()
+    edges = graph.edge_list()
+    ops: List[Tuple[str, Dict[str, int]]] = []
+    for op, weight in QUERY_MIX:
+        count = max(1, round(weight * num_requests))
+        for _ in range(count):
+            if op in ("neighbors", "master"):
+                ops.append((op, {"v": rng.choice(vertices)}))
+            elif op == "edge":
+                u, v = rng.choice(edges)
+                ops.append((op, {"u": u, "v": v}))
+            elif op == "partition_stats":
+                ops.append((op, {"k": rng.randrange(partition.num_partitions)}))
+            else:
+                ops.append((op, {}))
+    rng.shuffle(ops)
+    return ops[:num_requests] if len(ops) > num_requests else ops
+
+
+def _quantile(sorted_samples: List[float], q: float) -> float:
+    """Exact empirical quantile of an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    index = min(len(sorted_samples) - 1, max(0, int(q * len(sorted_samples))))
+    return sorted_samples[index]
+
+
+async def _drive(
+    host: str,
+    port: int,
+    workload: List[Tuple[str, Dict[str, int]]],
+    concurrency: int,
+    graph: Graph,
+    edge_owner: Dict[Tuple[int, int], int],
+) -> Tuple[Dict[str, List[float]], int, int]:
+    """Run the workload through ``concurrency`` clients; verify responses."""
+    from repro.service.client import ServiceClient
+
+    latencies: Dict[str, List[float]] = {op: [] for op, _ in QUERY_MIX}
+    verified_neighbors = 0
+    verified_edges = 0
+    lock = asyncio.Lock()
+
+    async def worker(chunk: List[Tuple[str, Dict[str, int]]]) -> Tuple[int, int]:
+        nonlocal_ok = [0, 0]
+        client = ServiceClient(host, port, max_retries=5, backoff_base=0.02)
+        async with client:
+            for op, args in chunk:
+                start = time.perf_counter()
+                result = await client.call(op, **args)
+                elapsed = time.perf_counter() - start
+                async with lock:
+                    latencies[op].append(elapsed)
+                if op == "neighbors":
+                    routed = set(result["neighbors"])
+                    direct = graph.neighbors(args["v"])
+                    if routed != direct:
+                        raise AssertionError(
+                            f"routed neighbours of {args['v']} != direct adjacency: "
+                            f"missing={sorted(direct - routed)[:5]} "
+                            f"extra={sorted(routed - direct)[:5]}"
+                        )
+                    nonlocal_ok[0] += 1
+                elif op == "edge":
+                    expected = edge_owner[(args["u"], args["v"])]
+                    if result["partition"] != expected:
+                        raise AssertionError(
+                            f"edge ({args['u']}, {args['v']}) routed to "
+                            f"{result['partition']}, owner is {expected}"
+                        )
+                    nonlocal_ok[1] += 1
+        return nonlocal_ok[0], nonlocal_ok[1]
+
+    chunks = [workload[i::concurrency] for i in range(concurrency)]
+    counts = await asyncio.gather(*(worker(chunk) for chunk in chunks if chunk))
+    for n_ok, e_ok in counts:
+        verified_neighbors += n_ok
+        verified_edges += e_ok
+    return latencies, verified_neighbors, verified_edges
+
+
+def run_serve(
+    graph: Graph,
+    dataset: str = DEFAULT_DATASET,
+    p: int = DEFAULT_P,
+    num_requests: int = QUICK_REQUESTS,
+    concurrency: int = DEFAULT_CONCURRENCY,
+    seed: int = 0,
+    quick: bool = False,
+    batch_window: float = 0.002,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Partition, persist, serve, and load-test ``graph``; returns the report.
+
+    Raises ``AssertionError`` if any routed response disagrees with the
+    graph or the partition — correctness is part of what this benchmark
+    tracks, exactly like backend parity in ``repro.bench.perf``.
+    """
+    from repro.core.tlp import TLPPartitioner
+    from repro.partitioning.serialization import save_partition
+    from repro.service.server import PartitionServer
+    from repro.service.store import PartitionStore
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    note(f"partitioning {graph!r} into p={p} with TLP(seed={seed})")
+    partition = TLPPartitioner(seed=seed).partition(graph, p)
+    edge_owner = dict(partition.edge_to_partition())
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        note("persisting partition bundle (gzip) and opening the store")
+        save_partition(
+            partition,
+            tmp,
+            metadata={"algorithm": "TLP", "seed": seed, "dataset": dataset},
+            compress=True,
+        )
+        store = PartitionStore.open(tmp)
+
+        workload = _build_workload(graph, partition, num_requests, seed)
+        note(f"driving {len(workload)} queries through {concurrency} clients")
+
+        async def bench() -> Tuple[Dict[str, List[float]], int, int, Dict, float]:
+            server = PartitionServer(store, batch_window=batch_window)
+            async with server:
+                host, port = server.address
+                start = time.perf_counter()
+                latencies, n_ok, e_ok = await _drive(
+                    host, port, workload, concurrency, graph, edge_owner
+                )
+                elapsed = time.perf_counter() - start
+                from repro.service.client import ServiceClient
+
+                async with ServiceClient(host, port) as client:
+                    stats = await client.stats()
+            return latencies, n_ok, e_ok, stats, elapsed
+
+        latencies, verified_neighbors, verified_edges, stats, elapsed = asyncio.run(
+            bench()
+        )
+
+    if verified_neighbors == 0:
+        raise AssertionError("workload exercised no neighbours queries")
+
+    ops_report = {}
+    for op, samples in latencies.items():
+        if not samples:
+            continue
+        ordered = sorted(samples)
+        ops_report[op] = {
+            "count": len(ordered),
+            "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 4),
+            "p50_ms": round(_quantile(ordered, 0.50) * 1e3, 4),
+            "p95_ms": round(_quantile(ordered, 0.95) * 1e3, 4),
+            "p99_ms": round(_quantile(ordered, 0.99) * 1e3, 4),
+        }
+
+    total = sum(len(s) for s in latencies.values())
+    return {
+        "version": SCHEMA_VERSION,
+        "quick": quick,
+        "dataset": dataset,
+        "algorithm": "TLP",
+        "p": p,
+        "seed": seed,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "replication_factor": stats["replication_factor"],
+        "num_requests": total,
+        "concurrency": concurrency,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(total / elapsed) if elapsed else 0,
+        "verified_neighbors": verified_neighbors,
+        "verified_edges": verified_edges,
+        "ops": ops_report,
+        "server_metrics": stats["metrics"],
+    }
+
+
+def write_report(report: Dict, path: str = DEFAULT_REPORT) -> str:
+    """Write the report atomically; returns the path written."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -19,11 +19,16 @@ from repro.graph.graph import Graph
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-def _open_text(path: PathLike, mode: str) -> IO[str]:
+def open_text(path: PathLike, mode: str) -> IO[str]:
+    """Open a text file, transparently gzip-compressed when it ends ``.gz``."""
     path = Path(path)
     if path.suffix == ".gz":
         return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
     return open(path, mode + "t", encoding="utf-8")
+
+
+#: Backwards-compatible private alias.
+_open_text = open_text
 
 
 def iter_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
@@ -32,7 +37,7 @@ def iter_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
     Lines starting with ``#`` or ``%`` and blank lines are skipped; raises
     ``ValueError`` on malformed lines (naming the line number).
     """
-    with _open_text(path, "r") as fh:
+    with open_text(path, "r") as fh:
         for lineno, line in enumerate(fh, start=1):
             stripped = line.strip()
             if not stripped or stripped[0] in "#%":
@@ -60,7 +65,7 @@ def write_edge_list(
     graph: Graph, path: PathLike, header: Iterable[str] = ()
 ) -> None:
     """Write ``graph`` as a SNAP-style edge list (one canonical edge per line)."""
-    with _open_text(path, "w") as fh:
+    with open_text(path, "w") as fh:
         for line in header:
             fh.write(f"# {line}\n")
         fh.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
@@ -75,7 +80,7 @@ def read_metis_graph(path: PathLike) -> Graph:
     line ``i+1`` lists the 1-based neighbours of vertex ``i``.  Vertices are
     relabelled to 0-based ids.  ``%`` comment lines are skipped.
     """
-    with _open_text(path, "r") as fh:
+    with open_text(path, "r") as fh:
         # Keep blank lines: an isolated vertex's adjacency line is empty.
         lines = [
             line.rstrip("\n")
@@ -114,7 +119,7 @@ def write_metis_graph(graph: Graph, path: PathLike) -> Dict[int, int]:
     """
     ids = graph.vertex_list()
     metis_id = {v: i + 1 for i, v in enumerate(ids)}
-    with _open_text(path, "w") as fh:
+    with open_text(path, "w") as fh:
         fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
         for v in ids:
             neighbors = " ".join(str(metis_id[u]) for u in sorted(graph.neighbors(v), key=lambda x: metis_id[x]))

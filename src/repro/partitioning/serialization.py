@@ -4,16 +4,31 @@ A partitioning is the *input* to a distributed deployment, so it must
 round-trip through storage: :func:`save_partition` writes one edge-list file
 per partition plus a JSON manifest (counts, checksums, metadata);
 :func:`load_partition` reads the directory back and verifies the manifest.
+
+Two durability properties matter because the serving layer
+(:mod:`repro.service`) opens these directories:
+
+* **Atomicity** — every file (edge lists and manifest) is written to a
+  temp file and ``os.replace``-d into place, and the manifest is written
+  *last*, so a killed writer never leaves a directory that parses as a
+  valid partition but holds torn edge files.
+* **Compression** — ``compress=True`` writes ``part_*.edges.gz`` instead
+  of plain text; loading is transparent (the manifest records the file
+  name, and the ``.gz`` suffix selects the gzip text reader).  Checksums
+  are computed over the *edges*, so they are identical either way.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.graph.graph import Edge
+from repro.graph.io import open_text
 from repro.partitioning.assignment import EdgePartition
 
 MANIFEST_NAME = "partition.json"
@@ -22,8 +37,9 @@ FORMAT_VERSION = 1
 PathLike = Union[str, Path]
 
 
-def _edge_file(directory: Path, k: int) -> Path:
-    return directory / f"part_{k:04d}.edges"
+def _edge_file(directory: Path, k: int, compress: bool) -> Path:
+    suffix = ".edges.gz" if compress else ".edges"
+    return directory / f"part_{k:04d}{suffix}"
 
 
 def _checksum(edges: List[Edge]) -> str:
@@ -33,15 +49,35 @@ def _checksum(edges: List[Edge]) -> str:
     return digest.hexdigest()[:16]
 
 
+def _write_atomic(path: Path, write) -> None:
+    """Run ``write(tmp_path)`` against a temp file, then rename into place."""
+    # The temp name keeps the real suffix (".gz" selects the gzip codec
+    # in open_text), with a ".tmp-" marker in front of it.
+    fd, tmp_name = tempfile.mkstemp(
+        suffix=".tmp" + path.suffix, prefix=path.name + ".", dir=path.parent
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def save_partition(
     partition: EdgePartition,
     directory: PathLike,
     metadata: Optional[Dict[str, object]] = None,
+    compress: bool = False,
 ) -> Path:
     """Write ``partition`` under ``directory``; returns the manifest path.
 
     Edges are written in canonical sorted order so checksums (and files)
-    are deterministic for equal partitions.
+    are deterministic for equal partitions.  Every file lands atomically,
+    the manifest last — a reader (or :class:`repro.service.store.
+    PartitionStore`) that finds a manifest finds complete edge files.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -54,10 +90,19 @@ def save_partition(
     }
     for k in range(partition.num_partitions):
         edges = sorted(partition.edges_of(k))
-        path = _edge_file(directory, k)
-        with open(path, "w", encoding="utf-8") as fh:
-            for u, v in edges:
-                fh.write(f"{u}\t{v}\n")
+        path = _edge_file(directory, k, compress)
+
+        def write_edges(tmp: Path, edges=edges) -> None:
+            with open_text(tmp, "w") as fh:
+                for u, v in edges:
+                    fh.write(f"{u}\t{v}\n")
+
+        _write_atomic(path, write_edges)
+        # Drop a stale counterpart from a previous save with the other
+        # compression setting, so the directory stays unambiguous.
+        other = _edge_file(directory, k, not compress)
+        if other.exists():
+            other.unlink()
         manifest["partitions"].append(
             {
                 "index": k,
@@ -67,15 +112,17 @@ def save_partition(
             }
         )
     manifest_path = directory / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    payload = json.dumps(manifest, indent=2)
+    _write_atomic(manifest_path, lambda tmp: tmp.write_text(payload, encoding="utf-8"))
     return manifest_path
 
 
 def load_partition(directory: PathLike, verify: bool = True) -> EdgePartition:
     """Read a partition directory written by :func:`save_partition`.
 
-    ``verify=True`` (default) checks edge counts and checksums, raising
-    ``ValueError`` on any corruption.
+    Gzip and plain edge files are both accepted (per-file, from the
+    manifest).  ``verify=True`` (default) checks edge counts and
+    checksums, raising ``ValueError`` on any corruption.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -90,7 +137,7 @@ def load_partition(directory: PathLike, verify: bool = True) -> EdgePartition:
     for entry in manifest["partitions"]:
         path = directory / entry["file"]
         edges: List[Edge] = []
-        with open(path, encoding="utf-8") as fh:
+        with open_text(path, "r") as fh:
             for line in fh:
                 u_str, v_str = line.split()
                 edges.append((int(u_str), int(v_str)))

@@ -1,0 +1,38 @@
+"""Online partition serving — the layer between reproduction and system.
+
+A partitioning only earns its replication factor when it is *deployed*:
+a distributed engine routes every vertex and edge access through the
+master/mirror placement, and the communication bill is ``(RF - 1)·|V|``.
+:mod:`repro.runtime` simulates that offline; this package serves it online:
+
+* :class:`~repro.service.store.PartitionStore` — opens a
+  :func:`~repro.partitioning.serialization.save_partition` directory and
+  precomputes the routing table (vertex → master + mirrors, edge → owner,
+  per-partition adjacency);
+* :class:`~repro.service.server.PartitionServer` — an asyncio TCP server
+  speaking length-prefixed JSON, with request batching, per-request
+  timeouts, bounded-queue backpressure, and graceful drain on shutdown;
+* :class:`~repro.service.client.ServiceClient` — pipelined asyncio client
+  with retry/backoff (plus a blocking :class:`SyncServiceClient`);
+* :class:`~repro.service.metrics.ServiceMetrics` — counters and latency
+  histograms (p50/p95/p99) exported through the ``stats`` query.
+
+See ``docs/SERVING.md`` for the architecture and wire protocol.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, SyncServiceClient
+from repro.service.handler import ServiceHandler
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.server import PartitionServer
+from repro.service.store import PartitionStore
+
+__all__ = [
+    "LatencyHistogram",
+    "PartitionServer",
+    "PartitionStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandler",
+    "ServiceMetrics",
+    "SyncServiceClient",
+]

@@ -1,0 +1,283 @@
+"""Clients for the partition service: pipelined asyncio + blocking sync.
+
+:class:`ServiceClient` (asyncio) keeps one connection, pipelines any
+number of concurrent ``call()``s over it (matching responses by request
+``id``), and transparently retries *retryable* failures — connection
+drops, ``overload``, ``timeout`` — with exponential backoff and jitterless
+deterministic delays (tests stay reproducible).  Semantic errors
+(``bad_request``, ``not_found``) raise :class:`ServiceError` immediately.
+
+:class:`SyncServiceClient` is a minimal blocking counterpart over a plain
+socket (one request in flight), for shells and examples where an event
+loop is a burden.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service import protocol
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service, carrying its protocol code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a client may transparently retry this failure."""
+        return self.code in protocol.RETRYABLE_CODES
+
+
+def _backoff_delays(base: float, factor: float, retries: int) -> List[float]:
+    return [base * factor**i for i in range(retries)]
+
+
+class ServiceClient:
+    """Pipelined asyncio client with retry/backoff."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        call_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.call_timeout = call_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._recv_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._send_lock = asyncio.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def connect(self) -> "ServiceClient":
+        """Open the connection (idempotent); returns ``self``."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+            self._recv_task = asyncio.create_task(
+                self._recv_loop(), name="repro-serve-client-recv"
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection and fail any in-flight calls."""
+        writer, self._writer, self._reader = self._writer, None, None
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except asyncio.CancelledError:
+                pass
+            self._recv_task = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- calls -------------------------------------------------------------
+
+    async def call(self, op: str, **args: Any) -> Dict[str, Any]:
+        """Issue one request; returns the ``result`` dict.
+
+        Retries retryable failures up to ``max_retries`` times with
+        exponential backoff, reconnecting if the connection dropped.
+        """
+        delays = _backoff_delays(
+            self.backoff_base, self.backoff_factor, self.max_retries
+        )
+        attempt = 0
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    self._call_once(op, args), self.call_timeout
+                )
+            except ServiceError as exc:
+                if not exc.retryable or attempt >= len(delays):
+                    raise
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt >= len(delays):
+                    raise
+            except asyncio.TimeoutError:
+                if attempt >= len(delays):
+                    raise
+            await asyncio.sleep(delays[attempt])
+            attempt += 1
+
+    async def _call_once(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        await self.connect()
+        assert self._writer is not None
+        loop = asyncio.get_running_loop()
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = loop.create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._send_lock:
+                await protocol.write_frame(
+                    self._writer, protocol.request(request_id, op, args)
+                )
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("code", protocol.INTERNAL)),
+            str(error.get("message", "unknown error")),
+        )
+
+    async def _recv_loop(self) -> None:
+        assert self._reader is not None
+        reader = self._reader
+        try:
+            while True:
+                response = await protocol.read_frame(reader)
+                if response is None:
+                    raise ConnectionError("server closed the connection")
+                future = self._pending.get(response.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (
+            ConnectionError,
+            protocol.ProtocolError,
+            asyncio.IncompleteReadError,
+        ) as exc:
+            self._fail_pending(ConnectionError(str(exc)))
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- convenience wrappers ---------------------------------------------
+
+    async def ping(self) -> bool:
+        return bool((await self.call("ping")).get("pong"))
+
+    async def master(self, v: int) -> Dict[str, Any]:
+        return await self.call("master", v=v)
+
+    async def neighbors(self, v: int) -> Dict[str, Any]:
+        return await self.call("neighbors", v=v)
+
+    async def edge(self, u: int, v: int) -> Dict[str, Any]:
+        return await self.call("edge", u=u, v=v)
+
+    async def partition_stats(self, k: int) -> Dict[str, Any]:
+        return await self.call("partition_stats", k=k)
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.call("stats")
+
+
+class SyncServiceClient:
+    """Blocking one-request-at-a-time client over a plain socket."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    def connect(self) -> "SyncServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SyncServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def call(self, op: str, **args: Any) -> Dict[str, Any]:
+        """Issue one request; returns the ``result`` dict (retries like async)."""
+        delays = _backoff_delays(
+            self.backoff_base, self.backoff_factor, self.max_retries
+        )
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, args)
+            except ServiceError as exc:
+                if not exc.retryable or attempt >= len(delays):
+                    raise
+            except (ConnectionError, socket.timeout, protocol.ProtocolError):
+                self.close()
+                if attempt >= len(delays):
+                    raise
+            time.sleep(delays[attempt])
+            attempt += 1
+
+    def _call_once(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        assert self._sock is not None
+        self._next_id += 1
+        request_id = self._next_id
+        protocol.send_frame_sync(self._sock, protocol.request(request_id, op, args))
+        response = protocol.recv_frame_sync(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("code", protocol.INTERNAL)),
+            str(error.get("message", "unknown error")),
+        )

@@ -1,0 +1,170 @@
+"""Query execution against a :class:`~repro.service.store.PartitionStore`.
+
+The handler is the server's brain but knows nothing about sockets: it maps
+request dicts to response dicts, so it can be exercised in-process (tests,
+the bench load generator) exactly as it runs behind TCP.
+
+Supported operations:
+
+======================  ====================  =================================
+op                      args                  result
+======================  ====================  =================================
+``ping``                —                     ``{"pong": true}``
+``master``              ``v``                 master + mirrors + replicas of v
+``neighbors``           ``v``                 merged adjacency + partitions hit
+``edge``                ``u, v``              owning partition of edge {u, v}
+``partition_stats``     ``k``                 per-partition counts
+``stats``               —                     global summary + metrics snapshot
+======================  ====================  =================================
+
+``execute_batch`` coalesces duplicate ``(op, args)`` pairs inside one
+batch — under skewed access patterns (the norm for power-law graphs) hot
+vertices are looked up many times per batching window and computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import PartitionStore
+
+#: Operations a request may name.
+OPERATIONS = ("ping", "master", "neighbors", "edge", "partition_stats", "stats")
+
+
+class ServiceHandler:
+    """Executes protocol requests against a store, recording metrics."""
+
+    def __init__(
+        self, store: PartitionStore, metrics: Optional[ServiceMetrics] = None
+    ) -> None:
+        self.store = store
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+
+    # -- single request ----------------------------------------------------
+
+    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Map one request dict to one response dict (never raises)."""
+        request_id = request.get("id")
+        op = request.get("op")
+        if not isinstance(op, str) or op not in OPERATIONS:
+            self.metrics.inc("requests_bad")
+            return protocol.error_response(
+                request_id, protocol.BAD_REQUEST, f"unknown op {op!r}"
+            )
+        args = request.get("args") or {}
+        if not isinstance(args, dict):
+            self.metrics.inc("requests_bad")
+            return protocol.error_response(
+                request_id, protocol.BAD_REQUEST, "args must be an object"
+            )
+        try:
+            result = self._dispatch(op, args)
+        except _BadArgs as exc:
+            self.metrics.inc("requests_bad")
+            return protocol.error_response(request_id, protocol.BAD_REQUEST, str(exc))
+        except KeyError as exc:
+            self.metrics.inc("requests_not_found")
+            return protocol.error_response(
+                request_id, protocol.NOT_FOUND, f"not in store: {exc.args[0]!r}"
+            )
+        except Exception as exc:  # noqa: BLE001 — fault barrier at the edge
+            self.metrics.inc("requests_internal_error")
+            return protocol.error_response(
+                request_id, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        self.metrics.inc("requests_ok")
+        self.metrics.inc(f"op_{op}")
+        return protocol.ok_response(request_id, result)
+
+    # -- batched requests --------------------------------------------------
+
+    def execute_batch(
+        self, requests: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Execute a batch, computing duplicate ``(op, args)`` pairs once.
+
+        Responses line up index-for-index with ``requests`` and carry each
+        request's own ``id`` even when the result was shared.
+        """
+        self.metrics.inc("batches")
+        if len(requests) > 1:
+            self.metrics.inc("batched_requests", len(requests))
+        computed: Dict[Tuple, Dict[str, Any]] = {}
+        responses: List[Dict[str, Any]] = []
+        for request in requests:
+            key = _coalesce_key(request)
+            if key is not None and key in computed:
+                self.metrics.inc("batch_dedup_hits")
+                response = dict(computed[key])
+                response["id"] = request.get("id")
+            else:
+                response = self.execute(request)
+                if key is not None:
+                    computed[key] = response
+            responses.append(response)
+        return responses
+
+    # -- operations --------------------------------------------------------
+
+    def _dispatch(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        if op == "ping":
+            return {"pong": True}
+        if op == "master":
+            v = _int_arg(args, "v")
+            master = self.store.master_of(v)
+            return {
+                "v": v,
+                "master": master,
+                "mirrors": list(self.store.mirrors_of(v)),
+                "replicas": list(self.store.replicas_of(v)),
+            }
+        if op == "neighbors":
+            v = _int_arg(args, "v")
+            partitions = list(self.store.replicas_of(v))
+            if not partitions:
+                raise KeyError(v)
+            return {
+                "v": v,
+                "neighbors": sorted(self.store.neighbors(v)),
+                "partitions": partitions,
+            }
+        if op == "edge":
+            u = _int_arg(args, "u")
+            v = _int_arg(args, "v")
+            if u == v:
+                raise _BadArgs(f"self loop ({u}, {v}) is not a valid edge")
+            return {"u": u, "v": v, "partition": self.store.owner_of_edge(u, v)}
+        if op == "partition_stats":
+            return self.store.partition_stats(_int_arg(args, "k"))
+        if op == "stats":
+            result = self.store.stats()
+            result["metrics"] = self.metrics.snapshot()
+            return result
+        raise _BadArgs(f"unknown op {op!r}")  # pragma: no cover - guarded above
+
+
+class _BadArgs(ValueError):
+    """Argument validation failure → ``bad_request``."""
+
+
+def _int_arg(args: Dict[str, Any], name: str) -> int:
+    value = args.get(name)
+    # bool is an int subclass; reject it explicitly.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadArgs(f"argument {name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _coalesce_key(request: Dict[str, Any]) -> Optional[Tuple]:
+    """Hashable identity of a request, ignoring ``id``; None if unkeyable."""
+    op = request.get("op")
+    args = request.get("args") or {}
+    if not isinstance(op, str) or not isinstance(args, dict):
+        return None
+    try:
+        return (op, tuple(sorted(args.items())))
+    except TypeError:
+        return None

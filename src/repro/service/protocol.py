@@ -1,0 +1,155 @@
+"""Wire protocol: length-prefixed JSON frames over a byte stream.
+
+Every message — request or response — is one frame::
+
+    +----------------+----------------------+
+    | 4-byte big-end | UTF-8 JSON payload   |
+    | payload length |                      |
+    +----------------+----------------------+
+
+Requests are ``{"id": <int>, "op": <str>, "args": {...}}``; responses are
+``{"id": <int>, "ok": true, "result": {...}}`` or
+``{"id": <int>, "ok": false, "error": {"code": <str>, "message": <str>}}``.
+The server answers each connection's requests **in request order**, so a
+blocking client can match responses positionally; the pipelined asyncio
+client matches on ``id`` anyway.
+
+Error codes are a closed set (:data:`ERROR_CODES`) so clients can switch on
+them; anything a client does not recognise should be treated like
+``internal``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: Frames above this size are rejected — a corrupt or hostile length prefix
+#: must not make the server allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+# -- error codes -----------------------------------------------------------
+
+#: Request malformed (not JSON / missing fields / unknown op / bad args).
+BAD_REQUEST = "bad_request"
+#: Vertex, edge, or partition not present in the store.
+NOT_FOUND = "not_found"
+#: The bounded request queue is full — back off and retry.
+OVERLOAD = "overload"
+#: The request sat in the server longer than the per-request timeout.
+TIMEOUT = "timeout"
+#: The server is draining for shutdown and accepts no new work.
+SHUTTING_DOWN = "shutting_down"
+#: Handler raised; the failure is logged server-side.
+INTERNAL = "internal"
+
+ERROR_CODES = frozenset(
+    {BAD_REQUEST, NOT_FOUND, OVERLOAD, TIMEOUT, SHUTTING_DOWN, INTERNAL}
+)
+
+#: Error codes a client may transparently retry (with backoff).
+RETRYABLE_CODES = frozenset({OVERLOAD, TIMEOUT})
+
+
+class ProtocolError(ValueError):
+    """A frame violated the protocol (bad length, bad JSON, not an object)."""
+
+
+# -- encoding --------------------------------------------------------------
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise one message to its on-wire form."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body; raises :class:`ProtocolError` on garbage."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+# -- message constructors --------------------------------------------------
+
+def request(request_id: int, op: str, args: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build a request message."""
+    return {"id": request_id, "op": op, "args": args or {}}
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """Build a success response."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    """Build an error response with one of :data:`ERROR_CODES`."""
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+# -- asyncio stream helpers ------------------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; returns ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- blocking socket helpers (sync client) ---------------------------------
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame_sync(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Blocking frame write."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame_sync(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Blocking frame read; ``None`` on clean EOF at a frame boundary."""
+    first = sock.recv(_LEN.size)
+    if not first:
+        return None
+    header = first + (_recv_exactly(sock, _LEN.size - len(first)) if len(first) < _LEN.size else b"")
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return decode_body(_recv_exactly(sock, length))

@@ -1,0 +1,354 @@
+"""Asyncio TCP server for partition queries: batching, backpressure, drain.
+
+Architecture (one event loop, no threads)::
+
+    conn reader --\\                       /--> batch --> handler
+    conn reader ----> bounded queue --> dispatcher
+    conn reader --/        |              \\--> futures resolved
+         |                 | full -> overload error
+    conn writer <---- per-conn response queue (responses in request order)
+
+* **Backpressure** — the global request queue is bounded
+  (``max_queue``).  When it is full the request is answered immediately
+  with an ``overload`` error instead of buffering without limit; the
+  per-connection response queue is bounded too, so a flooding client
+  eventually blocks on TCP instead of growing server memory.
+* **Batching** — the dispatcher pulls one request, then keeps pulling
+  until ``batch_window`` seconds elapse or ``max_batch`` requests are in
+  hand, and executes the batch in one handler call (duplicate lookups in
+  a batch are computed once; see ``ServiceHandler.execute_batch``).
+* **Timeouts** — a request that has not been answered ``request_timeout``
+  seconds after arrival gets a ``timeout`` error; its slot is abandoned
+  (the dispatcher skips completed/cancelled entries).
+* **Graceful shutdown** — ``stop()`` closes the listener, stops reading
+  from established connections, lets the dispatcher finish everything
+  already queued, writes those responses, then closes connections.
+
+Responses on one connection are written in request order (clients may
+pipeline; the ``id`` field also supports out-of-order matching if that
+guarantee is ever relaxed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import logging
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.service import protocol
+from repro.service.handler import ServiceHandler
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import PartitionStore
+
+logger = logging.getLogger(__name__)
+
+#: A handler is anything mapping a batch of requests to a list of
+#: responses, sync or async — tests inject slow/async fakes.
+BatchHandler = Callable[
+    [List[Dict[str, Any]]],
+    Union[List[Dict[str, Any]], Awaitable[List[Dict[str, Any]]]],
+]
+
+_DEFAULT_HOST = "127.0.0.1"
+
+
+class _Pending:
+    """One enqueued request: payload + future + arrival timestamp."""
+
+    __slots__ = ("request", "future", "arrived")
+
+    def __init__(self, request: Dict[str, Any], future: "asyncio.Future", arrived: float) -> None:
+        self.request = request
+        self.future = future
+        self.arrived = arrived
+
+
+class PartitionServer:
+    """Serve a :class:`PartitionStore` over length-prefixed JSON TCP."""
+
+    def __init__(
+        self,
+        store: Optional[PartitionStore] = None,
+        host: str = _DEFAULT_HOST,
+        port: int = 0,
+        *,
+        max_queue: int = 1024,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        request_timeout: float = 5.0,
+        metrics: Optional[ServiceMetrics] = None,
+        batch_handler: Optional[BatchHandler] = None,
+    ) -> None:
+        if store is None and batch_handler is None:
+            raise ValueError("need a store or an explicit batch_handler")
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.request_timeout = request_timeout
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if batch_handler is None:
+            handler = ServiceHandler(store, self.metrics)
+            batch_handler = handler.execute_batch
+        self._batch_handler = batch_handler
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._reader_tasks: set = set()
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port resolved if 0 was asked)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._closing = False
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatch"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        host, port = self.address
+        logger.info("serving partition queries on %s:%d", host, port)
+        return host, port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain everything already accepted, then close.
+
+        1. stop accepting connections and stop reading new requests;
+        2. let the dispatcher finish every request already in the queue;
+        3. write the pending responses, then close the connections.
+        """
+        if self._server is None:
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        # Stop the per-connection readers: no new requests enter the queue.
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        # Drain the queue, then retire the dispatcher.
+        assert self._queue is not None
+        await self._queue.join()
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        # Writers exit once their response queues (fed before the readers
+        # stopped) are flushed.
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._server = None
+        self._dispatcher = None
+        self._queue = None
+
+    async def __aenter__(self) -> "PartitionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- dispatcher --------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first: _Pending = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        # A request whose future is already done timed out while queued —
+        # skip the work, its error was already written.
+        live = [p for p in batch if not p.future.done()]
+        try:
+            if live:
+                responses = self._batch_handler([p.request for p in live])
+                if inspect.isawaitable(responses):
+                    responses = await responses
+                if len(responses) != len(live):  # defensive: a broken handler
+                    raise RuntimeError(
+                        f"handler returned {len(responses)} responses "
+                        f"for {len(live)} requests"
+                    )
+                for pending, response in zip(live, responses):
+                    if not pending.future.done():
+                        pending.future.set_result(response)
+        except Exception as exc:  # noqa: BLE001 — keep serving after a bad batch
+            logger.exception("batch handler failed")
+            for pending in live:
+                if not pending.future.done():
+                    pending.future.set_result(
+                        protocol.error_response(
+                            pending.request.get("id"),
+                            protocol.INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+        finally:
+            assert self._queue is not None
+            for _ in batch:
+                self._queue.task_done()
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.inc("connections")
+        # Responses flow through a bounded per-connection queue so a client
+        # that stops reading eventually blocks our reader (TCP handles it).
+        responses: asyncio.Queue = asyncio.Queue(maxsize=max(2, self.max_queue))
+        reader_task = asyncio.create_task(self._read_requests(reader, responses))
+        self._reader_tasks.add(reader_task)
+        reader_task.add_done_callback(self._reader_tasks.discard)
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+            conn_task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._write_responses(writer, responses)
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_requests(
+        self, reader: asyncio.StreamReader, responses: asyncio.Queue
+    ) -> None:
+        """Read frames, enqueue work, push response futures in order."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(reader)
+                except protocol.ProtocolError as exc:
+                    self.metrics.inc("protocol_errors")
+                    await responses.put(
+                        _done(
+                            protocol.error_response(
+                                None, protocol.BAD_REQUEST, str(exc)
+                            )
+                        )
+                    )
+                    break  # framing is lost; drop the connection
+                if request is None:
+                    break  # clean EOF
+                self.metrics.inc("requests_received")
+                if self._closing:
+                    self.metrics.inc("requests_rejected_shutdown")
+                    await responses.put(
+                        _done(
+                            protocol.error_response(
+                                request.get("id"),
+                                protocol.SHUTTING_DOWN,
+                                "server is draining",
+                            )
+                        )
+                    )
+                    continue
+                pending = _Pending(request, loop.create_future(), loop.time())
+                assert self._queue is not None
+                try:
+                    self._queue.put_nowait(pending)
+                except asyncio.QueueFull:
+                    self.metrics.inc("requests_overload")
+                    await responses.put(
+                        _done(
+                            protocol.error_response(
+                                request.get("id"),
+                                protocol.OVERLOAD,
+                                f"request queue full ({self.max_queue})",
+                            )
+                        )
+                    )
+                    continue
+                await responses.put(pending)
+        finally:
+            # Tell the writer nothing further is coming.  Runs after a
+            # cancellation too, so never block on a full queue: the writer
+            # is draining it concurrently and space will appear.
+            while True:
+                try:
+                    responses.put_nowait(None)
+                    break
+                except asyncio.QueueFull:
+                    await asyncio.sleep(0.005)
+
+    async def _write_responses(
+        self, writer: asyncio.StreamWriter, responses: asyncio.Queue
+    ) -> None:
+        """Pop futures in request order, enforce timeouts, write frames."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await responses.get()
+            if item is None:
+                break
+            if isinstance(item, _Pending):
+                budget = self.request_timeout - (loop.time() - item.arrived)
+                try:
+                    response = await asyncio.wait_for(item.future, max(0.0, budget))
+                except asyncio.TimeoutError:
+                    self.metrics.inc("requests_timeout")
+                    response = protocol.error_response(
+                        item.request.get("id"),
+                        protocol.TIMEOUT,
+                        f"no result within {self.request_timeout:g}s",
+                    )
+                else:
+                    op = item.request.get("op")
+                    if isinstance(op, str):
+                        self.metrics.observe(op, loop.time() - item.arrived)
+            else:  # pre-completed error future
+                response = item.result()
+            try:
+                await protocol.write_frame(writer, response)
+            except (ConnectionError, OSError):
+                self.metrics.inc("responses_dropped")
+                break
+
+
+def _done(response: Dict[str, Any]) -> "asyncio.Future":
+    """A future already resolved to ``response`` (error fast-paths)."""
+    future = asyncio.get_running_loop().create_future()
+    future.set_result(response)
+    return future

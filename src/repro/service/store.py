@@ -1,0 +1,166 @@
+"""Read-optimised view of a persisted partition: the serving-side store.
+
+A :class:`PartitionStore` is built once (from an
+:class:`~repro.partitioning.assignment.EdgePartition` in memory, or by
+opening a :func:`~repro.partitioning.serialization.save_partition`
+directory) and then answers routing queries in O(degree) or O(1):
+
+* ``master_of`` / ``replicas_of`` / ``mirrors_of`` — the PowerGraph
+  placement from :class:`~repro.runtime.replication.ReplicationTable`;
+* ``neighbors`` — fan-out to every partition spanning the vertex and
+  merge the per-partition adjacency lists;
+* ``owner_of_edge`` — which partition holds an edge;
+* ``partition_stats`` / ``stats`` — per-partition and global summaries.
+
+The store is immutable after construction and safe to share across the
+asyncio server's tasks (all reads, no locks needed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.graph.graph import Edge, normalize_edge
+from repro.partitioning.assignment import EdgePartition
+from repro.runtime.replication import ReplicationTable
+
+PathLike = Union[str, Path]
+
+
+class PartitionStore:
+    """Precomputed routing tables over one edge partition."""
+
+    def __init__(
+        self,
+        partition: EdgePartition,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._partition = partition
+        self.metadata: Dict[str, object] = dict(metadata or {})
+        self._table = ReplicationTable(partition)
+        # Per-partition adjacency: _adj[k][v] = neighbours of v inside P_k.
+        self._adj: List[Dict[int, Set[int]]] = []
+        for k in range(partition.num_partitions):
+            adj: Dict[int, Set[int]] = {}
+            for u, v in partition.edges_of(k):
+                adj.setdefault(u, set()).add(v)
+                adj.setdefault(v, set()).add(u)
+            self._adj.append(adj)
+        self._edge_owner: Dict[Edge, int] = partition.edge_to_partition()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: PathLike, verify: bool = True) -> "PartitionStore":
+        """Open a ``save_partition`` directory (manifest-verified by default)."""
+        from repro.partitioning.serialization import (
+            load_partition,
+            partition_metadata,
+        )
+
+        partition = load_partition(directory, verify=verify)
+        return cls(partition, metadata=partition_metadata(directory))
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def partition(self) -> EdgePartition:
+        """The underlying partition (treat as read-only)."""
+        return self._partition
+
+    @property
+    def num_partitions(self) -> int:
+        return self._partition.num_partitions
+
+    @property
+    def num_edges(self) -> int:
+        return self._partition.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices covered by at least one edge."""
+        return len(self._table.replicas)
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether any partition hosts a replica of ``v``."""
+        return v in self._table.replicas
+
+    # -- routing -----------------------------------------------------------
+
+    def master_of(self, v: int) -> int:
+        """Master partition of ``v``; raises ``KeyError`` if uncovered."""
+        return self._table.master[v]
+
+    def replicas_of(self, v: int) -> Tuple[int, ...]:
+        """All partitions hosting a replica of ``v`` (sorted)."""
+        return self._table.replicas_of(v)
+
+    def mirrors_of(self, v: int) -> Tuple[int, ...]:
+        """Non-master replicas of ``v`` (sorted)."""
+        master = self.master_of(v)
+        return tuple(k for k in self._table.replicas_of(v) if k != master)
+
+    def owner_of_edge(self, u: int, v: int) -> int:
+        """Partition holding edge ``{u, v}``; raises ``KeyError`` if absent."""
+        return self._edge_owner[normalize_edge(u, v)]
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Merged neighbour set of ``v`` across all spanning partitions.
+
+        This is the routed equivalent of ``Graph.neighbors``: the caller
+        fans out to every replica and unions the partial adjacency lists.
+        Raises ``KeyError`` for an uncovered vertex.
+        """
+        replicas = self._table.replicas.get(v)
+        if replicas is None:
+            raise KeyError(v)
+        merged: Set[int] = set()
+        for k in replicas:
+            merged |= self._adj[k].get(v, set())
+        return merged
+
+    def local_neighbors(self, v: int, k: int) -> Set[int]:
+        """Neighbours of ``v`` within partition ``k`` only."""
+        return set(self._adj[k].get(v, set()))
+
+    # -- summaries ---------------------------------------------------------
+
+    def partition_stats(self, k: int) -> Dict[str, int]:
+        """Edge/vertex/master counts for partition ``k``."""
+        if not 0 <= k < self.num_partitions:
+            raise KeyError(k)
+        vertices = self._adj[k]
+        masters = sum(1 for v in vertices if self._table.master[v] == k)
+        return {
+            "partition": k,
+            "edges": len(self._partition.edges_of(k)),
+            "vertices": len(vertices),
+            "masters": masters,
+            "mirrors": len(vertices) - masters,
+        }
+
+    def replication_factor(self) -> float:
+        """Mean replicas per covered vertex (1.0 for the empty store)."""
+        covered = len(self._table.replicas)
+        if covered == 0:
+            return 1.0
+        total = sum(len(r) for r in self._table.replicas.values())
+        return total / covered
+
+    def stats(self) -> Dict[str, object]:
+        """Global summary used by the ``stats`` query."""
+        return {
+            "num_partitions": self.num_partitions,
+            "num_edges": self.num_edges,
+            "num_vertices": self.num_vertices,
+            "replication_factor": round(self.replication_factor(), 6),
+            "partition_sizes": self._partition.partition_sizes(),
+            "metadata": self.metadata,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PartitionStore(p={self.num_partitions}, "
+            f"edges={self.num_edges}, vertices={self.num_vertices})"
+        )

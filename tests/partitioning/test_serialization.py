@@ -95,3 +95,99 @@ class TestVerification:
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="unsupported"):
             load_partition(tmp_path / "out")
+
+
+class TestGzipEdgeFiles:
+    def test_compressed_round_trip(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out", compress=True)
+        files = sorted(p.name for p in (tmp_path / "out").glob("part_*"))
+        assert all(name.endswith(".edges.gz") for name in files)
+        loaded = load_partition(tmp_path / "out")
+        for k in range(loaded.num_partitions):
+            assert sorted(loaded.edges_of(k)) == sorted(sample_partition.edges_of(k))
+
+    def test_files_really_are_gzip(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out", compress=True)
+        target = next((tmp_path / "out").glob("part_*.edges.gz"))
+        assert target.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+
+    def test_checksums_identical_either_way(self, sample_partition, tmp_path):
+        m_plain = json.loads(
+            save_partition(sample_partition, tmp_path / "a").read_text()
+        )
+        m_gz = json.loads(
+            save_partition(
+                sample_partition, tmp_path / "b", compress=True
+            ).read_text()
+        )
+        for plain, gz in zip(m_plain["partitions"], m_gz["partitions"]):
+            assert plain["checksum"] == gz["checksum"]
+            assert plain["edges"] == gz["edges"]
+
+    def test_resave_with_other_compression_leaves_no_stale_files(
+        self, sample_partition, tmp_path
+    ):
+        save_partition(sample_partition, tmp_path / "out", compress=True)
+        save_partition(sample_partition, tmp_path / "out", compress=False)
+        names = sorted(p.name for p in (tmp_path / "out").glob("part_*"))
+        assert not any(name.endswith(".gz") for name in names)
+        load_partition(tmp_path / "out")  # still a coherent bundle
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, sample_partition, tmp_path):
+        save_partition(sample_partition, tmp_path / "out", compress=True)
+        save_partition(sample_partition, tmp_path / "out")  # overwrite in place
+        leftovers = [p.name for p in (tmp_path / "out").iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_interrupted_edge_write_leaves_no_manifest(
+        self, sample_partition, tmp_path, monkeypatch
+    ):
+        # Kill the writer mid-way through the edge files: because the
+        # manifest is written last, the directory must not parse as a
+        # valid partition afterwards.
+        import repro.partitioning.serialization as ser
+
+        real_write = ser._write_atomic
+        calls = {"n": 0}
+
+        def dying_write(path, write):
+            calls["n"] += 1
+            if calls["n"] == 3:  # die on the third file
+                raise KeyboardInterrupt("simulated kill")
+            real_write(path, write)
+
+        monkeypatch.setattr(ser, "_write_atomic", dying_write)
+        with pytest.raises(KeyboardInterrupt):
+            save_partition(sample_partition, tmp_path / "out")
+        monkeypatch.setattr(ser, "_write_atomic", real_write)
+        with pytest.raises(FileNotFoundError):
+            load_partition(tmp_path / "out")
+
+    def test_interrupted_overwrite_keeps_old_bundle_loadable(
+        self, sample_partition, tmp_path, monkeypatch
+    ):
+        # A complete bundle being re-saved must stay valid if the second
+        # writer dies: every file lands via os.replace, never truncation.
+        import repro.partitioning.serialization as ser
+
+        save_partition(sample_partition, tmp_path / "out")
+        before = load_partition(tmp_path / "out")
+
+        real_write = ser._write_atomic
+        calls = {"n": 0}
+
+        def dying_write(path, write):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt("simulated kill")
+            real_write(path, write)
+
+        monkeypatch.setattr(ser, "_write_atomic", dying_write)
+        with pytest.raises(KeyboardInterrupt):
+            save_partition(sample_partition, tmp_path / "out")
+        monkeypatch.setattr(ser, "_write_atomic", real_write)
+        after = load_partition(tmp_path / "out")  # verifies checksums
+        for k in range(before.num_partitions):
+            assert sorted(after.edges_of(k)) == sorted(before.edges_of(k))

@@ -47,3 +47,63 @@ class TestReplicationTable:
             {v for vs in part.vertex_sets() for v in vs}
         )
         assert table.total_mirrors() == total_replicas(part) - covered_vertices
+
+
+class TestMasterTieBreaking:
+    """The placement contract the serving layer routes by: most edges
+    wins, ties go to the lowest partition id."""
+
+    def test_most_edges_wins_regardless_of_partition_order(self):
+        # vertex 0: one edge in P0, three in P2 -> master 2.
+        part = EdgePartition(
+            [[(0, 1)], [], [(0, 2), (0, 3), (0, 4)]]
+        )
+        assert ReplicationTable(part).master_of(0) == 2
+
+    def test_higher_partition_with_more_edges_beats_lower(self):
+        # vertex 5: two edges in P1, one in P0 -> master 1, not 0.
+        part = EdgePartition([[(5, 6)], [(5, 7), (5, 8)]])
+        assert ReplicationTable(part).master_of(5) == 1
+
+    def test_three_way_tie_goes_to_lowest_id(self):
+        # vertex 0: exactly one edge in each of P0, P1, P2.
+        part = EdgePartition([[(0, 1)], [(0, 2)], [(0, 3)]])
+        table = ReplicationTable(part)
+        assert table.master_of(0) == 0
+        assert table.replicas_of(0) == (0, 1, 2)
+
+    def test_tie_between_non_zero_partitions(self):
+        # vertex 9 spans P1 and P3 with one edge each; P0 holds none.
+        part = EdgePartition([[(1, 2)], [(9, 10)], [], [(9, 11)]])
+        table = ReplicationTable(part)
+        assert table.master_of(9) == 1
+        assert table.mirror_count(9) == 1
+
+    def test_two_edges_each_tie_prefers_lower(self):
+        part = EdgePartition([[], [(4, 5), (4, 6)], [(4, 7), (4, 8)]])
+        assert ReplicationTable(part).master_of(4) == 1
+
+    def test_every_vertex_master_is_among_replicas(self, small_social):
+        from repro.core.tlp import TLPPartitioner
+
+        part = TLPPartitioner(seed=2).partition(small_social, 6)
+        table = ReplicationTable(part)
+        for v, replicas in table.replicas.items():
+            assert table.master_of(v) in replicas
+
+    def test_master_holds_maximal_edge_count(self, small_social):
+        from repro.core.tlp import TLPPartitioner
+
+        part = TLPPartitioner(seed=2).partition(small_social, 6)
+        table = ReplicationTable(part)
+        # Recount incident edges independently and check maximality + tie rule.
+        incident = {}
+        for k in range(part.num_partitions):
+            for u, v in part.edges_of(k):
+                for vertex in (u, v):
+                    incident.setdefault(vertex, {}).setdefault(k, 0)
+                    incident[vertex][k] += 1
+        for v, row in incident.items():
+            best = max(row.values())
+            expected = min(k for k, count in row.items() if count == best)
+            assert table.master_of(v) == expected

@@ -1,0 +1,129 @@
+"""Client behaviour: retry/backoff classification and the blocking client."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.tlp import TLPPartitioner
+from repro.service import protocol
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    SyncServiceClient,
+    _backoff_delays,
+)
+from repro.service.server import PartitionServer
+from repro.service.store import PartitionStore
+
+
+class TestBackoffPolicy:
+    def test_delays_grow_geometrically(self):
+        assert _backoff_delays(0.1, 2.0, 3) == [0.1, 0.2, 0.4]
+
+    def test_zero_retries_means_no_delays(self):
+        assert _backoff_delays(0.1, 2.0, 0) == []
+
+    def test_error_retryability(self):
+        assert ServiceError(protocol.OVERLOAD, "x").retryable
+        assert ServiceError(protocol.TIMEOUT, "x").retryable
+        assert not ServiceError(protocol.NOT_FOUND, "x").retryable
+        assert not ServiceError(protocol.BAD_REQUEST, "x").retryable
+
+
+class TestAsyncClient:
+    def test_semantic_errors_are_not_retried(self, small_social):
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+
+        async def go():
+            async with PartitionServer(store) as server:
+                async with ServiceClient(
+                    *server.address, max_retries=5, backoff_base=0.05
+                ) as client:
+                    start = time.perf_counter()
+                    with pytest.raises(ServiceError):
+                        await client.neighbors(10**9)
+                    # If not_found were retried, 5 backoffs >= 1.55s elapse.
+                    assert time.perf_counter() - start < 1.0
+            counters = server.metrics.counters
+            assert counters["requests_not_found"] == 1
+
+        asyncio.run(go())
+
+    def test_connection_refused_raises_after_retries(self):
+        async def go():
+            client = ServiceClient(
+                "127.0.0.1", 1, max_retries=1, backoff_base=0.01
+            )
+            with pytest.raises((ConnectionError, OSError)):
+                await client.call("ping")
+            await client.close()
+
+        asyncio.run(go())
+
+    def test_many_concurrent_calls_on_one_connection(self, small_social):
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+        vertices = list(small_social.vertices())[:150]
+
+        async def go():
+            async with PartitionServer(store) as server:
+                async with ServiceClient(*server.address) as client:
+                    results = await asyncio.gather(
+                        *(client.neighbors(v) for v in vertices)
+                    )
+            # Pipelined responses must map back to their own requests.
+            for v, result in zip(vertices, results):
+                assert result["v"] == v
+                assert set(result["neighbors"]) == small_social.neighbors(v)
+
+        asyncio.run(go())
+
+
+@pytest.fixture
+def threaded_server(small_social):
+    """A live server on a background thread, for the blocking client."""
+    store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+    loop = asyncio.new_event_loop()
+    server = PartitionServer(store)
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(5.0)
+    yield server.address
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(5.0)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(5.0)
+    loop.close()
+
+
+class TestSyncClient:
+    def test_round_trip(self, threaded_server, small_social):
+        host, port = threaded_server
+        with SyncServiceClient(host, port) as client:
+            assert client.call("ping")["pong"] is True
+            for v in list(small_social.vertices())[:30]:
+                result = client.call("neighbors", v=v)
+                assert set(result["neighbors"]) == small_social.neighbors(v)
+
+    def test_semantic_error_raises(self, threaded_server):
+        host, port = threaded_server
+        with SyncServiceClient(host, port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("neighbors", v=10**9)
+            assert excinfo.value.code == protocol.NOT_FOUND
+
+    def test_reconnects_after_close(self, threaded_server):
+        host, port = threaded_server
+        client = SyncServiceClient(host, port)
+        assert client.call("ping")["pong"] is True
+        client.close()
+        assert client.call("ping")["pong"] is True  # transparent reconnect
+        client.close()

@@ -1,0 +1,83 @@
+"""Counters and latency histograms behind the ``stats`` query."""
+
+import json
+import random
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean() == 0.0
+        assert hist.snapshot()["count"] == 0
+
+    def test_single_sample(self):
+        hist = LatencyHistogram()
+        hist.observe(0.010)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["min_ms"] == pytest.approx(10.0)
+        assert snap["max_ms"] == pytest.approx(10.0)
+        # The quantile lands in the bucket holding 10ms (bounded error).
+        assert 9.0 <= snap["p50_ms"] <= 13.0
+
+    def test_quantiles_monotonic(self):
+        hist = LatencyHistogram()
+        rng = random.Random(7)
+        for _ in range(5000):
+            hist.observe(rng.lognormvariate(-6.0, 1.0))
+        p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert 0.0 < p50 <= p95 <= p99 <= (hist.max or 0.0)
+
+    def test_quantile_bounded_relative_error(self):
+        # Uniform samples in [1ms, 2ms]: p50 must sit within one bucket
+        # (factor 10^0.1 ~ 1.26) of the true median 1.5ms.
+        hist = LatencyHistogram()
+        for i in range(1000):
+            hist.observe(0.001 + 0.001 * (i / 999))
+        assert 0.0015 / 1.26 <= hist.quantile(0.5) <= 0.0015 * 1.26
+
+    def test_negative_clamped(self):
+        hist = LatencyHistogram()
+        hist.observe(-1.0)
+        assert hist.min == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_outlier_does_not_exceed_max(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.observe(0.001)
+        hist.observe(0.5)
+        assert hist.quantile(0.99) <= 0.5
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_ok")
+        metrics.inc("requests_ok")
+        metrics.inc("batched_requests", 5)
+        assert metrics.counters == {"requests_ok": 2, "batched_requests": 5}
+
+    def test_per_op_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.observe("neighbors", 0.002)
+        metrics.observe("neighbors", 0.004)
+        metrics.observe("ping", 0.0001)
+        snap = metrics.snapshot()
+        assert snap["latency"]["neighbors"]["count"] == 2
+        assert snap["latency"]["ping"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        metrics = ServiceMetrics()
+        metrics.inc("connections")
+        metrics.observe("stats", 0.003)
+        json.dumps(metrics.snapshot())  # must not raise

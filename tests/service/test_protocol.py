@@ -1,0 +1,131 @@
+"""Wire protocol: framing, limits, and the sync/async helper parity."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"id": 7, "op": "neighbors", "args": {"v": 12}}
+        frame = protocol.encode_frame(message)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_body(frame[4:]) == message
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(b"[1, 2, 3]")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(b"\xff\xfe not json")
+
+    def test_oversized_frame_rejected_on_encode(self):
+        huge = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame(huge)
+
+
+class TestMessages:
+    def test_request_shape(self):
+        assert protocol.request(3, "ping") == {"id": 3, "op": "ping", "args": {}}
+
+    def test_ok_response_shape(self):
+        response = protocol.ok_response(3, {"pong": True})
+        assert response == {"id": 3, "ok": True, "result": {"pong": True}}
+
+    def test_error_response_carries_known_code(self):
+        response = protocol.error_response(3, protocol.OVERLOAD, "full")
+        assert response["ok"] is False
+        assert response["error"]["code"] in protocol.ERROR_CODES
+
+    def test_retryable_codes_are_a_subset(self):
+        assert protocol.RETRYABLE_CODES <= protocol.ERROR_CODES
+
+
+class TestAsyncStreamHelpers:
+    def _reader_with(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_read_frame_round_trip(self):
+        async def go():
+            message = {"id": 1, "op": "ping", "args": {}}
+            reader = self._reader_with(protocol.encode_frame(message))
+            assert await protocol.read_frame(reader) == message
+            assert await protocol.read_frame(reader) is None  # clean EOF
+
+        asyncio.run(go())
+
+    def test_read_frame_split_across_feeds(self):
+        async def go():
+            message = {"id": 2, "op": "stats", "args": {}}
+            frame = protocol.encode_frame(message)
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame[:3])
+
+            async def feed_rest():
+                await asyncio.sleep(0.01)
+                reader.feed_data(frame[3:])
+                reader.feed_eof()
+
+            task = asyncio.create_task(feed_rest())
+            assert await protocol.read_frame(reader) == message
+            await task
+
+        asyncio.run(go())
+
+    def test_truncated_frame_raises(self):
+        async def go():
+            frame = protocol.encode_frame({"id": 1, "op": "ping", "args": {}})
+            reader = self._reader_with(frame[:-2])  # cut mid-body
+            with pytest.raises(protocol.ProtocolError):
+                await protocol.read_frame(reader)
+
+        asyncio.run(go())
+
+    def test_hostile_length_prefix_rejected(self):
+        async def go():
+            reader = self._reader_with(struct.pack(">I", 2**31) + b"xx")
+            with pytest.raises(protocol.ProtocolError):
+                await protocol.read_frame(reader)
+
+        asyncio.run(go())
+
+
+class TestSyncSocketHelpers:
+    def test_send_recv_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"id": 9, "op": "edge", "args": {"u": 1, "v": 2}}
+            protocol.send_frame_sync(a, message)
+            assert protocol.recv_frame_sync(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert protocol.recv_frame_sync(b) is None
+        finally:
+            b.close()
+
+    def test_recv_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"id": 1, "op": "ping", "args": {}})
+            a.sendall(frame[:-3])
+            a.close()
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_frame_sync(b)
+        finally:
+            b.close()

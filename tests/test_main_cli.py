@@ -107,3 +107,40 @@ class TestWriters:
         paths = write_partition_files(part, tmp_path / "d")
         assert paths[0].read_text().startswith("# partition 0: 1 edges")
         assert "0 edges" in paths[1].read_text()
+
+
+class TestServeSubcommand:
+    def test_missing_bundle_fails(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope")]) == 2
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_serves_a_saved_bundle(self, edge_file, tmp_path, capsys):
+        import threading
+
+        path, graph = edge_file
+        bundle = tmp_path / "parts"
+        assert main([str(path), "-p", "4", "--save-dir", str(bundle)]) == 0
+
+        # Run the serve subcommand on a thread, talk to it, interrupt it.
+        from repro.service.client import SyncServiceClient
+
+        thread = threading.Thread(
+            target=main, args=(["serve", str(bundle), "--port", "0"],), daemon=True
+        )
+        thread.start()
+        import re
+        import time
+
+        deadline = time.time() + 10.0
+        port = None
+        output = ""
+        while time.time() < deadline and port is None:
+            time.sleep(0.05)
+            output += capsys.readouterr().out
+            match = re.search(r"serving on 127\.0\.0\.1:(\d+)", output)
+            if match:
+                port = int(match.group(1))
+        assert port is not None, f"server never reported its port: {output!r}"
+        with SyncServiceClient("127.0.0.1", port) as client:
+            v = next(iter(graph.vertices()))
+            assert set(client.call("neighbors", v=v)["neighbors"]) == graph.neighbors(v)
