@@ -12,6 +12,12 @@ a saved partition bundle over TCP (see ``docs/SERVING.md``)::
 
     python -m repro serve parts/ --port 7531
 
+A running server hot-swaps a new bundle in without dropping connections
+(epoch-based atomic flip): send it SIGHUP, start it with ``--watch`` so
+it polls the bundle's manifest for changes, or use the admin command::
+
+    python -m repro reload parts_v2/ --port 7531
+
 Examples
 --------
 ::
@@ -123,6 +129,18 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-verify", action="store_true", help="skip manifest checksum checks"
     )
+    parser.add_argument(
+        "--no-hot-reload",
+        action="store_true",
+        help="disable the reload admin op, SIGHUP, and --watch",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="poll the bundle manifest this often and hot-reload on change",
+    )
     return parser
 
 
@@ -131,7 +149,7 @@ def serve_main(argv: List[str]) -> int:
     import asyncio
 
     from repro.service.server import PartitionServer
-    from repro.service.store import PartitionStore
+    from repro.service.store import PartitionStore, ReloadError, StoreManager
 
     args = _build_serve_parser().parse_args(argv)
     try:
@@ -145,6 +163,10 @@ def serve_main(argv: List[str]) -> int:
         f"RF={store.replication_factor():.4f}"
     )
 
+    from repro.partitioning.serialization import MANIFEST_NAME
+
+    manifest = Path(args.directory) / MANIFEST_NAME
+
     async def run() -> None:
         server = PartitionServer(
             store,
@@ -153,12 +175,60 @@ def serve_main(argv: List[str]) -> int:
             max_queue=args.max_queue,
             batch_window=args.batch_window,
             request_timeout=args.request_timeout,
+            allow_reload=not args.no_hot_reload,
         )
+        manager: StoreManager = server.manager
+
+        async def hot_reload(origin: str) -> None:
+            try:
+                info = await manager.reload(
+                    args.directory, verify=not args.no_verify
+                )
+            except ReloadError as exc:
+                print(f"{origin}: reload failed, old epoch keeps serving: {exc}")
+            else:
+                print(
+                    f"{origin}: hot reload -> epoch {info['epoch']} "
+                    f"(RF={info['replication_factor']}, "
+                    f"drained {info['drained']} in-flight)"
+                )
+
+        async def watch_manifest(interval: float) -> None:
+            last_mtime = manifest.stat().st_mtime if manifest.exists() else 0.0
+            while True:
+                await asyncio.sleep(interval)
+                try:
+                    mtime = manifest.stat().st_mtime
+                except OSError:
+                    continue
+                if mtime != last_mtime:
+                    last_mtime = mtime
+                    await hot_reload("watch")
+
         host, port = await server.start()
         print(f"serving on {host}:{port} — Ctrl-C to drain and stop")
+        watcher = None
+        if args.watch > 0 and not args.no_hot_reload:
+            watcher = asyncio.create_task(watch_manifest(args.watch))
+            print(f"watching {manifest} every {args.watch:g}s")
+        if not args.no_hot_reload:
+            try:
+                import signal
+
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: asyncio.ensure_future(hot_reload("SIGHUP")),
+                )
+                print("SIGHUP triggers a hot reload of the bundle")
+            except (NotImplementedError, AttributeError, OSError, RuntimeError):
+                # No POSIX signals on this platform, or the loop is not
+                # on the main thread (embedded / tests).
+                pass
         try:
             await asyncio.Event().wait()  # until cancelled
         finally:
+            if watcher is not None:
+                watcher.cancel()
             print("draining in-flight requests ...")
             await server.stop()
 
@@ -169,12 +239,61 @@ def serve_main(argv: List[str]) -> int:
     return 0
 
 
+def _build_reload_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro reload",
+        description="Hot-swap a running server onto a new partition bundle.",
+    )
+    parser.add_argument(
+        "directory", type=Path, help="the --save-dir bundle to swap in"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip manifest checksum checks"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="admin call timeout in seconds"
+    )
+    return parser
+
+
+def reload_main(argv: List[str]) -> int:
+    """The ``reload`` subcommand: one admin call against a live server."""
+    from repro.service.client import ServiceError, SyncServiceClient
+
+    args = _build_reload_parser().parse_args(argv)
+    client = SyncServiceClient(
+        args.host, args.port, timeout=args.timeout, max_retries=0
+    )
+    try:
+        with client:
+            info = client.reload(str(args.directory), verify=not args.no_verify)
+    except ServiceError as exc:
+        print(f"error: server refused the reload: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr
+        )
+        return 2
+    print(
+        f"epoch {info['previous_epoch']} -> {info['epoch']}: "
+        f"p={info['num_partitions']}, {info['num_edges']} edges, "
+        f"RF={info['replication_factor']}, drained {info['drained']} in-flight "
+        f"(build {info['build_seconds']}s)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "reload":
+        return reload_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.partitions < 1:
         print("error: --partitions must be >= 1", file=sys.stderr)

@@ -14,8 +14,12 @@ master/mirror placement, and the communication bill is ``(RF - 1)·|V|``.
   timeouts, bounded-queue backpressure, and graceful drain on shutdown;
 * :class:`~repro.service.client.ServiceClient` — pipelined asyncio client
   with retry/backoff (plus a blocking :class:`SyncServiceClient`);
-* :class:`~repro.service.metrics.ServiceMetrics` — counters and latency
-  histograms (p50/p95/p99) exported through the ``stats`` query.
+* :class:`~repro.service.metrics.ServiceMetrics` — counters, gauges, and
+  latency histograms (p50/p95/p99) exported through the ``stats`` query;
+* :class:`~repro.service.store.StoreManager` — hot re-partitioning:
+  builds a replacement store off the event loop, validates it, flips it
+  in atomically as a new **epoch**, and drains requests pinned to the
+  old epoch before the old store is released.
 
 See ``docs/SERVING.md`` for the architecture and wire protocol.
 """
@@ -24,15 +28,25 @@ from repro.service.client import ServiceClient, ServiceError, SyncServiceClient
 from repro.service.handler import ServiceHandler
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.server import PartitionServer
-from repro.service.store import PartitionStore
+from repro.service.store import (
+    BundleValidationError,
+    PartitionStore,
+    ReloadError,
+    ReloadInProgress,
+    StoreManager,
+)
 
 __all__ = [
+    "BundleValidationError",
     "LatencyHistogram",
     "PartitionServer",
     "PartitionStore",
+    "ReloadError",
+    "ReloadInProgress",
     "ServiceClient",
     "ServiceError",
     "ServiceHandler",
     "ServiceMetrics",
+    "StoreManager",
     "SyncServiceClient",
 ]

@@ -10,6 +10,14 @@ deterministic delays (tests stay reproducible).  Semantic errors
 :class:`SyncServiceClient` is a minimal blocking counterpart over a plain
 socket (one request in flight), for shells and examples where an event
 loop is a burden.
+
+Both clients surface the server's serving **epoch**: every response is
+stamped with the epoch of the store that produced it, ``last_epoch``
+tracks the most recent one seen, and an ``on_epoch_change`` callback
+fires when a hot reload flips the server to a new bundle mid-session.  A
+connection reset in the middle of such a flip (or a server restart) is
+handled like any retryable failure: the client tears the dead connection
+down and reconnects with the existing backoff policy.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.service import protocol
 
@@ -51,6 +59,7 @@ class ServiceClient:
         backoff_base: float = 0.05,
         backoff_factor: float = 2.0,
         call_timeout: float = 10.0,
+        on_epoch_change: Optional[Callable[[Optional[int], int], None]] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -58,6 +67,10 @@ class ServiceClient:
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.call_timeout = call_timeout
+        #: Serving epoch stamped on the most recent response (None until
+        #: the first epoch-carrying response arrives).
+        self.last_epoch: Optional[int] = None
+        self.on_epoch_change = on_epoch_change
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._recv_task: Optional[asyncio.Task] = None
@@ -110,6 +123,19 @@ class ServiceClient:
         Retries retryable failures up to ``max_retries`` times with
         exponential backoff, reconnecting if the connection dropped.
         """
+        result, _epoch = await self.call_with_epoch(op, **args)
+        return result
+
+    async def call_with_epoch(
+        self, op: str, **args: Any
+    ) -> Tuple[Dict[str, Any], Optional[int]]:
+        """Like :meth:`call`, but also returns the response's epoch.
+
+        Under pipelining ``last_epoch`` is shared between concurrent
+        calls; this returns the epoch stamped on *this* response, so a
+        caller can attribute the answer to exactly one serving
+        generation across a hot reload.
+        """
         delays = _backoff_delays(
             self.backoff_base, self.backoff_factor, self.max_retries
         )
@@ -132,7 +158,9 @@ class ServiceClient:
             await asyncio.sleep(delays[attempt])
             attempt += 1
 
-    async def _call_once(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+    async def _call_once(
+        self, op: str, args: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Optional[int]]:
         await self.connect()
         assert self._writer is not None
         loop = asyncio.get_running_loop()
@@ -148,8 +176,12 @@ class ServiceClient:
             response = await future
         finally:
             self._pending.pop(request_id, None)
+        epoch = response.get("epoch")
+        self._observe_epoch(epoch)
+        if not isinstance(epoch, int):
+            epoch = None
         if response.get("ok"):
-            return response.get("result", {})
+            return response.get("result", {}), epoch
         error = response.get("error") or {}
         raise ServiceError(
             str(error.get("code", protocol.INTERNAL)),
@@ -172,15 +204,33 @@ class ServiceClient:
             protocol.ProtocolError,
             asyncio.IncompleteReadError,
         ) as exc:
-            self._fail_pending(ConnectionError(str(exc)))
+            # The connection is dead (server restart, or a reset racing a
+            # hot reload).  Tear it down *here* so the retry loop's next
+            # connect() opens a fresh one instead of writing into a dead
+            # transport and stalling until call_timeout.
+            self._mark_connection_lost(ConnectionError(str(exc)))
         except asyncio.CancelledError:
             raise
+
+    def _mark_connection_lost(self, exc: Exception) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        self._recv_task = None  # this task is exiting on its own
+        if writer is not None:
+            writer.close()
+        self._fail_pending(exc)
 
     def _fail_pending(self, exc: Exception) -> None:
         pending, self._pending = self._pending, {}
         for future in pending.values():
             if not future.done():
                 future.set_exception(exc)
+
+    def _observe_epoch(self, epoch: Any) -> None:
+        if not isinstance(epoch, int):
+            return
+        previous, self.last_epoch = self.last_epoch, epoch
+        if previous != epoch and self.on_epoch_change is not None:
+            self.on_epoch_change(previous, epoch)
 
     # -- convenience wrappers ---------------------------------------------
 
@@ -202,6 +252,10 @@ class ServiceClient:
     async def stats(self) -> Dict[str, Any]:
         return await self.call("stats")
 
+    async def reload(self, directory: str, verify: bool = True) -> Dict[str, Any]:
+        """Ask the server to hot-swap the bundle at ``directory`` in."""
+        return await self.call("reload", directory=str(directory), verify=verify)
+
 
 class SyncServiceClient:
     """Blocking one-request-at-a-time client over a plain socket."""
@@ -222,6 +276,7 @@ class SyncServiceClient:
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.timeout = timeout
+        self.last_epoch: Optional[int] = None
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
 
@@ -274,6 +329,9 @@ class SyncServiceClient:
         response = protocol.recv_frame_sync(self._sock)
         if response is None:
             raise ConnectionError("server closed the connection")
+        epoch = response.get("epoch")
+        if isinstance(epoch, int):
+            self.last_epoch = epoch
         if response.get("ok"):
             return response.get("result", {})
         error = response.get("error") or {}
@@ -281,3 +339,7 @@ class SyncServiceClient:
             str(error.get("code", protocol.INTERNAL)),
             str(error.get("message", "unknown error")),
         )
+
+    def reload(self, directory: str, verify: bool = True) -> Dict[str, Any]:
+        """Ask the server to hot-swap the bundle at ``directory`` in."""
+        return self.call("reload", directory=str(directory), verify=verify)

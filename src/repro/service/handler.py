@@ -15,93 +15,180 @@ op                      args                  result
 ``edge``                ``u, v``              owning partition of edge {u, v}
 ``partition_stats``     ``k``                 per-partition counts
 ``stats``               —                     global summary + metrics snapshot
+``reload``              ``directory``         hot-swap a new bundle in (admin)
 ======================  ====================  =================================
 
 ``execute_batch`` coalesces duplicate ``(op, args)`` pairs inside one
 batch — under skewed access patterns (the norm for power-law graphs) hot
 vertices are looked up many times per batching window and computed once.
+
+Every response is stamped with the **epoch** of the store that produced
+it: the handler leases the live store from its
+:class:`~repro.service.store.StoreManager` per request (or accepts a
+lease the server pinned at admission time), so a response never mixes
+data from two serving generations.  ``reload`` here is the *blocking*
+in-process path; the TCP server intercepts the op and runs the build off
+the event loop instead (see ``PartitionServer``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
-from repro.service.store import PartitionStore
+from repro.service.store import (
+    PartitionStore,
+    ReloadError,
+    ReloadInProgress,
+    StoreManager,
+)
 
 #: Operations a request may name.
-OPERATIONS = ("ping", "master", "neighbors", "edge", "partition_stats", "stats")
+OPERATIONS = (
+    "ping",
+    "master",
+    "neighbors",
+    "edge",
+    "partition_stats",
+    "stats",
+    "reload",
+)
+
+#: A ``(store, epoch)`` pair pinned by :meth:`StoreManager.acquire`.
+Lease = Tuple[PartitionStore, int]
 
 
 class ServiceHandler:
     """Executes protocol requests against a store, recording metrics."""
 
     def __init__(
-        self, store: PartitionStore, metrics: Optional[ServiceMetrics] = None
+        self,
+        store: Union[PartitionStore, StoreManager],
+        metrics: Optional[ServiceMetrics] = None,
     ) -> None:
-        self.store = store
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if isinstance(store, StoreManager):
+            self.manager = store
+            if self.manager.metrics is None:
+                self.manager.metrics = self.metrics
+        else:
+            self.manager = StoreManager(store, metrics=self.metrics)
+
+    @property
+    def store(self) -> PartitionStore:
+        """The store serving the live epoch."""
+        return self.manager.store
 
     # -- single request ----------------------------------------------------
 
-    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Map one request dict to one response dict (never raises)."""
+    def execute(
+        self, request: Dict[str, Any], lease: Optional[Lease] = None
+    ) -> Dict[str, Any]:
+        """Map one request dict to one response dict (never raises).
+
+        With ``lease`` the request runs against the pinned ``(store,
+        epoch)`` (the caller releases it); otherwise a lease is taken and
+        returned around the dispatch.
+        """
         request_id = request.get("id")
         op = request.get("op")
         if not isinstance(op, str) or op not in OPERATIONS:
             self.metrics.inc("requests_bad")
             return protocol.error_response(
-                request_id, protocol.BAD_REQUEST, f"unknown op {op!r}"
+                request_id,
+                protocol.BAD_REQUEST,
+                f"unknown op {op!r}",
+                epoch=self.manager.epoch,
             )
         args = request.get("args") or {}
         if not isinstance(args, dict):
             self.metrics.inc("requests_bad")
             return protocol.error_response(
-                request_id, protocol.BAD_REQUEST, "args must be an object"
+                request_id,
+                protocol.BAD_REQUEST,
+                "args must be an object",
+                epoch=self.manager.epoch,
             )
+        owned = lease is None
+        store, epoch = self.manager.acquire() if owned else lease
         try:
-            result = self._dispatch(op, args)
+            result = self._dispatch(op, args, store)
         except _BadArgs as exc:
             self.metrics.inc("requests_bad")
-            return protocol.error_response(request_id, protocol.BAD_REQUEST, str(exc))
+            return protocol.error_response(
+                request_id, protocol.BAD_REQUEST, str(exc), epoch=epoch
+            )
+        except ReloadInProgress as exc:
+            return protocol.error_response(
+                request_id,
+                protocol.RELOAD_IN_PROGRESS,
+                str(exc),
+                epoch=self.manager.epoch,
+            )
+        except ReloadError as exc:
+            return protocol.error_response(
+                request_id,
+                protocol.RELOAD_FAILED,
+                str(exc),
+                epoch=self.manager.epoch,
+            )
         except KeyError as exc:
             self.metrics.inc("requests_not_found")
             return protocol.error_response(
-                request_id, protocol.NOT_FOUND, f"not in store: {exc.args[0]!r}"
+                request_id,
+                protocol.NOT_FOUND,
+                f"not in store: {exc.args[0]!r}",
+                epoch=epoch,
             )
         except Exception as exc:  # noqa: BLE001 — fault barrier at the edge
             self.metrics.inc("requests_internal_error")
             return protocol.error_response(
-                request_id, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
+                request_id,
+                protocol.INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                epoch=epoch,
             )
+        finally:
+            if owned:
+                self.manager.release(epoch)
         self.metrics.inc("requests_ok")
         self.metrics.inc(f"op_{op}")
-        return protocol.ok_response(request_id, result)
+        # A successful reload answers with the *new* epoch it installed.
+        epoch = result.get("epoch", epoch) if op == "reload" else epoch
+        return protocol.ok_response(request_id, result, epoch=epoch)
 
     # -- batched requests --------------------------------------------------
 
     def execute_batch(
-        self, requests: List[Dict[str, Any]]
+        self,
+        requests: List[Dict[str, Any]],
+        leases: Optional[Sequence[Optional[Lease]]] = None,
     ) -> List[Dict[str, Any]]:
         """Execute a batch, computing duplicate ``(op, args)`` pairs once.
 
         Responses line up index-for-index with ``requests`` and carry each
-        request's own ``id`` even when the result was shared.
+        request's own ``id`` even when the result was shared.  ``leases``
+        optionally pins each request to the ``(store, epoch)`` the server
+        leased at admission; results are only shared within one epoch.
         """
         self.metrics.inc("batches")
         if len(requests) > 1:
             self.metrics.inc("batched_requests", len(requests))
+        if leases is None:
+            leases = [None] * len(requests)
         computed: Dict[Tuple, Dict[str, Any]] = {}
         responses: List[Dict[str, Any]] = []
-        for request in requests:
+        for request, lease in zip(requests, leases):
             key = _coalesce_key(request)
+            if key is not None:
+                key = (lease[1] if lease else self.manager.epoch,) + key
             if key is not None and key in computed:
                 self.metrics.inc("batch_dedup_hits")
                 response = dict(computed[key])
                 response["id"] = request.get("id")
             else:
-                response = self.execute(request)
+                response = self.execute(request, lease=lease)
                 if key is not None:
                     computed[key] = response
             responses.append(response)
@@ -109,26 +196,28 @@ class ServiceHandler:
 
     # -- operations --------------------------------------------------------
 
-    def _dispatch(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+    def _dispatch(
+        self, op: str, args: Dict[str, Any], store: PartitionStore
+    ) -> Dict[str, Any]:
         if op == "ping":
             return {"pong": True}
         if op == "master":
             v = _int_arg(args, "v")
-            master = self.store.master_of(v)
+            master = store.master_of(v)
             return {
                 "v": v,
                 "master": master,
-                "mirrors": list(self.store.mirrors_of(v)),
-                "replicas": list(self.store.replicas_of(v)),
+                "mirrors": list(store.mirrors_of(v)),
+                "replicas": list(store.replicas_of(v)),
             }
         if op == "neighbors":
             v = _int_arg(args, "v")
-            partitions = list(self.store.replicas_of(v))
+            partitions = list(store.replicas_of(v))
             if not partitions:
                 raise KeyError(v)
             return {
                 "v": v,
-                "neighbors": sorted(self.store.neighbors(v)),
+                "neighbors": sorted(store.neighbors(v)),
                 "partitions": partitions,
             }
         if op == "edge":
@@ -136,13 +225,18 @@ class ServiceHandler:
             v = _int_arg(args, "v")
             if u == v:
                 raise _BadArgs(f"self loop ({u}, {v}) is not a valid edge")
-            return {"u": u, "v": v, "partition": self.store.owner_of_edge(u, v)}
+            return {"u": u, "v": v, "partition": store.owner_of_edge(u, v)}
         if op == "partition_stats":
-            return self.store.partition_stats(_int_arg(args, "k"))
+            return store.partition_stats(_int_arg(args, "k"))
         if op == "stats":
-            result = self.store.stats()
+            result = store.stats()
             result["metrics"] = self.metrics.snapshot()
             return result
+        if op == "reload":
+            return self.manager.reload_sync(
+                _str_arg(args, "directory"),
+                verify=bool(args.get("verify", True)),
+            )
         raise _BadArgs(f"unknown op {op!r}")  # pragma: no cover - guarded above
 
 
@@ -155,6 +249,13 @@ def _int_arg(args: Dict[str, Any], name: str) -> int:
     # bool is an int subclass; reject it explicitly.
     if isinstance(value, bool) or not isinstance(value, int):
         raise _BadArgs(f"argument {name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _str_arg(args: Dict[str, Any], name: str) -> str:
+    value = args.get(name)
+    if not isinstance(value, str) or not value:
+        raise _BadArgs(f"argument {name!r} must be a non-empty string, got {value!r}")
     return value
 
 

@@ -89,15 +89,28 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Named counters plus one latency histogram per operation."""
+    """Named counters and gauges plus one latency histogram per operation.
+
+    Hot re-partitioning adds its own instruments: the ``epoch`` gauge
+    tracks the live serving generation, the ``reload_build`` /
+    ``reload_swap`` histograms time bundle builds and full swaps, and the
+    ``reloads_ok`` / ``reloads_failed`` / ``reloads_rejected`` /
+    ``queries_drained`` / ``epochs_retired`` counters account for every
+    swap outcome (see :class:`repro.service.store.StoreManager`).
+    """
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
         self.latency: Dict[str, LatencyHistogram] = {}
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name``."""
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its current value (last write wins)."""
+        self.gauges[name] = value
 
     def observe(self, op: str, seconds: float) -> None:
         """Record a latency sample for operation ``op``."""
@@ -110,6 +123,7 @@ class ServiceMetrics:
         """Everything as plain JSON-serialisable data."""
         return {
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
             "latency": {
                 op: hist.snapshot() for op, hist in sorted(self.latency.items())
             },

@@ -9,7 +9,10 @@ Every message — request or response — is one frame::
 
 Requests are ``{"id": <int>, "op": <str>, "args": {...}}``; responses are
 ``{"id": <int>, "ok": true, "result": {...}}`` or
-``{"id": <int>, "ok": false, "error": {"code": <str>, "message": <str>}}``.
+``{"id": <int>, "ok": false, "error": {"code": <str>, "message": <str>}}``,
+both optionally carrying ``"epoch": <int>`` — the serving generation of
+the store that produced the answer (see ``StoreManager``); it increments
+by one on every successful hot reload.
 The server answers each connection's requests **in request order**, so a
 blocking client can match responses positionally; the pipelined asyncio
 client matches on ``id`` anyway.
@@ -45,11 +48,24 @@ OVERLOAD = "overload"
 TIMEOUT = "timeout"
 #: The server is draining for shutdown and accepts no new work.
 SHUTTING_DOWN = "shutting_down"
+#: A hot reload could not be applied; the old epoch keeps serving.
+RELOAD_FAILED = "reload_failed"
+#: A reload arrived while another bundle build was in flight.
+RELOAD_IN_PROGRESS = "reload_in_progress"
 #: Handler raised; the failure is logged server-side.
 INTERNAL = "internal"
 
 ERROR_CODES = frozenset(
-    {BAD_REQUEST, NOT_FOUND, OVERLOAD, TIMEOUT, SHUTTING_DOWN, INTERNAL}
+    {
+        BAD_REQUEST,
+        NOT_FOUND,
+        OVERLOAD,
+        TIMEOUT,
+        SHUTTING_DOWN,
+        RELOAD_FAILED,
+        RELOAD_IN_PROGRESS,
+        INTERNAL,
+    }
 )
 
 #: Error codes a client may transparently retry (with backoff).
@@ -88,14 +104,28 @@ def request(request_id: int, op: str, args: Optional[Dict[str, Any]] = None) -> 
     return {"id": request_id, "op": op, "args": args or {}}
 
 
-def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
-    """Build a success response."""
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(
+    request_id: Any, result: Dict[str, Any], epoch: Optional[int] = None
+) -> Dict[str, Any]:
+    """Build a success response (``epoch`` stamps the serving generation)."""
+    response = {"id": request_id, "ok": True, "result": result}
+    if epoch is not None:
+        response["epoch"] = epoch
+    return response
 
 
-def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+def error_response(
+    request_id: Any, code: str, message: str, epoch: Optional[int] = None
+) -> Dict[str, Any]:
     """Build an error response with one of :data:`ERROR_CODES`."""
-    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+    response = {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if epoch is not None:
+        response["epoch"] = epoch
+    return response
 
 
 # -- asyncio stream helpers ------------------------------------------------

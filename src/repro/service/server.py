@@ -23,6 +23,19 @@ Architecture (one event loop, no threads)::
 * **Graceful shutdown** — ``stop()`` closes the listener, stops reading
   from established connections, lets the dispatcher finish everything
   already queued, writes those responses, then closes connections.
+* **Hot re-partitioning** — a ``reload`` request is intercepted at
+  admission and runs as its own task, bypassing the data-plane queue
+  (whose old-epoch leases its drain barrier waits on): the replacement
+  :class:`PartitionStore` is built in an executor thread while the
+  dispatcher keeps serving the old epoch, then the
+  :class:`~repro.service.store.StoreManager` flips it in atomically.
+  Every *other* request is pinned to the live ``(store, epoch)`` at
+  admission time (when its frame is read), so requests in flight across
+  a flip keep reading the store they started on; the old store is only
+  released once those leases drain.  Exactly one build runs at a time —
+  a second ``reload`` gets a ``reload_in_progress`` error, and a corrupt
+  or insane bundle gets ``reload_failed`` while the old epoch keeps
+  serving.
 
 Responses on one connection are written in request order (clients may
 pipeline; the ``id`` field also supports out-of-order matching if that
@@ -39,7 +52,12 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
 from repro.service import protocol
 from repro.service.handler import ServiceHandler
 from repro.service.metrics import ServiceMetrics
-from repro.service.store import PartitionStore
+from repro.service.store import (
+    PartitionStore,
+    ReloadError,
+    ReloadInProgress,
+    StoreManager,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -54,14 +72,21 @@ _DEFAULT_HOST = "127.0.0.1"
 
 
 class _Pending:
-    """One enqueued request: payload + future + arrival timestamp."""
+    """One enqueued request: payload + future + arrival time + epoch lease."""
 
-    __slots__ = ("request", "future", "arrived")
+    __slots__ = ("request", "future", "arrived", "lease")
 
-    def __init__(self, request: Dict[str, Any], future: "asyncio.Future", arrived: float) -> None:
+    def __init__(
+        self,
+        request: Dict[str, Any],
+        future: "asyncio.Future",
+        arrived: float,
+        lease: Optional[Tuple[PartitionStore, int]] = None,
+    ) -> None:
         self.request = request
         self.future = future
         self.arrived = arrived
+        self.lease = lease
 
 
 class PartitionServer:
@@ -69,7 +94,7 @@ class PartitionServer:
 
     def __init__(
         self,
-        store: Optional[PartitionStore] = None,
+        store: Optional[Union[PartitionStore, StoreManager]] = None,
         host: str = _DEFAULT_HOST,
         port: int = 0,
         *,
@@ -79,18 +104,30 @@ class PartitionServer:
         request_timeout: float = 5.0,
         metrics: Optional[ServiceMetrics] = None,
         batch_handler: Optional[BatchHandler] = None,
+        handler: Optional[ServiceHandler] = None,
+        allow_reload: bool = True,
     ) -> None:
-        if store is None and batch_handler is None:
-            raise ValueError("need a store or an explicit batch_handler")
+        if store is None and batch_handler is None and handler is None:
+            raise ValueError("need a store, a handler, or an explicit batch_handler")
         self.host = host
         self.port = port
         self.max_queue = max_queue
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.request_timeout = request_timeout
+        self.allow_reload = allow_reload
+        if metrics is None and handler is not None:
+            metrics = handler.metrics  # share the injected handler's metrics
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: The epoch/lease authority, when serving a real store (None with
+        #: a custom ``batch_handler``: no epochs, no pinning, no reload).
+        self.manager: Optional[StoreManager] = None
+        self._handler: Optional[ServiceHandler] = None
         if batch_handler is None:
-            handler = ServiceHandler(store, self.metrics)
+            if handler is None:
+                handler = ServiceHandler(store, self.metrics)
+            self._handler = handler
+            self.manager = handler.manager
             batch_handler = handler.execute_batch
         self._batch_handler = batch_handler
 
@@ -99,6 +136,7 @@ class PartitionServer:
         self._dispatcher: Optional[asyncio.Task] = None
         self._conn_tasks: set = set()
         self._reader_tasks: set = set()
+        self._admin_tasks: set = set()
         self._closing = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -153,6 +191,9 @@ class PartitionServer:
             await self._dispatcher
         except asyncio.CancelledError:
             pass
+        # Let any in-flight reload finish so its response gets written.
+        if self._admin_tasks:
+            await asyncio.gather(*list(self._admin_tasks), return_exceptions=True)
         # Writers exit once their response queues (fed before the readers
         # stopped) are flushed.
         if self._conn_tasks:
@@ -192,35 +233,124 @@ class PartitionServer:
     async def _run_batch(self, batch: List[_Pending]) -> None:
         # A request whose future is already done timed out while queued —
         # skip the work, its error was already written.
-        live = [p for p in batch if not p.future.done()]
+        queries = [p for p in batch if not p.future.done()]
         try:
-            if live:
-                responses = self._batch_handler([p.request for p in live])
+            if queries:
+                if self._handler is not None:
+                    responses = self._handler.execute_batch(
+                        [p.request for p in queries],
+                        leases=[p.lease for p in queries],
+                    )
+                else:
+                    responses = self._batch_handler([p.request for p in queries])
                 if inspect.isawaitable(responses):
                     responses = await responses
-                if len(responses) != len(live):  # defensive: a broken handler
+                if len(responses) != len(queries):  # defensive: a broken handler
                     raise RuntimeError(
                         f"handler returned {len(responses)} responses "
-                        f"for {len(live)} requests"
+                        f"for {len(queries)} requests"
                     )
-                for pending, response in zip(live, responses):
+                for pending, response in zip(queries, responses):
                     if not pending.future.done():
                         pending.future.set_result(response)
         except Exception as exc:  # noqa: BLE001 — keep serving after a bad batch
             logger.exception("batch handler failed")
-            for pending in live:
+            for pending in queries:
                 if not pending.future.done():
                     pending.future.set_result(
                         protocol.error_response(
                             pending.request.get("id"),
                             protocol.INTERNAL,
                             f"{type(exc).__name__}: {exc}",
+                            epoch=self._live_epoch(),
                         )
                     )
         finally:
             assert self._queue is not None
-            for _ in batch:
+            for pending in batch:
+                self._release_lease(pending)
                 self._queue.task_done()
+
+    # -- hot reload --------------------------------------------------------
+
+    def _live_epoch(self) -> Optional[int]:
+        return self.manager.epoch if self.manager is not None else None
+
+    def _release_lease(self, pending: _Pending) -> None:
+        if pending.lease is not None and self.manager is not None:
+            self.manager.release(pending.lease[1])
+            pending.lease = None
+
+    def _spawn_reload(self, pending: _Pending) -> None:
+        task = asyncio.create_task(
+            self._reload_request(pending), name="repro-serve-reload"
+        )
+        self._admin_tasks.add(task)
+        task.add_done_callback(self._admin_tasks.discard)
+
+    async def _reload_request(self, pending: _Pending) -> None:
+        """Admission + execution of one ``reload`` admin request."""
+        assert self.manager is not None
+        request_id = pending.request.get("id")
+        args = pending.request.get("args") or {}
+        directory = args.get("directory") if isinstance(args, dict) else None
+        if not self.allow_reload:
+            self.metrics.inc("requests_bad")
+            response = protocol.error_response(
+                request_id,
+                protocol.BAD_REQUEST,
+                "hot reload is disabled on this server",
+                epoch=self.manager.epoch,
+            )
+        elif not isinstance(directory, str) or not directory:
+            self.metrics.inc("requests_bad")
+            response = protocol.error_response(
+                request_id,
+                protocol.BAD_REQUEST,
+                f"argument 'directory' must be a non-empty string, got {directory!r}",
+                epoch=self.manager.epoch,
+            )
+        else:
+            try:
+                info = await self.manager.reload(
+                    directory, verify=bool(args.get("verify", True))
+                )
+            except ReloadInProgress as exc:
+                response = protocol.error_response(
+                    request_id,
+                    protocol.RELOAD_IN_PROGRESS,
+                    str(exc),
+                    epoch=self.manager.epoch,
+                )
+            except ReloadError as exc:
+                response = protocol.error_response(
+                    request_id,
+                    protocol.RELOAD_FAILED,
+                    str(exc),
+                    epoch=self.manager.epoch,
+                )
+            except Exception as exc:  # noqa: BLE001 — fault barrier
+                logger.exception("reload failed unexpectedly")
+                response = protocol.error_response(
+                    request_id,
+                    protocol.INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                    epoch=self.manager.epoch,
+                )
+            else:
+                self.metrics.inc("requests_ok")
+                self.metrics.inc("op_reload")
+                logger.info(
+                    "hot reload: epoch %s -> %s (drained %s in-flight)",
+                    info["previous_epoch"],
+                    info["epoch"],
+                    info["drained"],
+                )
+                response = protocol.ok_response(
+                    request_id, info, epoch=info["epoch"]
+                )
+        if not pending.future.done():
+            pending.future.set_result(response)
 
     # -- connections -------------------------------------------------------
 
@@ -266,7 +396,10 @@ class PartitionServer:
                     await responses.put(
                         _done(
                             protocol.error_response(
-                                None, protocol.BAD_REQUEST, str(exc)
+                                None,
+                                protocol.BAD_REQUEST,
+                                str(exc),
+                                epoch=self._live_epoch(),
                             )
                         )
                     )
@@ -282,15 +415,32 @@ class PartitionServer:
                                 request.get("id"),
                                 protocol.SHUTTING_DOWN,
                                 "server is draining",
+                                epoch=self._live_epoch(),
                             )
                         )
                     )
                     continue
-                pending = _Pending(request, loop.create_future(), loop.time())
+                if self.manager is not None and request.get("op") == "reload":
+                    # Admin plane: a reload runs as its own task and
+                    # bypasses the request queue entirely — it must not
+                    # wait behind data-plane requests whose old-epoch
+                    # leases its own drain barrier is about to wait on.
+                    pending = _Pending(request, loop.create_future(), loop.time())
+                    self._spawn_reload(pending)
+                    await responses.put(pending)
+                    continue
+                # Pin the request to the live epoch *now*: if a hot swap
+                # lands while it waits in the queue, it still reads the
+                # store it was admitted under.
+                lease = None
+                if self.manager is not None:
+                    lease = self.manager.acquire()
+                pending = _Pending(request, loop.create_future(), loop.time(), lease)
                 assert self._queue is not None
                 try:
                     self._queue.put_nowait(pending)
                 except asyncio.QueueFull:
+                    self._release_lease(pending)
                     self.metrics.inc("requests_overload")
                     await responses.put(
                         _done(
@@ -298,6 +448,7 @@ class PartitionServer:
                                 request.get("id"),
                                 protocol.OVERLOAD,
                                 f"request queue full ({self.max_queue})",
+                                epoch=self._live_epoch(),
                             )
                         )
                     )
@@ -333,6 +484,7 @@ class PartitionServer:
                         item.request.get("id"),
                         protocol.TIMEOUT,
                         f"no result within {self.request_timeout:g}s",
+                        epoch=item.lease[1] if item.lease else self._live_epoch(),
                     )
                 else:
                     op = item.request.get("op")

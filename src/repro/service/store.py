@@ -14,10 +14,19 @@ directory) and then answers routing queries in O(degree) or O(1):
 
 The store is immutable after construction and safe to share across the
 asyncio server's tasks (all reads, no locks needed).
+
+Hot re-partitioning is layered on top by :class:`StoreManager`: it owns
+the *live* store, stamps every store with a monotonically increasing
+**epoch** id, hands out leases (``acquire``/``release`` refcounts) so
+requests stay pinned to the store they started on, and swaps in a new
+bundle atomically — the old epoch is retired, drains to zero leases, and
+only then is its store released.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -35,9 +44,13 @@ class PartitionStore:
         self,
         partition: EdgePartition,
         metadata: Optional[Dict[str, object]] = None,
+        epoch: int = 0,
     ) -> None:
         self._partition = partition
         self.metadata: Dict[str, object] = dict(metadata or {})
+        #: Deployment generation; 0 until a :class:`StoreManager` adopts
+        #: the store and stamps it with its serving epoch.
+        self.epoch = epoch
         self._table = ReplicationTable(partition)
         # Per-partition adjacency: _adj[k][v] = neighbours of v inside P_k.
         self._adj: List[Dict[int, Set[int]]] = []
@@ -151,6 +164,7 @@ class PartitionStore:
     def stats(self) -> Dict[str, object]:
         """Global summary used by the ``stats`` query."""
         return {
+            "epoch": self.epoch,
             "num_partitions": self.num_partitions,
             "num_edges": self.num_edges,
             "num_vertices": self.num_vertices,
@@ -161,6 +175,285 @@ class PartitionStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"PartitionStore(p={self.num_partitions}, "
+            f"PartitionStore(epoch={self.epoch}, p={self.num_partitions}, "
             f"edges={self.num_edges}, vertices={self.num_vertices})"
+        )
+
+
+# -- hot re-partitioning ----------------------------------------------------
+
+
+class ReloadError(RuntimeError):
+    """A hot reload could not be applied; the live epoch is unchanged."""
+
+
+class ReloadInProgress(ReloadError):
+    """A reload was requested while another build is still running."""
+
+
+class BundleValidationError(ReloadError):
+    """The candidate store failed sanity checks against the live epoch."""
+
+
+class StoreManager:
+    """Owns the live :class:`PartitionStore` and swaps replacements in.
+
+    The manager is the concurrency boundary for hot re-partitioning:
+
+    * ``acquire()`` hands out ``(store, epoch)`` leases; a request pinned
+      to an epoch keeps reading the store it started on even if a swap
+      lands mid-flight.  ``release(epoch)`` returns the lease.
+    * ``reload()`` builds a new store from a ``save_partition`` bundle
+      **off the event loop** (executor thread), validates it against the
+      live epoch, flips it in atomically, then waits for the retired
+      epoch to drain (lease count → 0) before the old store is dropped.
+    * Exactly one build runs at a time; a second ``reload`` is rejected
+      with :class:`ReloadInProgress` (the reject-during-build policy).
+
+    Lease bookkeeping is plain integers: like the rest of the service it
+    is single-event-loop code (``reload_sync`` exists for in-process,
+    single-threaded use such as the bench driver and tests).
+    """
+
+    def __init__(
+        self,
+        store: PartitionStore,
+        *,
+        metrics=None,
+        allow_partition_count_change: bool = False,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.metrics = metrics
+        self.allow_partition_count_change = allow_partition_count_change
+        self.drain_timeout = drain_timeout
+        if store.epoch == 0:
+            store.epoch = 1
+        self._store = store
+        self._leases: Dict[int, int] = {}
+        #: Retired epochs still holding leases: epoch -> (store, event|None).
+        self._retired: Dict[int, List[object]] = {}
+        self._reloading = False
+        self._set_gauge("epoch", store.epoch)
+
+    # -- live view ---------------------------------------------------------
+
+    @property
+    def store(self) -> PartitionStore:
+        """The store serving the live epoch."""
+        return self._store
+
+    @property
+    def epoch(self) -> int:
+        """The live epoch id (increments by one per successful swap)."""
+        return self._store.epoch
+
+    @property
+    def reloading(self) -> bool:
+        """Whether a build is currently in flight."""
+        return self._reloading
+
+    # -- leases ------------------------------------------------------------
+
+    def acquire(self) -> Tuple[PartitionStore, int]:
+        """Pin the live store: returns ``(store, epoch)``, refcount +1."""
+        store = self._store
+        epoch = store.epoch
+        self._leases[epoch] = self._leases.get(epoch, 0) + 1
+        return store, epoch
+
+    def release(self, epoch: int) -> None:
+        """Return a lease taken with :meth:`acquire`."""
+        count = self._leases.get(epoch, 0) - 1
+        if count < 0:  # pragma: no cover - a double release is a bug
+            raise RuntimeError(f"lease underflow for epoch {epoch}")
+        if count:
+            self._leases[epoch] = count
+            return
+        self._leases.pop(epoch, None)
+        retired = self._retired.pop(epoch, None)
+        if retired is not None:
+            _store, event = retired
+            if self.metrics is not None:
+                self.metrics.inc("epochs_retired")
+            if event is not None:
+                event.set()
+
+    def active_leases(self, epoch: Optional[int] = None) -> int:
+        """Outstanding leases for ``epoch`` (or across all epochs)."""
+        if epoch is not None:
+            return self._leases.get(epoch, 0)
+        return sum(self._leases.values())
+
+    def retired_epochs(self) -> Tuple[int, ...]:
+        """Epochs that were swapped out but still hold leases."""
+        return tuple(sorted(self._retired))
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, candidate: PartitionStore) -> None:
+        """Sanity-check a candidate store against the live epoch.
+
+        Raises :class:`BundleValidationError` on an empty store, a
+        partition-count change (unless allowed), or a nonsensical
+        replication factor — the cheap invariants that catch a wrong or
+        torn bundle before it starts serving.
+        """
+        if candidate.num_partitions < 1:
+            raise BundleValidationError("candidate has no partitions")
+        if candidate.num_edges < 1:
+            raise BundleValidationError("candidate holds no edges")
+        live = self._store
+        if (
+            not self.allow_partition_count_change
+            and candidate.num_partitions != live.num_partitions
+        ):
+            raise BundleValidationError(
+                f"partition count changed {live.num_partitions} -> "
+                f"{candidate.num_partitions}; pass "
+                "allow_partition_count_change=True to permit"
+            )
+        rf = candidate.replication_factor()
+        if not rf >= 1.0:  # also catches NaN
+            raise BundleValidationError(f"replication factor {rf!r} is invalid")
+
+    # -- swapping ----------------------------------------------------------
+
+    def install(self, candidate: PartitionStore) -> Dict[str, object]:
+        """Validate and atomically flip ``candidate`` in as the new epoch.
+
+        Synchronous and atomic from the event loop's point of view: the
+        epoch stamp, the swap, and the retire of the old epoch happen
+        with no awaits in between.  Returns a summary dict; the retired
+        store is dropped as soon as its lease count reaches zero.
+        """
+        self.validate(candidate)
+        old = self._store
+        candidate.epoch = old.epoch + 1
+        self._store = candidate
+        pinned = self._leases.get(old.epoch, 0)
+        if pinned:
+            try:
+                asyncio.get_running_loop()
+                event: Optional[asyncio.Event] = asyncio.Event()
+            except RuntimeError:  # sync caller: freed on last release, no wait
+                event = None
+            self._retired[old.epoch] = [old, event]
+        if self.metrics is not None:
+            self.metrics.inc("reloads_ok")
+            self._set_gauge("epoch", candidate.epoch)
+        return {
+            "epoch": candidate.epoch,
+            "previous_epoch": old.epoch,
+            "pinned_to_previous": pinned,
+            "num_partitions": candidate.num_partitions,
+            "num_edges": candidate.num_edges,
+            "replication_factor": round(candidate.replication_factor(), 6),
+        }
+
+    def _build(self, directory: PathLike, verify: bool) -> PartitionStore:
+        return PartitionStore.open(directory, verify=verify)
+
+    async def reload(
+        self, directory: PathLike, *, verify: bool = True
+    ) -> Dict[str, object]:
+        """Hot-swap the bundle at ``directory`` in; returns a summary.
+
+        The store is built in an executor thread so the event loop keeps
+        serving the old epoch during the build.  After the atomic flip
+        the call waits (up to ``drain_timeout``) for every request pinned
+        to the old epoch to finish: ``drained`` in the result is the
+        number of in-flight requests that were still reading the old
+        store when the flip landed.
+        """
+        if self._reloading:
+            self._count_failure("reloads_rejected")
+            raise ReloadInProgress("another reload is already building")
+        self._reloading = True
+        started = time.perf_counter()
+        try:
+            loop = asyncio.get_running_loop()
+            try:
+                candidate = await loop.run_in_executor(
+                    None, self._build, directory, verify
+                )
+            except Exception as exc:  # noqa: BLE001 — any corrupt bundle
+                self._count_failure("reloads_failed")
+                raise ReloadError(f"cannot open bundle {directory}: {exc}") from exc
+            try:
+                info = self.install(candidate)
+            except BundleValidationError:
+                self._count_failure("reloads_failed")
+                raise
+            build_seconds = time.perf_counter() - started
+            drained = int(info["pinned_to_previous"])
+            retired = self._retired.get(info["previous_epoch"])
+            if retired is not None and retired[1] is not None:
+                try:
+                    await asyncio.wait_for(
+                        retired[1].wait(), self.drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    info["drain_timed_out"] = True
+            info["drained"] = drained
+            info["build_seconds"] = round(build_seconds, 6)
+            if self.metrics is not None:
+                self.metrics.observe("reload_build", build_seconds)
+                self.metrics.observe(
+                    "reload_swap", time.perf_counter() - started
+                )
+                self.metrics.inc("queries_drained", drained)
+            return info
+        finally:
+            self._reloading = False
+
+    def reload_sync(
+        self, directory: PathLike, *, verify: bool = True
+    ) -> Dict[str, object]:
+        """Blocking counterpart of :meth:`reload` for in-process use.
+
+        Builds in the calling thread; with single-threaded callers there
+        are no leases pinned across the call, so no drain wait is needed
+        (a still-pinned old epoch is simply retired and freed on its last
+        ``release``).
+        """
+        if self._reloading:
+            self._count_failure("reloads_rejected")
+            raise ReloadInProgress("another reload is already building")
+        self._reloading = True
+        started = time.perf_counter()
+        try:
+            try:
+                candidate = self._build(directory, verify)
+            except Exception as exc:  # noqa: BLE001 — any corrupt bundle
+                self._count_failure("reloads_failed")
+                raise ReloadError(f"cannot open bundle {directory}: {exc}") from exc
+            try:
+                info = self.install(candidate)
+            except BundleValidationError:
+                self._count_failure("reloads_failed")
+                raise
+            build_seconds = time.perf_counter() - started
+            info["drained"] = int(info["pinned_to_previous"])
+            info["build_seconds"] = round(build_seconds, 6)
+            if self.metrics is not None:
+                self.metrics.observe("reload_build", build_seconds)
+                self.metrics.inc("queries_drained", info["drained"])
+            return info
+        finally:
+            self._reloading = False
+
+    # -- metrics glue ------------------------------------------------------
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None and hasattr(self.metrics, "set_gauge"):
+            self.metrics.set_gauge(name, value)
+
+    def _count_failure(self, counter: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StoreManager(epoch={self.epoch}, leases={self.active_leases()}, "
+            f"retired={list(self.retired_epochs())})"
         )

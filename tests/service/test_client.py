@@ -127,3 +127,115 @@ class TestSyncClient:
         client.close()
         assert client.call("ping")["pong"] is True  # transparent reconnect
         client.close()
+
+
+class TestReconnectOnReset:
+    """A dead connection (server restart, reset racing a hot reload) is a
+    retryable failure: the client must tear it down and reconnect with
+    the normal backoff policy instead of stalling on the old transport.
+    """
+
+    def test_async_client_survives_server_restart(self, small_social):
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+
+        async def go():
+            first = PartitionServer(store)
+            host, port = await first.start()
+            client = ServiceClient(
+                host, port, max_retries=6, backoff_base=0.05, call_timeout=5.0
+            )
+            try:
+                assert await client.ping()
+                # Kill the server: the established connection is now dead.
+                await first.stop()
+                second = PartitionServer(store, host=host, port=port)
+                await second.start()
+                try:
+                    # The regression: without reconnect-on-reset the client
+                    # keeps writing into the dead transport and stalls for
+                    # the full call_timeout instead of retrying.
+                    start = time.perf_counter()
+                    assert await client.ping()
+                    assert time.perf_counter() - start < 4.0
+                    v = next(iter(small_social.vertices()))
+                    result = await client.neighbors(v)
+                    assert set(result["neighbors"]) == small_social.neighbors(v)
+                finally:
+                    await second.stop()
+            finally:
+                await client.close()
+
+        asyncio.run(go())
+
+    def test_async_client_retries_while_server_is_down(self, small_social):
+        """A request issued while the server is down succeeds once it is back."""
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+
+        async def go():
+            first = PartitionServer(store)
+            host, port = await first.start()
+            client = ServiceClient(
+                host, port, max_retries=8, backoff_base=0.05, call_timeout=5.0
+            )
+            try:
+                assert await client.ping()
+                await first.stop()
+
+                async def restart_later():
+                    await asyncio.sleep(0.3)
+                    server = PartitionServer(store, host=host, port=port)
+                    await server.start()
+                    return server
+
+                restart = asyncio.create_task(restart_later())
+                # Issued into the gap: connection refused at first, then the
+                # backoff loop reconnects against the restarted server.
+                assert await client.ping()
+                second = await restart
+                await second.stop()
+            finally:
+                await client.close()
+
+        asyncio.run(go())
+
+    def test_sync_client_survives_server_restart(self, small_social):
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+
+        def run_server_thread(server, loop):
+            started = threading.Event()
+
+            def run():
+                asyncio.set_event_loop(loop)
+                loop.run_until_complete(server.start())
+                started.set()
+                loop.run_forever()
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            assert started.wait(5.0)
+            return thread
+
+        def stop_server_thread(server, loop, thread):
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(5.0)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(5.0)
+            loop.close()
+
+        loop1 = asyncio.new_event_loop()
+        server1 = PartitionServer(store)
+        thread1 = run_server_thread(server1, loop1)
+        host, port = server1.address
+        client = SyncServiceClient(host, port, max_retries=6, backoff_base=0.05)
+        try:
+            assert client.call("ping")["pong"] is True
+            stop_server_thread(server1, loop1, thread1)
+
+            loop2 = asyncio.new_event_loop()
+            server2 = PartitionServer(store, host=host, port=port)
+            thread2 = run_server_thread(server2, loop2)
+            try:
+                assert client.call("ping")["pong"] is True
+            finally:
+                stop_server_thread(server2, loop2, thread2)
+        finally:
+            client.close()

@@ -1,10 +1,15 @@
-"""Wire protocol: framing, limits, and the sync/async helper parity."""
+"""Wire protocol: framing, limits, the sync/async helper parity, and a
+fuzz pass that feeds hostile byte streams to a *live* server.
+"""
 
 import asyncio
+import json
 import socket
 import struct
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.service import protocol
 
@@ -129,3 +134,175 @@ class TestSyncSocketHelpers:
                 protocol.recv_frame_sync(b)
         finally:
             b.close()
+
+
+# -- fuzzing a live server -------------------------------------------------
+
+
+@pytest.fixture
+def live_server(small_social):
+    """A started server + a helper that throws raw bytes at it.
+
+    The helper returns the frames the server answered with before closing
+    the connection (possibly none), with a hard timeout so a hung server
+    fails the test instead of hanging it.
+    """
+    from repro.core.tlp import TLPPartitioner
+    from repro.service.server import PartitionServer
+    from repro.service.store import PartitionStore
+
+    store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+    return PartitionServer(store, request_timeout=5.0)
+
+
+async def _send_raw(address, payload: bytes, close_after: bool = True):
+    """Write raw bytes, read whatever comes back until EOF or timeout."""
+    reader, writer = await asyncio.open_connection(*address)
+    responses = []
+    try:
+        writer.write(payload)
+        await writer.drain()
+        if close_after:
+            writer.write_eof()
+        while True:
+            try:
+                frame = await asyncio.wait_for(protocol.read_frame(reader), 3.0)
+            except (protocol.ProtocolError, asyncio.TimeoutError, ConnectionError):
+                break
+            if frame is None:
+                break
+            responses.append(frame)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return responses
+
+
+async def _server_still_healthy(server) -> bool:
+    """A fresh connection gets a real answer after the abuse."""
+    reader, writer = await asyncio.open_connection(*server.address)
+    try:
+        await protocol.write_frame(writer, protocol.request(99, "ping"))
+        response = await asyncio.wait_for(protocol.read_frame(reader), 3.0)
+        return bool(response and response.get("ok"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestServerFuzz:
+    """Hostile byte streams must yield clean error responses (or a clean
+    close) — never an unhandled exception in a server task or a hung
+    client waiting on a frame that will never come.
+    """
+
+    def test_truncated_length_prefix(self, live_server):
+        async def go():
+            async with live_server as server:
+                responses = await _send_raw(server.address, b"\x00\x02")
+                # Closed mid-header: one bad_request frame, then dropped.
+                assert len(responses) == 1
+                assert responses[0]["error"]["code"] == protocol.BAD_REQUEST
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+    def test_truncated_body(self, live_server):
+        async def go():
+            async with live_server as server:
+                frame = protocol.encode_frame(protocol.request(1, "ping"))
+                responses = await _send_raw(server.address, frame[:-3])
+                assert len(responses) == 1
+                assert responses[0]["error"]["code"] == protocol.BAD_REQUEST
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+    def test_oversized_declared_length(self, live_server):
+        async def go():
+            async with live_server as server:
+                hostile = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1) + b"x"
+                responses = await _send_raw(server.address, hostile)
+                assert len(responses) == 1
+                assert responses[0]["ok"] is False
+                assert responses[0]["error"]["code"] == protocol.BAD_REQUEST
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+    def test_non_utf8_payload(self, live_server):
+        async def go():
+            async with live_server as server:
+                body = b"\xff\xfe\x00\x01 definitely not json"
+                frame = struct.pack(">I", len(body)) + body
+                responses = await _send_raw(server.address, frame)
+                assert len(responses) == 1
+                assert responses[0]["error"]["code"] == protocol.BAD_REQUEST
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+    def test_non_object_json_payload(self, live_server):
+        async def go():
+            async with live_server as server:
+                body = json.dumps([1, 2, 3]).encode()
+                frame = struct.pack(">I", len(body)) + body
+                responses = await _send_raw(server.address, frame)
+                assert len(responses) == 1
+                assert responses[0]["error"]["code"] == protocol.BAD_REQUEST
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+    def test_unknown_op_keeps_connection_alive(self, live_server):
+        async def go():
+            async with live_server as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                try:
+                    await protocol.write_frame(
+                        writer, protocol.request(1, "explode")
+                    )
+                    response = await asyncio.wait_for(
+                        protocol.read_frame(reader), 3.0
+                    )
+                    assert response["error"]["code"] == protocol.BAD_REQUEST
+                    # A malformed *request* (valid frame) is survivable:
+                    # the same connection still serves.
+                    await protocol.write_frame(writer, protocol.request(2, "ping"))
+                    response = await asyncio.wait_for(
+                        protocol.read_frame(reader), 3.0
+                    )
+                    assert response["ok"] is True
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+
+        asyncio.run(go())
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=80))
+    def test_random_bytes_never_hang_or_crash(self, payload):
+        """Pure fuzz: arbitrary bytes get error frames or a clean close."""
+        from repro.service.server import PartitionServer
+
+        def echo_handler(requests):
+            return [protocol.ok_response(r.get("id"), {"ok": 1}) for r in requests]
+
+        async def go():
+            async with PartitionServer(batch_handler=echo_handler) as server:
+                responses = await _send_raw(server.address, payload)
+                for r in responses:
+                    # Every answered frame is a well-formed response.
+                    assert isinstance(r, dict) and "ok" in r
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
