@@ -77,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--detail", action="store_true", help="print per-partition diagnostics"
     )
+    parser.add_argument(
+        "--no-sidecar",
+        action="store_true",
+        help="with --save-dir: skip the binary CSR sidecar (text-only bundle)",
+    )
     return parser
 
 
@@ -130,6 +135,13 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip manifest checksum checks"
     )
     parser.add_argument(
+        "--store-backend",
+        choices=("auto", "csr", "dict"),
+        default="auto",
+        help="adjacency layout: memory-mapped CSR sidecar (csr), legacy "
+        "dict-of-sets (dict), or csr-when-available (auto, the default)",
+    )
+    parser.add_argument(
         "--no-hot-reload",
         action="store_true",
         help="disable the reload admin op, SIGHUP, and --watch",
@@ -153,12 +165,17 @@ def serve_main(argv: List[str]) -> int:
 
     args = _build_serve_parser().parse_args(argv)
     try:
-        store = PartitionStore.open(args.directory, verify=not args.no_verify)
+        store = PartitionStore.open(
+            args.directory,
+            verify=not args.no_verify,
+            backend=args.store_backend,
+        )
     except (OSError, ValueError) as exc:
         print(f"error: cannot open {args.directory}: {exc}", file=sys.stderr)
         return 2
     print(
-        f"opened {args.directory}: p={store.num_partitions}, "
+        f"opened {args.directory} [{store.backend} backend]: "
+        f"p={store.num_partitions}, "
         f"{store.num_edges} edges, {store.num_vertices} vertices, "
         f"RF={store.replication_factor():.4f}"
     )
@@ -169,7 +186,8 @@ def serve_main(argv: List[str]) -> int:
 
     async def run() -> None:
         server = PartitionServer(
-            store,
+            # Hot reloads reopen bundles with the same backend choice.
+            StoreManager(store, backend=args.store_backend),
             host=args.host,
             port=args.port,
             max_queue=args.max_queue,
@@ -278,7 +296,8 @@ def reload_main(argv: List[str]) -> int:
         )
         return 2
     print(
-        f"epoch {info['previous_epoch']} -> {info['epoch']}: "
+        f"epoch {info['previous_epoch']} -> {info['epoch']} "
+        f"[{info.get('backend', 'dict')} backend]: "
         f"p={info['num_partitions']}, {info['num_edges']} edges, "
         f"RF={info['replication_factor']}, drained {info['drained']} in-flight "
         f"(build {info['build_seconds']}s)"
@@ -343,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "input": str(args.input),
                 "replication_factor": report.replication_factor,
             },
+            sidecar=not args.no_sidecar,
         )
         print(f"wrote partition bundle with manifest {manifest}")
     return 0

@@ -309,8 +309,14 @@ def _run_serve(args) -> None:
             ],
         )
     )
+    open_times = report["store_open_seconds"]
     print(
-        f"\n{report['num_requests']} requests in {report['elapsed_s']:g}s "
+        f"\nstore open [{report['store_backend']} serving]: "
+        f"dict {open_times['dict']:g}s vs csr {open_times['csr']:g}s "
+        f"({open_times['speedup']:g}x); peak RSS {report['rss_max_kib']} KiB"
+    )
+    print(
+        f"{report['num_requests']} requests in {report['elapsed_s']:g}s "
         f"= {report['requests_per_s']} req/s; "
         f"verified {report['verified_neighbors']} neighbour fan-outs "
         f"and {report['verified_edges']} edge routes"

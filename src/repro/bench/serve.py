@@ -12,7 +12,11 @@ drives a mixed query workload through concurrent pipelined clients:
   edge → partition map;
 * client-side latency is recorded per operation and reported as exact
   p50/p95/p99 over all samples, alongside the server's own histogram
-  snapshot.
+  snapshot;
+* the bundle is opened through **both** store backends and timed —
+  ``store_open_seconds`` records the dict-of-sets rebuild next to the
+  memory-mapped CSR sidecar open (the hot-reload window under load), and
+  ``rss_max_kib`` records the process's peak resident set.
 
 Results land in ``BENCH_serve.json`` so serving-path regressions show up
 in review diffs, like ``BENCH_perf.json`` does for the partitioner.
@@ -31,7 +35,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.graph.graph import Graph
 
 #: Bump when the schema of ``BENCH_serve.json`` changes.
-SCHEMA_VERSION = 1
+#: v2: ``store_backend``, ``store_open_seconds`` and ``rss_max_kib``.
+SCHEMA_VERSION = 2
 
 DEFAULT_REPORT = "BENCH_serve.json"
 DEFAULT_DATASET = "G1"
@@ -75,6 +80,26 @@ def _build_workload(
                 ops.append((op, {}))
     rng.shuffle(ops)
     return ops[:num_requests] if len(ops) > num_requests else ops
+
+
+def _rss_max_kib() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return int(usage // 1024) if usage > 1 << 30 else int(usage)
+
+
+def _time_store_open(directory: str, backend: str) -> Tuple[float, object]:
+    """Open the bundle with ``backend``; returns (seconds, store)."""
+    from repro.service.store import PartitionStore
+
+    start = time.perf_counter()
+    store = PartitionStore.open(directory, backend=backend)
+    return time.perf_counter() - start, store
 
 
 def _quantile(sorted_samples: List[float], q: float) -> float:
@@ -170,14 +195,30 @@ def run_serve(
     edge_owner = dict(partition.edge_to_partition())
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
-        note("persisting partition bundle (gzip) and opening the store")
+        note("persisting partition bundle (gzip + CSR sidecar)")
         save_partition(
             partition,
             tmp,
             metadata={"algorithm": "TLP", "seed": seed, "dataset": dataset},
             compress=True,
         )
-        store = PartitionStore.open(tmp)
+        # Time both store backends over the same bundle: the dict path
+        # rebuilds Python sets per edge, the CSR path memory-maps the
+        # sidecar — this difference is the hot-reload window under load.
+        note("opening the store with the dict and csr backends")
+        dict_open_seconds, _ = _time_store_open(tmp, "dict")
+        csr_open_seconds, store = _time_store_open(tmp, "csr")
+        store_open = {
+            "dict": round(dict_open_seconds, 6),
+            "csr": round(csr_open_seconds, 6),
+            "speedup": round(dict_open_seconds / csr_open_seconds, 2)
+            if csr_open_seconds
+            else 0.0,
+        }
+        note(
+            f"store open: dict {store_open['dict']}s, csr {store_open['csr']}s "
+            f"({store_open['speedup']}x)"
+        )
 
         workload = _build_workload(graph, partition, num_requests, seed)
         note(f"driving {len(workload)} queries through {concurrency} clients")
@@ -227,6 +268,9 @@ def run_serve(
         "seed": seed,
         "vertices": graph.num_vertices,
         "edges": graph.num_edges,
+        "store_backend": stats.get("backend", "dict"),
+        "store_open_seconds": store_open,
+        "rss_max_kib": _rss_max_kib(),
         "replication_factor": stats["replication_factor"],
         "num_requests": total,
         "concurrency": concurrency,

@@ -95,6 +95,11 @@ def read_metis_graph(path: PathLike) -> Graph:
     n, m = int(header[0]), int(header[1])
     if len(header) > 2 and header[2] not in ("0", "00", "000"):
         raise ValueError(f"{path}: weighted METIS format {header[2]!r} not supported")
+    # Blank lines are kept above because an isolated vertex's adjacency
+    # line is legitimately empty — but trailing blank lines *beyond* the
+    # n declared vertices are just end-of-file newlines, not vertices.
+    while len(lines) - 1 > n and not lines[-1].strip():
+        lines.pop()
     if len(lines) - 1 != n:
         raise ValueError(f"{path}: header says {n} vertices, found {len(lines) - 1}")
     builder = GraphBuilder()

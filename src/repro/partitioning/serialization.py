@@ -16,6 +16,14 @@ Two durability properties matter because the serving layer
   of plain text; loading is transparent (the manifest records the file
   name, and the ``.gz`` suffix selects the gzip text reader).  Checksums
   are computed over the *edges*, so they are identical either way.
+
+Bundles also carry a binary **CSR sidecar** (``adjacency.csr``, see
+:mod:`repro.partitioning.csr_bundle`): the per-partition adjacency and
+replication tables pre-frozen into flat arrays, which the serving layer
+memory-maps instead of re-deriving dict-of-sets from the edge lists.  The
+edge-list files stay the canonical, human-readable source of truth — the
+sidecar is a derived acceleration structure, recorded (with its own
+checksum) in the manifest and ignored by older readers.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.graph.graph import Edge
 from repro.graph.io import open_text
+from repro.partitioning import csr_bundle
 from repro.partitioning.assignment import EdgePartition
 
 MANIFEST_NAME = "partition.json"
@@ -71,6 +80,7 @@ def save_partition(
     directory: PathLike,
     metadata: Optional[Dict[str, object]] = None,
     compress: bool = False,
+    sidecar: bool = True,
 ) -> Path:
     """Write ``partition`` under ``directory``; returns the manifest path.
 
@@ -78,6 +88,11 @@ def save_partition(
     are deterministic for equal partitions.  Every file lands atomically,
     the manifest last — a reader (or :class:`repro.service.store.
     PartitionStore`) that finds a manifest finds complete edge files.
+
+    ``sidecar=True`` (default) additionally freezes the partition into
+    the binary CSR sidecar the serving layer memory-maps
+    (:mod:`repro.partitioning.csr_bundle`); pass ``sidecar=False`` to
+    write a minimal, text-only bundle.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -111,6 +126,20 @@ def save_partition(
                 "checksum": _checksum(edges),
             }
         )
+    sidecar_path = directory / csr_bundle.SIDECAR_NAME
+    if sidecar:
+        csr = csr_bundle.build_partition_csr(partition)
+        _write_atomic(sidecar_path, lambda tmp: csr_bundle.write_sidecar(csr, tmp))
+        manifest["csr_sidecar"] = {
+            "file": csr_bundle.SIDECAR_NAME,
+            "version": csr_bundle.SIDECAR_VERSION,
+            "bytes": sidecar_path.stat().st_size,
+            "checksum": csr_bundle.sidecar_checksum(sidecar_path),
+        }
+    elif sidecar_path.exists():
+        # A stale sidecar from a previous save would not match the new
+        # edge files; drop it so the bundle stays unambiguous.
+        sidecar_path.unlink()
     manifest_path = directory / MANIFEST_NAME
     payload = json.dumps(manifest, indent=2)
     _write_atomic(manifest_path, lambda tmp: tmp.write_text(payload, encoding="utf-8"))
@@ -150,6 +179,65 @@ def load_partition(directory: PathLike, verify: bool = True) -> EdgePartition:
                 raise ValueError(f"{path.name}: checksum mismatch (corrupt file?)")
         parts.append(edges)
     return EdgePartition(parts)
+
+
+def has_sidecar(directory: PathLike) -> bool:
+    """Whether the bundle at ``directory`` carries a readable CSR sidecar."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        return False
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    entry = manifest.get("csr_sidecar")
+    return (
+        isinstance(entry, dict)
+        and (directory / str(entry.get("file", ""))).exists()
+    )
+
+
+def load_sidecar(
+    directory: PathLike, verify: bool = True, mmap: bool = True
+) -> "csr_bundle.PartitionCSR":
+    """Load the CSR sidecar of the bundle at ``directory``.
+
+    ``verify=True`` checks the manifest's recorded byte size and SHA-256
+    against the file before mapping it — a whole-file hash, but of one
+    binary file, which is still far cheaper than parsing the edge-list
+    text.  Raises ``FileNotFoundError`` if the bundle has no sidecar and
+    ``ValueError`` on any mismatch.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    entry = manifest.get("csr_sidecar")
+    if not isinstance(entry, dict):
+        raise FileNotFoundError(f"bundle {directory} has no CSR sidecar")
+    path = directory / str(entry["file"])
+    if not path.exists():
+        raise FileNotFoundError(f"manifest names missing sidecar {path}")
+    if verify:
+        size = path.stat().st_size
+        if size != entry.get("bytes"):
+            raise ValueError(
+                f"{path.name}: expected {entry.get('bytes')} bytes, found {size}"
+            )
+        checksum = csr_bundle.sidecar_checksum(path)
+        if checksum != entry.get("checksum"):
+            raise ValueError(f"{path.name}: checksum mismatch (corrupt sidecar?)")
+    csr = csr_bundle.read_sidecar(path, mmap=mmap)
+    if csr.num_partitions != manifest.get("num_partitions"):
+        raise ValueError(
+            f"{path.name}: sidecar has {csr.num_partitions} partitions, "
+            f"manifest says {manifest.get('num_partitions')}"
+        )
+    if csr.num_edges != manifest.get("num_edges"):
+        raise ValueError(
+            f"{path.name}: sidecar has {csr.num_edges} edges, "
+            f"manifest says {manifest.get('num_edges')}"
+        )
+    return csr
 
 
 def partition_metadata(directory: PathLike) -> Dict[str, object]:

@@ -18,6 +18,10 @@ op                      args                  result
 ``reload``              ``directory``         hot-swap a new bundle in (admin)
 ======================  ====================  =================================
 
+``stats`` and ``reload`` results carry the serving store's ``backend``
+(``"csr"`` for memory-mapped sidecar bundles, ``"dict"`` for the legacy
+layout) so operators can see which adjacency path answers queries.
+
 ``execute_batch`` coalesces duplicate ``(op, args)`` pairs inside one
 batch — under skewed access patterns (the norm for power-law graphs) hot
 vertices are looked up many times per batching window and computed once.
@@ -111,7 +115,7 @@ class ServiceHandler:
                 epoch=self.manager.epoch,
             )
         owned = lease is None
-        store, epoch = self.manager.acquire() if owned else lease
+        store, epoch = lease if lease is not None else self.manager.acquire()
         try:
             result = self._dispatch(op, args, store)
         except _BadArgs as exc:

@@ -14,8 +14,9 @@ server runs one loop); no locks.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 #: Bucket upper bounds in seconds: 10 per decade, 1 µs .. ~100 s.
 _BUCKET_BOUNDS: List[float] = [
@@ -49,14 +50,20 @@ class LatencyHistogram:
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile in seconds (0.0 when empty).
 
-        Returns the upper bound of the bucket holding the quantile rank,
-        clamped to the observed max so outliers do not inflate the tail.
+        Uses the **nearest-rank** definition: the value at rank
+        ``ceil(q * count)`` (1-based) of the sorted samples, which for a
+        bucketed histogram is the upper bound of the bucket holding that
+        rank, clamped to the observed max so outliers do not inflate the
+        tail.  ``q = 0.0`` returns the observed minimum (rank 0 names no
+        sample; the floor of the distribution is the honest answer).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
-        rank = q * self.count
+        if q == 0.0:
+            return self.min or 0.0
+        rank = math.ceil(q * self.count)  # 1-based, in [1, count]
         seen = 0
         for i, bucket in enumerate(self.counts):
             seen += bucket
@@ -73,8 +80,12 @@ class LatencyHistogram:
         """Mean latency in seconds (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
-        """Summary dict (times in milliseconds, as served by ``stats``)."""
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        """Summary dict (times in milliseconds, as served by ``stats``).
+
+        ``count`` is an exact integer; every other value is a float in
+        milliseconds.
+        """
         to_ms = 1e3
         return {
             "count": self.count,
@@ -109,8 +120,12 @@ class ServiceMetrics:
         self.counters[name] = self.counters.get(name, 0) + amount
 
     def set_gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to its current value (last write wins)."""
-        self.gauges[name] = value
+        """Set gauge ``name`` to its current value (last write wins).
+
+        Stored as ``float`` — integer-valued gauges like ``epoch`` are
+        widened on write so the ``gauges`` map stays uniformly typed.
+        """
+        self.gauges[name] = float(value)
 
     def observe(self, op: str, seconds: float) -> None:
         """Record a latency sample for operation ``op``."""

@@ -47,7 +47,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import logging
-from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.service import protocol
 from repro.service.handler import ServiceHandler
@@ -134,9 +134,9 @@ class PartitionServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
-        self._conn_tasks: set = set()
-        self._reader_tasks: set = set()
-        self._admin_tasks: set = set()
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self._reader_tasks: Set["asyncio.Task"] = set()
+        self._admin_tasks: Set["asyncio.Task"] = set()
         self._closing = False
 
     # -- lifecycle ---------------------------------------------------------

@@ -15,6 +15,21 @@ directory) and then answers routing queries in O(degree) or O(1):
 The store is immutable after construction and safe to share across the
 asyncio server's tasks (all reads, no locks needed).
 
+Two interchangeable backends answer the same queries bit-identically:
+
+* ``dict`` — :class:`PartitionStore` itself: per-partition dict-of-sets
+  adjacency plus a :class:`~repro.runtime.replication.ReplicationTable`,
+  rebuilt in Python from the edge lists on every open;
+* ``csr``  — :class:`CSRPartitionStore`: the flat-array form written by
+  ``save_partition`` as a binary sidecar
+  (:mod:`repro.partitioning.csr_bundle`), memory-mapped at open time, so
+  opening is O(1) Python objects instead of O(edges) — the difference is
+  what ``python -m repro.bench serve`` tracks as ``store_open_seconds``.
+
+:meth:`PartitionStore.open` picks the backend: ``"auto"`` (default) uses
+the sidecar when the bundle has one, ``"csr"`` requires it, ``"dict"``
+forces the legacy path.
+
 Hot re-partitioning is layered on top by :class:`StoreManager`: it owns
 the *live* store, stamps every store with a monotonically increasing
 **epoch** id, hands out leases (``acquire``/``release`` refcounts) so
@@ -28,17 +43,29 @@ from __future__ import annotations
 import asyncio
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from repro.graph.graph import Edge, normalize_edge
 from repro.partitioning.assignment import EdgePartition
 from repro.runtime.replication import ReplicationTable
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.partitioning.csr_bundle import PartitionCSR
+    from repro.service.metrics import ServiceMetrics
+
 PathLike = Union[str, Path]
+
+#: Accepted values for the ``backend=`` option of :meth:`PartitionStore.open`.
+BACKENDS = ("auto", "csr", "dict")
 
 
 class PartitionStore:
     """Precomputed routing tables over one edge partition."""
+
+    #: Which adjacency layout answers queries ("dict" or "csr").
+    backend = "dict"
 
     def __init__(
         self,
@@ -65,15 +92,42 @@ class PartitionStore:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def open(cls, directory: PathLike, verify: bool = True) -> "PartitionStore":
-        """Open a ``save_partition`` directory (manifest-verified by default)."""
+    def open(
+        cls,
+        directory: PathLike,
+        verify: bool = True,
+        backend: str = "auto",
+    ) -> "PartitionStore":
+        """Open a ``save_partition`` directory (manifest-verified by default).
+
+        ``backend`` selects the adjacency layout: ``"auto"`` memory-maps
+        the bundle's CSR sidecar when present (falling back to the dict
+        path for old bundles), ``"csr"`` requires the sidecar (raising
+        ``FileNotFoundError`` without one), and ``"dict"`` always rebuilds
+        the legacy dict-of-sets layout from the edge-list text files.  A
+        corrupt sidecar raises ``ValueError`` under ``verify=True`` rather
+        than silently falling back.
+        """
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         from repro.partitioning.serialization import (
             load_partition,
+            load_sidecar,
             partition_metadata,
         )
 
+        if backend in ("auto", "csr"):
+            try:
+                csr = load_sidecar(directory, verify=verify)
+            except FileNotFoundError:
+                if backend == "csr":
+                    raise
+            else:
+                return CSRPartitionStore(
+                    csr, metadata=partition_metadata(directory)
+                )
         partition = load_partition(directory, verify=verify)
-        return cls(partition, metadata=partition_metadata(directory))
+        return PartitionStore(partition, metadata=partition_metadata(directory))
 
     # -- basic shape -------------------------------------------------------
 
@@ -112,7 +166,7 @@ class PartitionStore:
     def mirrors_of(self, v: int) -> Tuple[int, ...]:
         """Non-master replicas of ``v`` (sorted)."""
         master = self.master_of(v)
-        return tuple(k for k in self._table.replicas_of(v) if k != master)
+        return tuple(k for k in self.replicas_of(v) if k != master)
 
     def owner_of_edge(self, u: int, v: int) -> int:
         """Partition holding edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -161,23 +215,203 @@ class PartitionStore:
         total = sum(len(r) for r in self._table.replicas.values())
         return total / covered
 
+    def partition_sizes(self) -> List[int]:
+        """``|E(P_k)|`` for each partition."""
+        return self._partition.partition_sizes()
+
     def stats(self) -> Dict[str, object]:
         """Global summary used by the ``stats`` query."""
         return {
             "epoch": self.epoch,
+            "backend": self.backend,
             "num_partitions": self.num_partitions,
             "num_edges": self.num_edges,
             "num_vertices": self.num_vertices,
             "replication_factor": round(self.replication_factor(), 6),
-            "partition_sizes": self._partition.partition_sizes(),
+            "partition_sizes": self.partition_sizes(),
             "metadata": self.metadata,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"PartitionStore(epoch={self.epoch}, p={self.num_partitions}, "
+            f"{type(self).__name__}(epoch={self.epoch}, p={self.num_partitions}, "
             f"edges={self.num_edges}, vertices={self.num_vertices})"
         )
+
+
+class CSRPartitionStore(PartitionStore):
+    """Routing tables backed by memory-mapped CSR arrays (zero-copy open).
+
+    Answers every :class:`PartitionStore` query from the flat arrays of a
+    :class:`~repro.partitioning.csr_bundle.PartitionCSR` — vertex lookups
+    are binary searches over the sorted id arrays, adjacency rows are
+    array slices, and edge ownership is a binary search inside the owning
+    row.  Construction does no per-edge Python work at all, which is the
+    point: opening a bundle (or hot-reloading one under load) touches
+    O(partitions) Python objects instead of O(edges).
+    """
+
+    backend = "csr"
+
+    def __init__(
+        self,
+        csr: "PartitionCSR",
+        metadata: Optional[Dict[str, object]] = None,
+        epoch: int = 0,
+    ) -> None:
+        # Deliberately does not chain to PartitionStore.__init__: there is
+        # no EdgePartition to iterate, only arrays to adopt.
+        self._csr = csr
+        self.metadata = dict(metadata or {})
+        self.epoch = epoch
+        self._materialized: Optional[EdgePartition] = None
+
+    @classmethod
+    def from_partition(
+        cls,
+        partition: EdgePartition,
+        metadata: Optional[Dict[str, object]] = None,
+        epoch: int = 0,
+    ) -> "CSRPartitionStore":
+        """Freeze an in-memory :class:`EdgePartition` into the CSR form."""
+        from repro.partitioning.csr_bundle import build_partition_csr
+
+        return cls(build_partition_csr(partition), metadata=metadata, epoch=epoch)
+
+    # -- internal lookups --------------------------------------------------
+
+    def _row(self, v: int) -> Optional[int]:
+        """Row of ``v`` in the global vertex table, or None if uncovered."""
+        ids = self._csr.vertex_ids
+        i = int(np.searchsorted(ids, v))
+        if i >= len(ids) or int(ids[i]) != v:
+            return None
+        return i
+
+    def _local_row(self, v: int, k: int) -> Optional[int]:
+        """Row of ``v`` inside partition ``k``'s CSR, or None."""
+        ids = self._csr.parts[k][0]
+        i = int(np.searchsorted(ids, v))
+        if i >= len(ids) or int(ids[i]) != v:
+            return None
+        return i
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def partition(self) -> EdgePartition:
+        """The partition, materialised lazily (expensive; compat only)."""
+        if self._materialized is None:
+            from repro.partitioning.csr_bundle import csr_to_partition
+
+            self._materialized = csr_to_partition(self._csr)
+        return self._materialized
+
+    @property
+    def num_partitions(self) -> int:
+        return self._csr.num_partitions
+
+    @property
+    def num_edges(self) -> int:
+        return self._csr.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices covered by at least one edge."""
+        return len(self._csr.vertex_ids)
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether any partition hosts a replica of ``v``."""
+        return self._row(v) is not None
+
+    # -- routing -----------------------------------------------------------
+
+    def master_of(self, v: int) -> int:
+        """Master partition of ``v``; raises ``KeyError`` if uncovered."""
+        row = self._row(v)
+        if row is None:
+            raise KeyError(v)
+        return int(self._csr.master[row])
+
+    def replicas_of(self, v: int) -> Tuple[int, ...]:
+        """All partitions hosting a replica of ``v`` (sorted)."""
+        row = self._row(v)
+        if row is None:
+            return ()
+        csr = self._csr
+        lo, hi = int(csr.rep_indptr[row]), int(csr.rep_indptr[row + 1])
+        return tuple(int(k) for k in csr.rep_parts[lo:hi])
+
+    def owner_of_edge(self, u: int, v: int) -> int:
+        """Partition holding edge ``{u, v}``; raises ``KeyError`` if absent."""
+        edge = normalize_edge(u, v)
+        a, b = edge
+        for k in self.replicas_of(a):
+            ids, indptr, indices = self._csr.parts[k]
+            row = self._local_row(a, k)
+            if row is None:  # pragma: no cover - replicas imply presence
+                continue
+            other = int(np.searchsorted(ids, b))
+            if other >= len(ids) or int(ids[other]) != b:
+                continue
+            lo, hi = int(indptr[row]), int(indptr[row + 1])
+            neighbours = indices[lo:hi]  # sorted row
+            j = int(np.searchsorted(neighbours, other))
+            if j < len(neighbours) and int(neighbours[j]) == other:
+                return k
+        raise KeyError(edge)
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Merged neighbour set of ``v`` across all spanning partitions."""
+        row = self._row(v)
+        if row is None:
+            raise KeyError(v)
+        merged: Set[int] = set()
+        for k in self.replicas_of(v):
+            merged |= self.local_neighbors(v, k)
+        return merged
+
+    def local_neighbors(self, v: int, k: int) -> Set[int]:
+        """Neighbours of ``v`` within partition ``k`` only."""
+        ids, indptr, indices = self._csr.parts[k]
+        row = self._local_row(v, k)
+        if row is None:
+            return set()
+        lo, hi = int(indptr[row]), int(indptr[row + 1])
+        return {int(x) for x in ids[indices[lo:hi]]}
+
+    # -- summaries ---------------------------------------------------------
+
+    def partition_stats(self, k: int) -> Dict[str, int]:
+        """Edge/vertex/master counts for partition ``k``."""
+        if not 0 <= k < self.num_partitions:
+            raise KeyError(k)
+        csr = self._csr
+        ids, _, indices = csr.parts[k]
+        vertices = len(ids)
+        if vertices:
+            rows = np.searchsorted(csr.vertex_ids, ids)
+            masters = int(np.count_nonzero(csr.master[rows] == k))
+        else:
+            masters = 0
+        return {
+            "partition": k,
+            "edges": len(indices) // 2,
+            "vertices": vertices,
+            "masters": masters,
+            "mirrors": vertices - masters,
+        }
+
+    def partition_sizes(self) -> List[int]:
+        """``|E(P_k)|`` for each partition."""
+        return [len(indices) // 2 for _, _, indices in self._csr.parts]
+
+    def replication_factor(self) -> float:
+        """Mean replicas per covered vertex (1.0 for the empty store)."""
+        covered = len(self._csr.vertex_ids)
+        if covered == 0:
+            return 1.0
+        return len(self._csr.rep_parts) / covered
 
 
 # -- hot re-partitioning ----------------------------------------------------
@@ -219,19 +453,26 @@ class StoreManager:
         self,
         store: PartitionStore,
         *,
-        metrics=None,
+        metrics: Optional["ServiceMetrics"] = None,
         allow_partition_count_change: bool = False,
         drain_timeout: float = 30.0,
+        backend: str = "auto",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.metrics = metrics
         self.allow_partition_count_change = allow_partition_count_change
         self.drain_timeout = drain_timeout
+        #: Backend every reload opens replacement bundles with.
+        self.backend = backend
         if store.epoch == 0:
             store.epoch = 1
         self._store = store
         self._leases: Dict[int, int] = {}
         #: Retired epochs still holding leases: epoch -> (store, event|None).
-        self._retired: Dict[int, List[object]] = {}
+        self._retired: Dict[
+            int, Tuple[PartitionStore, Optional[asyncio.Event]]
+        ] = {}
         self._reloading = False
         self._set_gauge("epoch", store.epoch)
 
@@ -337,7 +578,7 @@ class StoreManager:
                 event: Optional[asyncio.Event] = asyncio.Event()
             except RuntimeError:  # sync caller: freed on last release, no wait
                 event = None
-            self._retired[old.epoch] = [old, event]
+            self._retired[old.epoch] = (old, event)
         if self.metrics is not None:
             self.metrics.inc("reloads_ok")
             self._set_gauge("epoch", candidate.epoch)
@@ -345,13 +586,14 @@ class StoreManager:
             "epoch": candidate.epoch,
             "previous_epoch": old.epoch,
             "pinned_to_previous": pinned,
+            "backend": candidate.backend,
             "num_partitions": candidate.num_partitions,
             "num_edges": candidate.num_edges,
             "replication_factor": round(candidate.replication_factor(), 6),
         }
 
     def _build(self, directory: PathLike, verify: bool) -> PartitionStore:
-        return PartitionStore.open(directory, verify=verify)
+        return PartitionStore.open(directory, verify=verify, backend=self.backend)
 
     async def reload(
         self, directory: PathLike, *, verify: bool = True

@@ -108,6 +108,50 @@ class TestMetisFormat:
         with pytest.raises(ValueError, match="empty"):
             read_metis_graph(path)
 
+    @pytest.mark.parametrize("trailer", ["\n", "\n\n", "\n\n\n"])
+    def test_trailing_newlines_accepted(self, tmp_path, trailer):
+        # A valid file ending in extra blank line(s) — e.g. editor- or
+        # echo-appended newlines — must not be rejected as a vertex-count
+        # mismatch: blank lines only count as vertices up to index n.
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n2\n1" + trailer)
+        g = read_metis_graph(path)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_trailing_blank_lines_keep_isolated_vertices(self, tmp_path):
+        # Vertex 3 is isolated: its adjacency line is blank and must be
+        # kept, while the extra blank line *beyond* n=3 is stripped.
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n\n\n")
+        g = read_metis_graph(path)
+        assert g.num_vertices == 3
+        assert g.degree(2) == 0
+
+    def test_round_trip_with_trailing_newline(self, tmp_path, small_social):
+        from repro.graph.io import read_metis_graph, write_metis_graph
+
+        path = tmp_path / "g.metis"
+        write_metis_graph(small_social, path)
+        # Append a stray blank line, as tools concatenating files often do.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n")
+        back = read_metis_graph(path)
+        assert back.num_vertices == small_social.num_vertices
+        assert back.num_edges == small_social.num_edges
+
+    def test_genuinely_missing_vertex_line_still_rejected(self, tmp_path):
+        from repro.graph.io import read_metis_graph
+
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")  # only 2 adjacency lines for n=3
+        with pytest.raises(ValueError, match="3 vertices"):
+            read_metis_graph(path)
+
     def test_isolated_vertices_preserved(self, tmp_path):
         from repro.graph.io import read_metis_graph, write_metis_graph
         from repro.graph.graph import Graph

@@ -1,0 +1,223 @@
+"""CSR-backed store: bit-identical answers to the dict backend.
+
+The acceptance property for the zero-copy store is *parity*: every routing
+query — ``neighbors``, ``master_of``, ``replicas_of``, ``mirrors_of``,
+``owner_of_edge``, ``partition_stats``, ``stats`` — answers identically
+whether the bundle is served from the memory-mapped CSR sidecar or from
+the legacy dict-of-sets rebuild, including across a ``StoreManager`` hot
+reload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tlp import TLPPartitioner
+from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.csr_bundle import (
+    SIDECAR_NAME,
+    build_partition_csr,
+    csr_to_partition,
+    read_sidecar,
+    write_sidecar,
+)
+from repro.partitioning.registry import make_partitioner
+from repro.partitioning.serialization import (
+    has_sidecar,
+    load_sidecar,
+    save_partition,
+)
+from repro.service.store import CSRPartitionStore, PartitionStore, StoreManager
+
+
+@pytest.fixture
+def tlp_partition(small_social):
+    return TLPPartitioner(seed=0).partition(small_social, 4)
+
+
+@pytest.fixture
+def bundle(tlp_partition, tmp_path):
+    save_partition(tlp_partition, tmp_path / "bundle", metadata={"p": 4})
+    return tmp_path / "bundle"
+
+
+def assert_stores_agree(csr, dct, graph):
+    """Every query the handler can route must answer identically."""
+    assert csr.num_partitions == dct.num_partitions
+    assert csr.num_edges == dct.num_edges
+    assert csr.num_vertices == dct.num_vertices
+    assert csr.partition_sizes() == dct.partition_sizes()
+    assert csr.replication_factor() == pytest.approx(dct.replication_factor())
+    for v in graph.vertices():
+        assert csr.has_vertex(v) == dct.has_vertex(v)
+        assert csr.neighbors(v) == dct.neighbors(v)
+        assert csr.master_of(v) == dct.master_of(v)
+        assert csr.replicas_of(v) == dct.replicas_of(v)
+        assert csr.mirrors_of(v) == dct.mirrors_of(v)
+        for k in range(csr.num_partitions):
+            assert csr.local_neighbors(v, k) == dct.local_neighbors(v, k)
+    for u, v in graph.edges():
+        assert csr.owner_of_edge(u, v) == dct.owner_of_edge(u, v)
+        assert csr.owner_of_edge(v, u) == dct.owner_of_edge(v, u)
+    for k in range(csr.num_partitions):
+        assert csr.partition_stats(k) == dct.partition_stats(k)
+    csr_stats, dct_stats = csr.stats(), dct.stats()
+    assert csr_stats.pop("backend") == "csr"
+    assert dct_stats.pop("backend") == "dict"
+    csr_stats.pop("epoch"), dct_stats.pop("epoch")  # serving generation only
+    assert csr_stats == dct_stats
+
+
+class TestBackendSelection:
+    def test_auto_prefers_sidecar(self, bundle):
+        assert has_sidecar(bundle)
+        store = PartitionStore.open(bundle)
+        assert isinstance(store, CSRPartitionStore)
+        assert store.backend == "csr"
+
+    def test_dict_backend_forced(self, bundle):
+        store = PartitionStore.open(bundle, backend="dict")
+        assert not isinstance(store, CSRPartitionStore)
+        assert store.backend == "dict"
+
+    def test_auto_falls_back_without_sidecar(self, tlp_partition, tmp_path):
+        save_partition(tlp_partition, tmp_path / "plain", sidecar=False)
+        assert not has_sidecar(tmp_path / "plain")
+        store = PartitionStore.open(tmp_path / "plain")
+        assert store.backend == "dict"
+
+    def test_csr_backend_requires_sidecar(self, tlp_partition, tmp_path):
+        save_partition(tlp_partition, tmp_path / "plain", sidecar=False)
+        with pytest.raises(FileNotFoundError):
+            PartitionStore.open(tmp_path / "plain", backend="csr")
+
+    def test_unknown_backend_rejected(self, bundle):
+        with pytest.raises(ValueError):
+            PartitionStore.open(bundle, backend="nosql")
+
+    def test_corrupt_sidecar_rejected_not_fallback(self, bundle):
+        path = bundle / SIDECAR_NAME
+        blob = bytearray(path.read_bytes())
+        blob[-8:] = b"\xff" * 8  # flip tail bytes inside the last array
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="checksum"):
+            PartitionStore.open(bundle, backend="csr")
+
+    def test_resave_without_sidecar_drops_stale_file(self, tlp_partition, tmp_path):
+        save_partition(tlp_partition, tmp_path / "b")
+        assert (tmp_path / "b" / SIDECAR_NAME).exists()
+        save_partition(tlp_partition, tmp_path / "b", sidecar=False)
+        assert not (tmp_path / "b" / SIDECAR_NAME).exists()
+        assert not has_sidecar(tmp_path / "b")
+
+
+class TestParity:
+    def test_tlp_bundle_parity(self, bundle, small_social):
+        csr = PartitionStore.open(bundle, backend="csr")
+        dct = PartitionStore.open(bundle, backend="dict")
+        assert_stores_agree(csr, dct, small_social)
+
+    @pytest.mark.parametrize("algorithm", ["LDG", "DBH", "Random"])
+    def test_baseline_partitioner_parity(self, small_social, tmp_path, algorithm):
+        partition = make_partitioner(algorithm, seed=3).partition(small_social, 5)
+        save_partition(partition, tmp_path / "b", compress=True)
+        csr = PartitionStore.open(tmp_path / "b", backend="csr")
+        dct = PartitionStore.open(tmp_path / "b", backend="dict")
+        assert_stores_agree(csr, dct, small_social)
+
+    def test_from_partition_matches_disk_open(self, tlp_partition, bundle):
+        in_memory = CSRPartitionStore.from_partition(tlp_partition)
+        on_disk = PartitionStore.open(bundle, backend="csr")
+        assert in_memory.partition_sizes() == on_disk.partition_sizes()
+        assert in_memory.replication_factor() == on_disk.replication_factor()
+
+    def test_empty_partitions_parity(self):
+        partition = EdgePartition([[(0, 1)], [], [(1, 2)]])
+        csr = CSRPartitionStore.from_partition(partition)
+        dct = PartitionStore(partition)
+        for k in range(3):
+            assert csr.partition_stats(k) == dct.partition_stats(k)
+        assert csr.neighbors(1) == {0, 2}
+        assert csr.local_neighbors(1, 1) == set()
+
+    def test_unknown_vertex_and_edge_raise(self, bundle):
+        csr = PartitionStore.open(bundle, backend="csr")
+        with pytest.raises(KeyError):
+            csr.neighbors(10**9)
+        with pytest.raises(KeyError):
+            csr.master_of(10**9)
+        with pytest.raises(KeyError):
+            csr.owner_of_edge(10**9, 10**9 + 1)
+        assert csr.replicas_of(10**9) == ()
+
+    def test_materialized_partition_round_trips(self, tlp_partition, bundle):
+        csr = PartitionStore.open(bundle, backend="csr")
+        materialized = csr.partition
+        for k in range(tlp_partition.num_partitions):
+            assert sorted(materialized.edges_of(k)) == sorted(
+                tlp_partition.edges_of(k)
+            )
+
+
+class TestHotReloadParity:
+    def test_reload_serves_csr_and_answers_identically(
+        self, tlp_partition, small_social, tmp_path
+    ):
+        """A StoreManager hot reload onto a sidecar bundle keeps parity."""
+        save_partition(tlp_partition, tmp_path / "v1")
+        save_partition(
+            TLPPartitioner(seed=9).partition(small_social, 4), tmp_path / "v2"
+        )
+        manager = StoreManager(PartitionStore.open(tmp_path / "v1"))
+        assert manager.store.backend == "csr"
+        info = manager.reload_sync(tmp_path / "v2")
+        assert info["backend"] == "csr"
+        assert manager.epoch == 2
+        reference = PartitionStore.open(tmp_path / "v2", backend="dict")
+        assert_stores_agree(manager.store, reference, small_social)
+
+    def test_reload_respects_forced_dict_backend(self, tlp_partition, tmp_path):
+        save_partition(tlp_partition, tmp_path / "v1")
+        save_partition(tlp_partition, tmp_path / "v2")
+        manager = StoreManager(
+            PartitionStore.open(tmp_path / "v1", backend="dict"), backend="dict"
+        )
+        info = manager.reload_sync(tmp_path / "v2")
+        assert info["backend"] == "dict"
+        assert manager.store.backend == "dict"
+
+
+class TestSidecarFormat:
+    def test_round_trip_mmap_and_eager(self, tlp_partition, tmp_path):
+        csr = build_partition_csr(tlp_partition)
+        path = tmp_path / "adj.csr"
+        write_sidecar(csr, path)
+        for mmap in (True, False):
+            back = read_sidecar(path, mmap=mmap)
+            assert back.num_partitions == csr.num_partitions
+            assert back.num_edges == csr.num_edges
+            assert np.array_equal(back.vertex_ids, csr.vertex_ids)
+            assert np.array_equal(back.master, csr.master)
+            assert np.array_equal(back.rep_indptr, csr.rep_indptr)
+            assert np.array_equal(back.rep_parts, csr.rep_parts)
+            for (a, b, c), (x, y, z) in zip(back.parts, csr.parts):
+                assert np.array_equal(a, x)
+                assert np.array_equal(b, y)
+                assert np.array_equal(c, z)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.csr"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            read_sidecar(path)
+
+    def test_csr_to_partition_inverts_build(self, tlp_partition):
+        back = csr_to_partition(build_partition_csr(tlp_partition))
+        for k in range(tlp_partition.num_partitions):
+            assert sorted(back.edges_of(k)) == sorted(tlp_partition.edges_of(k))
+
+    def test_sidecar_verify_catches_size_change(self, bundle):
+        path = bundle / SIDECAR_NAME
+        with open(path, "ab") as fh:
+            fh.write(b"\0" * 16)
+        with pytest.raises(ValueError, match="bytes"):
+            load_sidecar(bundle)

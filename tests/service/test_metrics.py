@@ -59,6 +59,74 @@ class TestLatencyHistogram:
         assert hist.quantile(0.99) <= 0.5
 
 
+class TestNearestRankQuantile:
+    """The bucketed estimate must track the exact nearest-rank quantile."""
+
+    #: One geometric bucket is a factor of 10^0.1 wide; the estimate (a
+    #: bucket upper bound) may exceed the exact sample value by at most
+    #: that factor, and never undershoot it by more than the same.
+    BUCKET_FACTOR = 10 ** 0.1
+
+    @staticmethod
+    def exact_nearest_rank(samples, q):
+        """Reference: value at 1-based rank ceil(q*n) of the sorted samples."""
+        import math
+
+        ordered = sorted(samples)
+        if q == 0.0:
+            return ordered[0]
+        return ordered[math.ceil(q * len(ordered)) - 1]
+
+    @pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0])
+    def test_estimate_within_one_bucket_of_exact(self, q):
+        rng = random.Random(13)
+        samples = [rng.lognormvariate(-6.0, 1.2) for _ in range(2000)]
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.observe(s)
+        exact = self.exact_nearest_rank(samples, q)
+        estimate = hist.quantile(q)
+        assert exact / self.BUCKET_FACTOR <= estimate <= exact * self.BUCKET_FACTOR
+
+    def test_q_zero_returns_observed_min(self):
+        hist = LatencyHistogram()
+        for s in (0.004, 0.009, 0.020):
+            hist.observe(s)
+        # The old rank computation returned the first non-empty bucket's
+        # *upper bound* (> 4ms); q=0 must be the observed minimum exactly.
+        assert hist.quantile(0.0) == 0.004
+
+    def test_q_one_returns_at_most_max(self):
+        hist = LatencyHistogram()
+        for s in (0.001, 0.002, 0.5):
+            hist.observe(s)
+        assert hist.quantile(1.0) == 0.5  # clamped to the observed max
+
+    def test_single_sample_every_quantile(self):
+        hist = LatencyHistogram()
+        hist.observe(0.010)
+        assert hist.quantile(0.0) == 0.010
+        for q in (0.01, 0.5, 0.99, 1.0):
+            # One sample: every positive quantile names it (within a bucket).
+            assert 0.010 / self.BUCKET_FACTOR <= hist.quantile(q) <= 0.010
+
+    def test_empty_every_quantile_zero(self):
+        hist = LatencyHistogram()
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_rank_not_biased_low_at_bucket_edge(self):
+        # 10 samples in one bucket, 10 in a much higher one: p50 is the
+        # 10th sample (low bucket) by nearest rank, p55 the 11th (high).
+        hist = LatencyHistogram()
+        for _ in range(10):
+            hist.observe(0.001)
+        for _ in range(10):
+            hist.observe(0.1)
+        assert hist.quantile(0.5) < 0.002
+        assert hist.quantile(0.55) > 0.05
+
+
 class TestServiceMetrics:
     def test_counters_accumulate(self):
         metrics = ServiceMetrics()
