@@ -18,6 +18,14 @@ it polls the bundle's manifest for changes, or use the admin command::
 
     python -m repro reload parts_v2/ --port 7531
 
+``serve --wal`` turns on the write path (``insert_edge`` /
+``delete_edge`` protocol ops backed by a write-ahead log in the bundle
+directory), and ``compact`` folds the accumulated mutations back into
+the bundle on a live server::
+
+    python -m repro serve parts/ --port 7531 --wal
+    python -m repro compact --port 7531
+
 Examples
 --------
 ::
@@ -153,6 +161,33 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="poll the bundle manifest this often and hot-reload on change",
     )
+    parser.add_argument(
+        "--wal",
+        action="store_true",
+        help="enable edge mutations backed by a write-ahead log in the bundle "
+        "directory (replayed on start)",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="WAL durability: fsync every append, at most every 50ms (default), "
+        "or never",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("hdrf", "greedy"),
+        default="hdrf",
+        help="streaming heuristic routing inserted edges to a partition",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        metavar="EDGES",
+        help="per-partition edge capacity bound C for inserts "
+        "(default: unbounded)",
+    )
     return parser
 
 
@@ -184,19 +219,41 @@ def serve_main(argv: List[str]) -> int:
 
     manifest = Path(args.directory) / MANIFEST_NAME
 
+    # Hot reloads reopen bundles with the same backend choice.
+    manager = StoreManager(store, backend=args.store_backend)
+    ingestor = None
+    if args.wal:
+        from repro.service.ingest import Ingestor
+
+        try:
+            ingestor = Ingestor.enable(
+                manager,
+                args.directory,
+                fsync=args.fsync,
+                policy=args.placement,
+                capacity=args.capacity,
+            )
+        except Exception as exc:  # noqa: BLE001 — bad WAL = refuse to start
+            print(f"error: cannot enable ingest: {exc}", file=sys.stderr)
+            return 2
+        capacity = args.capacity if args.capacity is not None else "unbounded"
+        print(
+            f"ingest enabled [{args.placement} placement, capacity {capacity}, "
+            f"fsync {args.fsync}]: replayed {ingestor.replayed_mutations} "
+            f"WAL mutations ({ingestor.wal.size} bytes)"
+        )
+
     async def run() -> None:
         server = PartitionServer(
-            # Hot reloads reopen bundles with the same backend choice.
-            StoreManager(store, backend=args.store_backend),
+            manager,
             host=args.host,
             port=args.port,
             max_queue=args.max_queue,
             batch_window=args.batch_window,
             request_timeout=args.request_timeout,
             allow_reload=not args.no_hot_reload,
+            ingestor=ingestor,
         )
-        manager: StoreManager = server.manager
-
         async def hot_reload(origin: str) -> None:
             try:
                 info = await manager.reload(
@@ -249,6 +306,8 @@ def serve_main(argv: List[str]) -> int:
                 watcher.cancel()
             print("draining in-flight requests ...")
             await server.stop()
+            if ingestor is not None:
+                ingestor.close()  # flush + fsync the WAL tail
 
     try:
         asyncio.run(run())
@@ -305,6 +364,55 @@ def reload_main(argv: List[str]) -> int:
     return 0
 
 
+def _build_compact_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro compact",
+        description="Fold a live server's pending mutations into its bundle "
+        "(WAL resets, new epoch swaps in, no queries dropped).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip manifest checksum checks"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="admin call timeout in seconds"
+    )
+    return parser
+
+
+def compact_main(argv: List[str]) -> int:
+    """The ``compact`` subcommand: one admin call against a live server."""
+    from repro.service.client import ServiceError, SyncServiceClient
+
+    args = _build_compact_parser().parse_args(argv)
+    client = SyncServiceClient(
+        args.host, args.port, timeout=args.timeout, max_retries=0
+    )
+    try:
+        with client:
+            info = client.compact(verify=not args.no_verify)
+    except ServiceError as exc:
+        print(f"error: server refused the compaction: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr
+        )
+        return 2
+    if info.get("skipped"):
+        print(f"nothing to compact (epoch {info['epoch']} unchanged)")
+        return 0
+    print(
+        f"folded {info['folded_mutations']} mutations: "
+        f"epoch {info['previous_epoch']} -> {info['epoch']}, "
+        f"{info['num_edges']} edges, RF={info['replication_factor']}, "
+        f"drained {info['drained']} in-flight "
+        f"({info['compaction_seconds']}s, WAL reset to {info['wal_bytes']} bytes)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -313,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "reload":
         return reload_main(argv[1:])
+    if argv and argv[0] == "compact":
+        return compact_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.partitions < 1:
         print("error: --partitions must be >= 1", file=sys.stderr)

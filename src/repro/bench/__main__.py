@@ -91,6 +91,27 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the report to FILE",
     )
+    parser.add_argument(
+        "--mutate",
+        type=float,
+        default=0.0,
+        metavar="RATIO",
+        help="serve only: drive RATIO*requests insert/delete mutations "
+        "through the WAL write path alongside the readers",
+    )
+    parser.add_argument(
+        "--delete-ratio",
+        type=float,
+        default=0.3,
+        metavar="R",
+        help="serve only: fraction of mutations that are deletes",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=["always", "batch", "never"],
+        default="always",
+        help="serve only: WAL fsync policy for the mutate workload",
+    )
     return parser
 
 
@@ -297,6 +318,9 @@ def _run_serve(args) -> None:
         num_requests=requests,
         seed=args.seed,
         quick=args.quick,
+        mutate_ratio=args.mutate,
+        delete_ratio=args.delete_ratio,
+        fsync=args.fsync,
         progress=lambda message: print(f"  {message}", file=sys.stderr),
     )
     print(
@@ -321,6 +345,18 @@ def _run_serve(args) -> None:
         f"verified {report['verified_neighbors']} neighbour fan-outs "
         f"and {report['verified_edges']} edge routes"
     )
+    ingest = report.get("ingest")
+    if ingest:
+        fsync_ms = ingest.get("wal_fsync_ms") or {}
+        fsync_note = (
+            f"fsync p99 {fsync_ms['p99_ms']:g}ms" if fsync_ms else "no fsyncs"
+        )
+        print(
+            f"ingest [{ingest['fsync']}]: {ingest['mutations']} mutations "
+            f"({ingest['deletes']} deletes) in {ingest['mutate_seconds']:g}s "
+            f"= {ingest['mutations_per_s']} mut/s; {fsync_note}; "
+            f"WAL {ingest['wal_bytes']} B; RF drift {ingest['overlay_rf_drift']:+g}"
+        )
     path = write_report(report)
     print(f"wrote {path}")
 

@@ -16,7 +16,12 @@ drives a mixed query workload through concurrent pipelined clients:
 * the bundle is opened through **both** store backends and timed —
   ``store_open_seconds`` records the dict-of-sets rebuild next to the
   memory-mapped CSR sidecar open (the hot-reload window under load), and
-  ``rss_max_kib`` records the process's peak resident set.
+  ``rss_max_kib`` records the process's peak resident set;
+* ``--mutate`` adds the WAL write path: a dedicated writer streams
+  insert/delete ops (fresh vertex ids only, so read verification stays
+  exact) through the :mod:`repro.service.ingest` subsystem while the
+  readers run, and the report's ``ingest`` section records mutation
+  throughput, WAL bytes, fsync latency, and RF drift.
 
 Results land in ``BENCH_serve.json`` so serving-path regressions show up
 in review diffs, like ``BENCH_perf.json`` does for the partitioner.
@@ -36,7 +41,10 @@ from repro.graph.graph import Graph
 
 #: Bump when the schema of ``BENCH_serve.json`` changes.
 #: v2: ``store_backend``, ``store_open_seconds`` and ``rss_max_kib``.
-SCHEMA_VERSION = 2
+#: v3: additive ``ingest`` section (mutate workload: insert/delete
+#: throughput and WAL fsync latency); every v2 field is unchanged, so
+#: v2 readers keep working.
+SCHEMA_VERSION = 3
 
 DEFAULT_REPORT = "BENCH_serve.json"
 DEFAULT_DATASET = "G1"
@@ -82,6 +90,37 @@ def _build_workload(
     return ops[:num_requests] if len(ops) > num_requests else ops
 
 
+def _build_mutations(
+    graph: Graph, count: int, delete_ratio: float, seed: int
+) -> List[Tuple[str, Dict[str, int]]]:
+    """A deterministic insert/delete sequence over *fresh* vertex ids.
+
+    Every inserted edge joins two vertices above the base graph's id
+    range, and deletes only target still-alive own inserts — so the read
+    workload's neighbour/edge verification against the base graph stays
+    exact while mutations run.
+    """
+    rng = random.Random(seed + 0x5EED)
+    next_id = max(graph.vertices()) + 1
+    anchor = next_id
+    next_id += 1
+    alive: List[Tuple[int, int]] = []
+    ops: List[Tuple[str, Dict[str, int]]] = []
+    for _ in range(count):
+        if alive and rng.random() < delete_ratio:
+            u, v = alive.pop(rng.randrange(len(alive)))
+            ops.append(("delete_edge", {"u": u, "v": v}))
+        else:
+            # Chain off a random alive endpoint (or the anchor) so the
+            # overlay grows a connected fresh component, like a stream.
+            tail = rng.choice(alive)[1] if alive else anchor
+            edge = (tail, next_id)
+            next_id += 1
+            alive.append(edge)
+            ops.append(("insert_edge", {"u": edge[0], "v": edge[1]}))
+    return ops
+
+
 def _rss_max_kib() -> Optional[int]:
     """Peak resident set size of this process in KiB (None if unknown)."""
     try:
@@ -117,14 +156,44 @@ async def _drive(
     concurrency: int,
     graph: Graph,
     edge_owner: Dict[Tuple[int, int], int],
-) -> Tuple[Dict[str, List[float]], int, int]:
-    """Run the workload through ``concurrency`` clients; verify responses."""
+    mutations: Optional[List[Tuple[str, Dict[str, int]]]] = None,
+) -> Tuple[Dict[str, List[float]], int, int, float]:
+    """Run the workload through ``concurrency`` clients; verify responses.
+
+    ``mutations`` adds one dedicated writer driving insert/delete ops
+    (idempotently stamped by the client wrappers) concurrently with the
+    readers; the returned float is the writer's wall-clock seconds
+    (0.0 without mutations).
+    """
     from repro.service.client import ServiceClient
 
     latencies: Dict[str, List[float]] = {op: [] for op, _ in QUERY_MIX}
     verified_neighbors = 0
     verified_edges = 0
     lock = asyncio.Lock()
+
+    async def mutator() -> float:
+        assert mutations is not None
+        client = ServiceClient(
+            host, port, max_retries=5, backoff_base=0.02, client_tag="bench-writer"
+        )
+        samples: Dict[str, List[float]] = {"insert_edge": [], "delete_edge": []}
+        start = time.perf_counter()
+        async with client:
+            for op, args in mutations:
+                began = time.perf_counter()
+                if op == "insert_edge":
+                    result = await client.insert_edge(args["u"], args["v"])
+                else:
+                    result = await client.delete_edge(args["u"], args["v"])
+                samples[op].append(time.perf_counter() - began)
+                if "partition" not in result:
+                    raise AssertionError(f"{op} response without placement: {result}")
+        elapsed = time.perf_counter() - start
+        async with lock:
+            for op, values in samples.items():
+                latencies.setdefault(op, []).extend(values)
+        return elapsed
 
     async def worker(chunk: List[Tuple[str, Dict[str, int]]]) -> Tuple[int, int]:
         nonlocal_ok = [0, 0]
@@ -157,11 +226,14 @@ async def _drive(
         return nonlocal_ok[0], nonlocal_ok[1]
 
     chunks = [workload[i::concurrency] for i in range(concurrency)]
-    counts = await asyncio.gather(*(worker(chunk) for chunk in chunks if chunk))
+    tasks = [worker(chunk) for chunk in chunks if chunk]
+    mutate_task = asyncio.ensure_future(mutator()) if mutations else None
+    counts = await asyncio.gather(*tasks)
+    mutate_seconds = await mutate_task if mutate_task is not None else 0.0
     for n_ok, e_ok in counts:
         verified_neighbors += n_ok
         verified_edges += e_ok
-    return latencies, verified_neighbors, verified_edges
+    return latencies, verified_neighbors, verified_edges, mutate_seconds
 
 
 def run_serve(
@@ -173,9 +245,21 @@ def run_serve(
     seed: int = 0,
     quick: bool = False,
     batch_window: float = 0.002,
+    mutate_ratio: float = 0.0,
+    delete_ratio: float = 0.3,
+    fsync: str = "always",
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict:
     """Partition, persist, serve, and load-test ``graph``; returns the report.
+
+    ``mutate_ratio > 0`` enables the WAL write path: the server runs with
+    an :class:`~repro.service.ingest.Ingestor` and a dedicated writer
+    drives ``round(mutate_ratio * num_requests)`` insert/delete ops
+    (``delete_ratio`` of them deletes) concurrently with the readers.
+    Mutations only touch fresh vertex ids above the base graph, so the
+    read-side verification stays exact.  The report gains an ``ingest``
+    section: mutation throughput, WAL bytes, fsync-policy latency
+    (``fsync`` — always/batch/never), and RF drift.
 
     Raises ``AssertionError`` if any routed response disagrees with the
     graph or the partition — correctness is part of what this benchmark
@@ -184,7 +268,7 @@ def run_serve(
     from repro.core.tlp import TLPPartitioner
     from repro.partitioning.serialization import save_partition
     from repro.service.server import PartitionServer
-    from repro.service.store import PartitionStore
+    from repro.service.store import PartitionStore, StoreManager
 
     def note(message: str) -> None:
         if progress is not None:
@@ -221,26 +305,60 @@ def run_serve(
         )
 
         workload = _build_workload(graph, partition, num_requests, seed)
+        mutations: Optional[List[Tuple[str, Dict[str, int]]]] = None
+        ingestor = None
+        if mutate_ratio > 0.0:
+            from repro.service.ingest import Ingestor
+
+            count = max(1, round(mutate_ratio * num_requests))
+            mutations = _build_mutations(graph, count, delete_ratio, seed)
+            note(
+                f"ingest on: {count} mutations "
+                f"({sum(1 for op, _ in mutations if op == 'delete_edge')} deletes), "
+                f"WAL fsync={fsync}"
+            )
+            manager = StoreManager(store)
+            ingestor = Ingestor.enable(manager, tmp, fsync=fsync)
+            served: object = manager
+        else:
+            served = store
         note(f"driving {len(workload)} queries through {concurrency} clients")
 
-        async def bench() -> Tuple[Dict[str, List[float]], int, int, Dict, float]:
-            server = PartitionServer(store, batch_window=batch_window)
+        async def bench() -> Tuple[
+            Dict[str, List[float]], int, int, Dict, Optional[Dict], float, float
+        ]:
+            server = PartitionServer(
+                served, batch_window=batch_window, ingestor=ingestor
+            )
             async with server:
                 host, port = server.address
                 start = time.perf_counter()
-                latencies, n_ok, e_ok = await _drive(
-                    host, port, workload, concurrency, graph, edge_owner
+                latencies, n_ok, e_ok, mutate_seconds = await _drive(
+                    host, port, workload, concurrency, graph, edge_owner, mutations
                 )
                 elapsed = time.perf_counter() - start
                 from repro.service.client import ServiceClient
 
                 async with ServiceClient(host, port) as client:
                     stats = await client.stats()
-            return latencies, n_ok, e_ok, stats, elapsed
+                    ingest = (
+                        await client.ingest_stats() if ingestor is not None else None
+                    )
+            return latencies, n_ok, e_ok, stats, ingest, elapsed, mutate_seconds
 
-        latencies, verified_neighbors, verified_edges, stats, elapsed = asyncio.run(
-            bench()
-        )
+        try:
+            (
+                latencies,
+                verified_neighbors,
+                verified_edges,
+                stats,
+                ingest_stats,
+                elapsed,
+                mutate_seconds,
+            ) = asyncio.run(bench())
+        finally:
+            if ingestor is not None:
+                ingestor.close()
 
     if verified_neighbors == 0:
         raise AssertionError("workload exercised no neighbours queries")
@@ -256,6 +374,30 @@ def run_serve(
             "p50_ms": round(_quantile(ordered, 0.50) * 1e3, 4),
             "p95_ms": round(_quantile(ordered, 0.95) * 1e3, 4),
             "p99_ms": round(_quantile(ordered, 0.99) * 1e3, 4),
+        }
+
+    ingest_report: Optional[Dict] = None
+    if ingest_stats is not None:
+        mutation_count = len(latencies.get("insert_edge", ())) + len(
+            latencies.get("delete_edge", ())
+        )
+        ingest_report = {
+            "mutate_ratio": mutate_ratio,
+            "delete_ratio": delete_ratio,
+            "fsync": fsync,
+            "mutations": mutation_count,
+            "inserts": ingest_stats["inserts"],
+            "deletes": ingest_stats["deletes"],
+            "mutate_seconds": round(mutate_seconds, 4),
+            "mutations_per_s": round(mutation_count / mutate_seconds)
+            if mutate_seconds
+            else 0,
+            "wal_bytes": ingest_stats["wal_bytes"],
+            "pending_mutations": ingest_stats["pending_mutations"],
+            "overlay_rf_drift": ingest_stats["overlay_rf_drift"],
+            # Server-side fsync histogram (ms quantiles); None when the
+            # policy never fsynced during the run.
+            "wal_fsync_ms": stats["metrics"]["latency"].get("wal_fsync"),
         }
 
     total = sum(len(s) for s in latencies.values())
@@ -278,6 +420,7 @@ def run_serve(
         "requests_per_s": round(total / elapsed) if elapsed else 0,
         "verified_neighbors": verified_neighbors,
         "verified_edges": verified_edges,
+        "ingest": ingest_report,
         "ops": ops_report,
         "server_metrics": stats["metrics"],
     }

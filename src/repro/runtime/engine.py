@@ -59,6 +59,27 @@ class GASEngine:
         # Per-machine adjacency, built lazily for the incremental mode.
         self._machine_adj: Optional[List[Dict[int, List[int]]]] = None
 
+    @classmethod
+    def from_bundle(
+        cls,
+        directory,
+        graph: Graph,
+        program: GASProgram,
+        *,
+        verify: bool = True,
+        mmap: bool = True,
+    ) -> "GASEngine":
+        """Open a ``save_partition`` bundle as a ready-to-run engine.
+
+        Memory-maps the bundle's CSR sidecar when present (see
+        :mod:`repro.runtime.loader`) instead of re-parsing text edge
+        lists and rebuilding the replication dicts; results are
+        bit-identical to the dict path.
+        """
+        from repro.runtime.loader import load_engine
+
+        return load_engine(directory, graph, program, verify=verify, mmap=mmap)
+
     # -- execution -----------------------------------------------------------
 
     def run(

@@ -19,13 +19,27 @@ master/mirror placement, and the communication bill is ``(RF - 1)·|V|``.
 * :class:`~repro.service.store.StoreManager` — hot re-partitioning:
   builds a replacement store off the event loop, validates it, flips it
   in atomically as a new **epoch**, and drains requests pinned to the
-  old epoch before the old store is released.
+  old epoch before the old store is released;
+* :class:`~repro.service.ingest.Ingestor` +
+  :class:`~repro.service.ingest.DeltaOverlay` +
+  :class:`~repro.service.wal.WriteAheadLog` — the write path: WAL-backed
+  edge inserts/deletes placed by the streaming heuristics, live exact RF
+  over a base+delta overlay, and compaction back into a fresh bundle
+  through the epoch-swap machinery.
 
 See ``docs/SERVING.md`` for the architecture and wire protocol.
 """
 
 from repro.service.client import ServiceClient, ServiceError, SyncServiceClient
 from repro.service.handler import ServiceHandler
+from repro.service.ingest import (
+    CapacityError,
+    ConflictError,
+    DeltaOverlay,
+    IngestError,
+    IngestFrozen,
+    Ingestor,
+)
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.server import PartitionServer
 from repro.service.store import (
@@ -35,9 +49,16 @@ from repro.service.store import (
     ReloadInProgress,
     StoreManager,
 )
+from repro.service.wal import WriteAheadLog
 
 __all__ = [
     "BundleValidationError",
+    "CapacityError",
+    "ConflictError",
+    "DeltaOverlay",
+    "IngestError",
+    "IngestFrozen",
+    "Ingestor",
     "LatencyHistogram",
     "PartitionServer",
     "PartitionStore",
@@ -49,4 +70,5 @@ __all__ = [
     "ServiceMetrics",
     "StoreManager",
     "SyncServiceClient",
+    "WriteAheadLog",
 ]

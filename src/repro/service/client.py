@@ -18,6 +18,14 @@ fires when a hot reload flips the server to a new bundle mid-session.  A
 connection reset in the middle of such a flip (or a server restart) is
 handled like any retryable failure: the client tears the dead connection
 down and reconnects with the existing backoff policy.
+
+Mutations (``insert_edge`` / ``delete_edge``) are **idempotent under
+retry**: each client stamps every mutation with its ``client_tag`` plus
+a monotonically increasing client sequence number, and the retry loop
+reuses the exact same args dict — so when a ``timeout`` (or connection
+drop) hides whether the server applied the mutation, the retried request
+carries the same ``(client, cseq)`` and the server's dedup window
+returns the original result instead of double-applying.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
+import uuid
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.service import protocol
@@ -60,6 +69,7 @@ class ServiceClient:
         backoff_factor: float = 2.0,
         call_timeout: float = 10.0,
         on_epoch_change: Optional[Callable[[Optional[int], int], None]] = None,
+        client_tag: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -67,6 +77,10 @@ class ServiceClient:
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.call_timeout = call_timeout
+        #: Identity for mutation dedup; survives reconnects (not restarts —
+        #: pass an explicit tag for durable at-most-once across processes).
+        self.client_tag = client_tag or f"c-{uuid.uuid4().hex[:12]}"
+        self._next_cseq = 0
         #: Serving epoch stamped on the most recent response (None until
         #: the first epoch-carrying response arrives).
         self.last_epoch: Optional[int] = None
@@ -256,6 +270,32 @@ class ServiceClient:
         """Ask the server to hot-swap the bundle at ``directory`` in."""
         return await self.call("reload", directory=str(directory), verify=verify)
 
+    async def insert_edge(self, u: int, v: int) -> Dict[str, Any]:
+        """Insert edge ``{u, v}``; idempotent under transparent retry."""
+        self._next_cseq += 1
+        return await self.call(
+            "insert_edge", u=u, v=v, client=self.client_tag, cseq=self._next_cseq
+        )
+
+    async def delete_edge(self, u: int, v: int) -> Dict[str, Any]:
+        """Delete edge ``{u, v}``; idempotent under transparent retry."""
+        self._next_cseq += 1
+        return await self.call(
+            "delete_edge", u=u, v=v, client=self.client_tag, cseq=self._next_cseq
+        )
+
+    async def ingest_stats(self) -> Dict[str, Any]:
+        return await self.call("ingest_stats")
+
+    async def compact(self, verify: bool = True) -> Dict[str, Any]:
+        """Fold pending mutations into the bundle and swap the new epoch in.
+
+        Large folds can exceed ``call_timeout``; raise it (or retry — the
+        retried request finds the compaction either still ``ingest_frozen``
+        or already done and skipped) when compacting big overlays.
+        """
+        return await self.call("compact", verify=verify)
+
 
 class SyncServiceClient:
     """Blocking one-request-at-a-time client over a plain socket."""
@@ -269,6 +309,7 @@ class SyncServiceClient:
         backoff_base: float = 0.05,
         backoff_factor: float = 2.0,
         timeout: float = 10.0,
+        client_tag: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -277,6 +318,8 @@ class SyncServiceClient:
         self.backoff_factor = backoff_factor
         self.timeout = timeout
         self.last_epoch: Optional[int] = None
+        self.client_tag = client_tag or f"c-{uuid.uuid4().hex[:12]}"
+        self._next_cseq = 0
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
 
@@ -343,3 +386,24 @@ class SyncServiceClient:
     def reload(self, directory: str, verify: bool = True) -> Dict[str, Any]:
         """Ask the server to hot-swap the bundle at ``directory`` in."""
         return self.call("reload", directory=str(directory), verify=verify)
+
+    def insert_edge(self, u: int, v: int) -> Dict[str, Any]:
+        """Insert edge ``{u, v}``; idempotent under transparent retry."""
+        self._next_cseq += 1
+        return self.call(
+            "insert_edge", u=u, v=v, client=self.client_tag, cseq=self._next_cseq
+        )
+
+    def delete_edge(self, u: int, v: int) -> Dict[str, Any]:
+        """Delete edge ``{u, v}``; idempotent under transparent retry."""
+        self._next_cseq += 1
+        return self.call(
+            "delete_edge", u=u, v=v, client=self.client_tag, cseq=self._next_cseq
+        )
+
+    def ingest_stats(self) -> Dict[str, Any]:
+        return self.call("ingest_stats")
+
+    def compact(self, verify: bool = True) -> Dict[str, Any]:
+        """Fold pending mutations into the bundle and swap the new epoch in."""
+        return self.call("compact", verify=verify)

@@ -16,6 +16,12 @@ op                      args                  result
 ``partition_stats``     ``k``                 per-partition counts
 ``stats``               —                     global summary + metrics snapshot
 ``reload``              ``directory``         hot-swap a new bundle in (admin)
+``insert_edge``         ``u, v[, client,      place + WAL + apply one edge
+                        cseq]``               insert (needs ingest enabled)
+``delete_edge``         ``u, v[, client,      WAL + apply one edge delete,
+                        cseq]``               routed to ``owner_of_edge``
+``ingest_stats``        —                     pending delta, WAL size, RF drift
+``compact``             —                     fold overlay → bundle, swap epoch
 ======================  ====================  =================================
 
 ``stats`` and ``reload`` results carry the serving store's ``backend``
@@ -25,6 +31,13 @@ layout) so operators can see which adjacency path answers queries.
 ``execute_batch`` coalesces duplicate ``(op, args)`` pairs inside one
 batch — under skewed access patterns (the norm for power-law graphs) hot
 vertices are looked up many times per batching window and computed once.
+Mutating ops are never coalesced, and read results are shared only
+within one ``(epoch, delta_version)`` — a coalesced read batch observes
+one delta version even when a mutation lands mid-batch.
+
+The mutation ops are live only when an :class:`~repro.service.ingest.
+Ingestor` is attached (``serve --wal`` / ``attach_ingestor``); without
+one they answer ``bad_request``.
 
 Every response is stamped with the **epoch** of the store that produced
 it: the handler leases the live store from its
@@ -40,6 +53,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.service import protocol
+from repro.service.ingest import (
+    CapacityError,
+    ConflictError,
+    IngestFrozen,
+    Ingestor,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import (
     PartitionStore,
@@ -57,7 +76,14 @@ OPERATIONS = (
     "partition_stats",
     "stats",
     "reload",
+    "insert_edge",
+    "delete_edge",
+    "ingest_stats",
+    "compact",
 )
+
+#: Ops that change server state: never coalesced inside a batch.
+MUTATING_OPS = frozenset({"insert_edge", "delete_edge", "compact", "reload"})
 
 #: A ``(store, epoch)`` pair pinned by :meth:`StoreManager.acquire`.
 Lease = Tuple[PartitionStore, int]
@@ -78,6 +104,23 @@ class ServiceHandler:
                 self.manager.metrics = self.metrics
         else:
             self.manager = StoreManager(store, metrics=self.metrics)
+        #: Mutation subsystem; ``None`` keeps the service read-only.
+        self.ingestor: Optional[Ingestor] = None
+
+    def attach_ingestor(self, ingestor: Ingestor) -> None:
+        """Enable the mutation ops (``insert_edge`` etc.) on this handler.
+
+        The handler's metrics are shared with the ingest layer (unless it
+        brought its own) so WAL fsync latency and the
+        ``pending_mutations`` / ``wal_bytes`` / ``overlay_rf_drift``
+        gauges surface through the ``stats`` query.
+        """
+        self.ingestor = ingestor
+        if ingestor.metrics is None:
+            ingestor.metrics = self.metrics
+        if ingestor.wal.metrics is None:
+            ingestor.wal.metrics = self.metrics
+        ingestor.publish_gauges()
 
     @property
     def store(self) -> PartitionStore:
@@ -137,6 +180,21 @@ class ServiceHandler:
                 str(exc),
                 epoch=self.manager.epoch,
             )
+        except ConflictError as exc:
+            self.metrics.inc("requests_conflict")
+            return protocol.error_response(
+                request_id, protocol.CONFLICT, str(exc), epoch=epoch
+            )
+        except CapacityError as exc:
+            self.metrics.inc("requests_capacity")
+            return protocol.error_response(
+                request_id, protocol.CAPACITY, str(exc), epoch=epoch
+            )
+        except IngestFrozen as exc:
+            self.metrics.inc("requests_frozen")
+            return protocol.error_response(
+                request_id, protocol.INGEST_FROZEN, str(exc), epoch=epoch
+            )
         except KeyError as exc:
             self.metrics.inc("requests_not_found")
             return protocol.error_response(
@@ -158,8 +216,9 @@ class ServiceHandler:
                 self.manager.release(epoch)
         self.metrics.inc("requests_ok")
         self.metrics.inc(f"op_{op}")
-        # A successful reload answers with the *new* epoch it installed.
-        epoch = result.get("epoch", epoch) if op == "reload" else epoch
+        # A successful reload/compact answers with the *new* epoch it installed.
+        if op in ("reload", "compact"):
+            epoch = result.get("epoch", epoch)
         return protocol.ok_response(request_id, result, epoch=epoch)
 
     # -- batched requests --------------------------------------------------
@@ -186,7 +245,12 @@ class ServiceHandler:
         for request, lease in zip(requests, leases):
             key = _coalesce_key(request)
             if key is not None:
-                key = (lease[1] if lease else self.manager.epoch,) + key
+                # Results are shared only within one (epoch, delta_version)
+                # snapshot: a mutation mid-batch bumps the version, so later
+                # duplicates recompute instead of reusing a stale answer.
+                store = lease[0] if lease else self.manager.store
+                epoch = lease[1] if lease else self.manager.epoch
+                key = (epoch, getattr(store, "delta_version", 0)) + key
             if key is not None and key in computed:
                 self.metrics.inc("batch_dedup_hits")
                 response = dict(computed[key])
@@ -237,11 +301,62 @@ class ServiceHandler:
             result["metrics"] = self.metrics.snapshot()
             return result
         if op == "reload":
+            self._guard_reload()
             return self.manager.reload_sync(
                 _str_arg(args, "directory"),
                 verify=bool(args.get("verify", True)),
             )
+        if op == "insert_edge":
+            ingestor = self._require_ingestor()
+            u = _int_arg(args, "u")
+            v = _int_arg(args, "v")
+            if u == v:
+                raise _BadArgs(f"self loop ({u}, {v}) is not a valid edge")
+            return ingestor.insert_edge(
+                u, v, client=_opt_str_arg(args, "client"),
+                cseq=_opt_int_arg(args, "cseq"),
+            )
+        if op == "delete_edge":
+            ingestor = self._require_ingestor()
+            u = _int_arg(args, "u")
+            v = _int_arg(args, "v")
+            if u == v:
+                raise _BadArgs(f"self loop ({u}, {v}) is not a valid edge")
+            return ingestor.delete_edge(
+                u, v, client=_opt_str_arg(args, "client"),
+                cseq=_opt_int_arg(args, "cseq"),
+            )
+        if op == "ingest_stats":
+            return self._require_ingestor().ingest_stats()
+        if op == "compact":
+            # Blocking in-process path; the TCP server intercepts the op
+            # and awaits Ingestor.compact() off the event loop instead.
+            return self._require_ingestor().compact_sync(
+                verify=bool(args.get("verify", True))
+            )
         raise _BadArgs(f"unknown op {op!r}")  # pragma: no cover - guarded above
+
+    def _require_ingestor(self) -> Ingestor:
+        if self.ingestor is None:
+            raise _BadArgs("ingest is not enabled on this server (serve --wal)")
+        return self.ingestor
+
+    def _guard_reload(self) -> None:
+        """Refuse a plain reload that would orphan unfolded mutations.
+
+        Swapping in an unrelated bundle while the overlay/WAL hold
+        acknowledged mutations would silently drop them (and poison the
+        next WAL replay).  ``compact`` is the sanctioned path: it folds,
+        resets the WAL, then swaps.
+        """
+        ingestor = self.ingestor
+        if ingestor is None:
+            return
+        if ingestor.overlay.pending_mutations or ingestor.wal.size:
+            raise ReloadError(
+                f"{ingestor.overlay.pending_mutations} pending mutations "
+                "in the overlay/WAL; run compact instead of reload"
+            )
 
 
 class _BadArgs(ValueError):
@@ -263,11 +378,30 @@ def _str_arg(args: Dict[str, Any], name: str) -> str:
     return value
 
 
+def _opt_int_arg(args: Dict[str, Any], name: str) -> Optional[int]:
+    if args.get(name) is None:
+        return None
+    return _int_arg(args, name)
+
+
+def _opt_str_arg(args: Dict[str, Any], name: str) -> Optional[str]:
+    if args.get(name) is None:
+        return None
+    return _str_arg(args, name)
+
+
 def _coalesce_key(request: Dict[str, Any]) -> Optional[Tuple]:
-    """Hashable identity of a request, ignoring ``id``; None if unkeyable."""
+    """Hashable identity of a request, ignoring ``id``; None if unkeyable.
+
+    Mutating ops are never coalesced: two identical inserts are two
+    mutations (the second must report its own conflict/dedup outcome),
+    not one computation.
+    """
     op = request.get("op")
     args = request.get("args") or {}
     if not isinstance(op, str) or not isinstance(args, dict):
+        return None
+    if op in MUTATING_OPS:
         return None
     try:
         return (op, tuple(sorted(args.items())))

@@ -52,6 +52,12 @@ SHUTTING_DOWN = "shutting_down"
 RELOAD_FAILED = "reload_failed"
 #: A reload arrived while another bundle build was in flight.
 RELOAD_IN_PROGRESS = "reload_in_progress"
+#: A mutation contradicts current state (duplicate insert, double delete).
+CONFLICT = "conflict"
+#: Every partition is at the ingest capacity bound; compact or repartition.
+CAPACITY = "capacity"
+#: Mutations are paused while a compaction folds the overlay — retry shortly.
+INGEST_FROZEN = "ingest_frozen"
 #: Handler raised; the failure is logged server-side.
 INTERNAL = "internal"
 
@@ -64,12 +70,17 @@ ERROR_CODES = frozenset(
         SHUTTING_DOWN,
         RELOAD_FAILED,
         RELOAD_IN_PROGRESS,
+        CONFLICT,
+        CAPACITY,
+        INGEST_FROZEN,
         INTERNAL,
     }
 )
 
-#: Error codes a client may transparently retry (with backoff).
-RETRYABLE_CODES = frozenset({OVERLOAD, TIMEOUT})
+#: Error codes a client may transparently retry (with backoff).  A frozen
+#: ingest is retryable by construction: the mutation was *not* applied and
+#: the freeze lifts when the compaction's fold finishes.
+RETRYABLE_CODES = frozenset({OVERLOAD, TIMEOUT, INGEST_FROZEN})
 
 
 class ProtocolError(ValueError):

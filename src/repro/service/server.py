@@ -51,6 +51,7 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple, U
 
 from repro.service import protocol
 from repro.service.handler import ServiceHandler
+from repro.service.ingest import IngestFrozen, Ingestor
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import (
     PartitionStore,
@@ -106,6 +107,7 @@ class PartitionServer:
         batch_handler: Optional[BatchHandler] = None,
         handler: Optional[ServiceHandler] = None,
         allow_reload: bool = True,
+        ingestor: Optional[Ingestor] = None,
     ) -> None:
         if store is None and batch_handler is None and handler is None:
             raise ValueError("need a store, a handler, or an explicit batch_handler")
@@ -130,6 +132,10 @@ class PartitionServer:
             self.manager = handler.manager
             batch_handler = handler.execute_batch
         self._batch_handler = batch_handler
+        #: Mutation subsystem (``serve --wal``); None = read-only service.
+        self.ingestor = ingestor
+        if ingestor is not None and self._handler is not None:
+            self._handler.attach_ingestor(ingestor)
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[asyncio.Queue] = None
@@ -288,18 +294,106 @@ class PartitionServer:
         self._admin_tasks.add(task)
         task.add_done_callback(self._admin_tasks.discard)
 
+    def _spawn_compact(self, pending: _Pending) -> None:
+        task = asyncio.create_task(
+            self._compact_request(pending), name="repro-serve-compact"
+        )
+        self._admin_tasks.add(task)
+        task.add_done_callback(self._admin_tasks.discard)
+
+    async def _compact_request(self, pending: _Pending) -> None:
+        """Admission + execution of one ``compact`` admin request.
+
+        Like ``reload``, compaction bypasses the data-plane queue: its
+        epoch swap waits for old-epoch leases to drain, so it must never
+        sit *behind* the requests holding those leases.  The fold and
+        ``save_partition`` run in an executor thread; only mutations are
+        frozen meanwhile (they fail fast with the retryable
+        ``ingest_frozen``), reads keep serving throughout.
+        """
+        assert self.manager is not None and self.ingestor is not None
+        request_id = pending.request.get("id")
+        args = pending.request.get("args") or {}
+        if not isinstance(args, dict):
+            args = {}
+        try:
+            info = await self.ingestor.compact(
+                verify=bool(args.get("verify", True))
+            )
+        except IngestFrozen as exc:
+            response = protocol.error_response(
+                request_id,
+                protocol.INGEST_FROZEN,
+                str(exc),
+                epoch=self.manager.epoch,
+            )
+        except ReloadInProgress as exc:
+            response = protocol.error_response(
+                request_id,
+                protocol.RELOAD_IN_PROGRESS,
+                str(exc),
+                epoch=self.manager.epoch,
+            )
+        except ReloadError as exc:
+            response = protocol.error_response(
+                request_id,
+                protocol.RELOAD_FAILED,
+                str(exc),
+                epoch=self.manager.epoch,
+            )
+        except Exception as exc:  # noqa: BLE001 — fault barrier
+            logger.exception("compaction failed unexpectedly")
+            response = protocol.error_response(
+                request_id,
+                protocol.INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                epoch=self.manager.epoch,
+            )
+        else:
+            self.metrics.inc("requests_ok")
+            self.metrics.inc("op_compact")
+            if not info.get("skipped"):
+                logger.info(
+                    "compaction: folded %s mutations, epoch %s -> %s",
+                    info.get("folded_mutations"),
+                    info.get("previous_epoch"),
+                    info.get("epoch"),
+                )
+            response = protocol.ok_response(
+                request_id, info, epoch=info.get("epoch", self.manager.epoch)
+            )
+        if not pending.future.done():
+            pending.future.set_result(response)
+
     async def _reload_request(self, pending: _Pending) -> None:
         """Admission + execution of one ``reload`` admin request."""
         assert self.manager is not None
         request_id = pending.request.get("id")
         args = pending.request.get("args") or {}
         directory = args.get("directory") if isinstance(args, dict) else None
+        pending_mutations = (
+            self.ingestor.overlay.pending_mutations
+            if self.ingestor is not None
+            else 0
+        )
         if not self.allow_reload:
             self.metrics.inc("requests_bad")
             response = protocol.error_response(
                 request_id,
                 protocol.BAD_REQUEST,
                 "hot reload is disabled on this server",
+                epoch=self.manager.epoch,
+            )
+        elif pending_mutations or (
+            self.ingestor is not None and self.ingestor.wal.size
+        ):
+            # A plain reload would orphan acknowledged mutations (and
+            # poison the next WAL replay); compact is the sanctioned path.
+            response = protocol.error_response(
+                request_id,
+                protocol.RELOAD_FAILED,
+                f"{pending_mutations} pending mutations in the overlay/WAL; "
+                "run compact instead of reload",
                 epoch=self.manager.epoch,
             )
         elif not isinstance(directory, str) or not directory:
@@ -427,6 +521,18 @@ class PartitionServer:
                     # leases its own drain barrier is about to wait on.
                     pending = _Pending(request, loop.create_future(), loop.time())
                     self._spawn_reload(pending)
+                    await responses.put(pending)
+                    continue
+                if (
+                    self.manager is not None
+                    and self.ingestor is not None
+                    and request.get("op") == "compact"
+                ):
+                    # Same admin plane for compaction: its epoch swap also
+                    # drains data-plane leases.  (Without an ingestor the
+                    # op falls through to the handler's bad_request.)
+                    pending = _Pending(request, loop.create_future(), loop.time())
+                    self._spawn_compact(pending)
                     await responses.put(pending)
                     continue
                 # Pin the request to the live epoch *now*: if a hot swap

@@ -43,7 +43,7 @@ from __future__ import annotations
 import asyncio
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -191,6 +191,15 @@ class PartitionStore:
         """Neighbours of ``v`` within partition ``k`` only."""
         return set(self._adj[k].get(v, set()))
 
+    def local_degree(self, v: int, k: int) -> int:
+        """Number of partition-``k`` edges incident to ``v`` (0 if absent).
+
+        The graph is simple, so this equals ``len(local_neighbors(v, k))``
+        but without materialising the set — the ingest overlay calls it
+        once per mutation endpoint.
+        """
+        return len(self._adj[k].get(v, ()))
+
     # -- summaries ---------------------------------------------------------
 
     def partition_stats(self, k: int) -> Dict[str, int]:
@@ -207,13 +216,16 @@ class PartitionStore:
             "mirrors": len(vertices) - masters,
         }
 
+    def total_replicas(self) -> int:
+        """Total replica count over all covered vertices (the RF numerator)."""
+        return sum(len(r) for r in self._table.replicas.values())
+
     def replication_factor(self) -> float:
         """Mean replicas per covered vertex (1.0 for the empty store)."""
         covered = len(self._table.replicas)
         if covered == 0:
             return 1.0
-        total = sum(len(r) for r in self._table.replicas.values())
-        return total / covered
+        return self.total_replicas() / covered
 
     def partition_sizes(self) -> List[int]:
         """``|E(P_k)|`` for each partition."""
@@ -380,6 +392,14 @@ class CSRPartitionStore(PartitionStore):
         lo, hi = int(indptr[row]), int(indptr[row + 1])
         return {int(x) for x in ids[indices[lo:hi]]}
 
+    def local_degree(self, v: int, k: int) -> int:
+        """Number of partition-``k`` edges incident to ``v`` (0 if absent)."""
+        _, indptr, _ = self._csr.parts[k]
+        row = self._local_row(v, k)
+        if row is None:
+            return 0
+        return int(indptr[row + 1]) - int(indptr[row])
+
     # -- summaries ---------------------------------------------------------
 
     def partition_stats(self, k: int) -> Dict[str, int]:
@@ -406,12 +426,16 @@ class CSRPartitionStore(PartitionStore):
         """``|E(P_k)|`` for each partition."""
         return [len(indices) // 2 for _, _, indices in self._csr.parts]
 
+    def total_replicas(self) -> int:
+        """Total replica count over all covered vertices (the RF numerator)."""
+        return len(self._csr.rep_parts)
+
     def replication_factor(self) -> float:
         """Mean replicas per covered vertex (1.0 for the empty store)."""
         covered = len(self._csr.vertex_ids)
         if covered == 0:
             return 1.0
-        return len(self._csr.rep_parts) / covered
+        return self.total_replicas() / covered
 
 
 # -- hot re-partitioning ----------------------------------------------------
@@ -465,6 +489,11 @@ class StoreManager:
         self.drain_timeout = drain_timeout
         #: Backend every reload opens replacement bundles with.
         self.backend = backend
+        #: Optional decorator applied to every store the manager builds
+        #: (the live one via :meth:`wrap_live`, replacements in
+        #: :meth:`_build`).  The ingest layer uses it to re-wrap each new
+        #: epoch in a fresh :class:`~repro.service.ingest.DeltaOverlay`.
+        self.wrap: Optional[Callable[[PartitionStore], PartitionStore]] = None
         if store.epoch == 0:
             store.epoch = 1
         self._store = store
@@ -593,7 +622,29 @@ class StoreManager:
         }
 
     def _build(self, directory: PathLike, verify: bool) -> PartitionStore:
-        return PartitionStore.open(directory, verify=verify, backend=self.backend)
+        store = PartitionStore.open(directory, verify=verify, backend=self.backend)
+        if self.wrap is not None:
+            store = self.wrap(store)
+        return store
+
+    def wrap_live(
+        self, wrapper: Callable[[PartitionStore], PartitionStore]
+    ) -> PartitionStore:
+        """Decorate the live store in place and every future build.
+
+        Must run before the manager starts handing out leases (server
+        start-up): the live store is replaced under the same epoch, so a
+        request pinned to the bare store would otherwise keep seeing it.
+        Returns the wrapped live store.
+        """
+        if self.active_leases():
+            raise RuntimeError("cannot wrap the live store while leases are out")
+        self.wrap = wrapper
+        epoch = self._store.epoch
+        wrapped = wrapper(self._store)
+        wrapped.epoch = epoch
+        self._store = wrapped
+        return wrapped
 
     async def reload(
         self, directory: PathLike, *, verify: bool = True

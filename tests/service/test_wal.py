@@ -1,0 +1,221 @@
+"""WAL framing, fsync policies, and crash-injection recovery.
+
+The crash model: a killed process leaves an arbitrary prefix of the log
+file on disk (appends are sequential, so a crash can only truncate, not
+reorder).  ``TestCrashInjection`` therefore chops a populated log at
+*every* byte boundary and requires ``open()`` to recover a clean prefix
+of the original records without ever raising.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.wal import FSYNC_POLICIES, WriteAheadLog
+
+
+def _records(n):
+    return [{"op": "insert", "seq": i, "u": i, "v": i + 1, "k": i % 3} for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_empty_log_opens_empty(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.wal", fsync="never")
+        assert wal.open() == []
+        assert wal.size == 0
+        assert wal.torn_bytes_dropped == 0
+        wal.close()
+
+    def test_append_reopen_round_trips(self, tmp_path):
+        path = tmp_path / "w.wal"
+        records = _records(25)
+        wal = WriteAheadLog(path, fsync="always")
+        wal.open()
+        for record in records:
+            size = wal.append(record)
+            assert size == wal.size
+        assert wal.records_appended == len(records)
+        wal.close()
+
+        reopened = WriteAheadLog(path, fsync="never")
+        assert reopened.open() == records
+        assert reopened.records_replayed == len(records)
+        assert reopened.torn_bytes_dropped == 0
+        reopened.close()
+
+    def test_reset_truncates_to_empty(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.open()
+        for record in _records(5):
+            wal.append(record)
+        assert wal.size > 0
+        wal.reset()
+        assert wal.size == 0
+        wal.close()
+        assert WriteAheadLog(path).open() == []
+
+    def test_lifecycle_errors(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.wal")
+        with pytest.raises(RuntimeError):
+            wal.append({"op": "insert"})
+        wal.open()
+        with pytest.raises(RuntimeError):
+            wal.open()
+        assert wal.is_open
+        wal.close()
+        wal.close()  # idempotent
+        assert not wal.is_open
+
+    def test_invalid_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "w.wal", fsync="sometimes")
+        assert set(FSYNC_POLICIES) == {"always", "batch", "never"}
+
+
+class TestCrashInjection:
+    """Kill-mid-append: any byte-prefix of the log recovers cleanly."""
+
+    def test_every_truncation_point_recovers_a_record_prefix(self, tmp_path):
+        path = tmp_path / "w.wal"
+        records = _records(8)
+        wal = WriteAheadLog(path, fsync="always")
+        wal.open()
+        frame_ends = [wal.append(record) for record in records]
+        wal.close()
+        payload = path.read_bytes()
+
+        for cut in range(len(payload) + 1):
+            chopped = tmp_path / "chopped.wal"
+            chopped.write_bytes(payload[:cut])
+            recovered_wal = WriteAheadLog(chopped, fsync="never")
+            recovered = recovered_wal.open()
+            # A prefix of the original records, nothing invented.
+            assert recovered == records[: len(recovered)]
+            # Exactly the records whose frames fit inside the cut.
+            expected = sum(1 for end in frame_ends if end <= cut)
+            assert len(recovered) == expected
+            # The torn bytes were dropped from disk: a second open is clean.
+            assert recovered_wal.torn_bytes_dropped == cut - (
+                frame_ends[expected - 1] if expected else 0
+            )
+            recovered_wal.close()
+            again = WriteAheadLog(chopped, fsync="never")
+            assert again.open() == recovered
+            assert again.torn_bytes_dropped == 0
+            again.close()
+
+    def test_append_after_torn_tail_continues_the_log(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.open()
+        for record in _records(3):
+            wal.append(record)
+        wal.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\xff\x00garbage-torn-tail")
+
+        wal = WriteAheadLog(path, fsync="never")
+        assert len(wal.open()) == 3
+        assert wal.torn_bytes_dropped > 0
+        wal.append({"op": "insert", "seq": 3, "u": 9, "v": 10, "k": 0})
+        wal.close()
+        assert len(WriteAheadLog(path).open()) == 4
+
+    def test_corrupt_crc_mid_file_truncates_there(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.open()
+        sizes = [wal.append(record) for record in _records(6)]
+        wal.close()
+        data = bytearray(path.read_bytes())
+        # Flip one byte inside record 3's body (just past its header).
+        data[sizes[2] + 8] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        wal = WriteAheadLog(path, fsync="never")
+        assert wal.open() == _records(3)
+        # Everything after the bad frame is unordered garbage: dropped.
+        assert wal.torn_bytes_dropped == len(data) - sizes[2]
+        wal.close()
+
+    @pytest.mark.parametrize(
+        "body",
+        [b"not json at all", b"[1,2,3]", b'"a string"'],
+        ids=["garbage", "array", "string"],
+    )
+    def test_valid_crc_but_non_record_body_truncates(self, tmp_path, body):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.open()
+        wal.append({"op": "insert", "seq": 0, "u": 0, "v": 1, "k": 0})
+        wal.close()
+        with open(path, "ab") as fh:
+            fh.write(struct.pack(">II", len(body), zlib.crc32(body) & 0xFFFFFFFF))
+            fh.write(body)
+
+        wal = WriteAheadLog(path, fsync="never")
+        assert len(wal.open()) == 1
+        assert wal.torn_bytes_dropped == 8 + len(body)
+        wal.close()
+
+    def test_absurd_length_field_rejected(self, tmp_path):
+        path = tmp_path / "w.wal"
+        # A header claiming a 1 GiB body must not trigger a 1 GiB read.
+        path.write_bytes(struct.pack(">II", 1 << 30, 0))
+        wal = WriteAheadLog(path, fsync="never")
+        assert wal.open() == []
+        assert wal.torn_bytes_dropped == 8
+        wal.close()
+
+
+class TestFsyncPolicies:
+    def test_always_fsyncs_every_append(self, tmp_path):
+        metrics = ServiceMetrics()
+        wal = WriteAheadLog(tmp_path / "w.wal", fsync="always", metrics=metrics)
+        wal.open()
+        for record in _records(4):
+            wal.append(record)
+        wal.close()
+        assert metrics.latency["wal_fsync"].count == 4
+
+    def test_batch_fsyncs_at_most_once_per_interval(self, tmp_path):
+        metrics = ServiceMetrics()
+        wal = WriteAheadLog(
+            tmp_path / "w.wal", fsync="batch", batch_interval=3600.0, metrics=metrics
+        )
+        wal.open()
+        for record in _records(10):
+            wal.append(record)
+        # First append fsyncs (interval elapsed since epoch 0), rest batch.
+        assert metrics.latency["wal_fsync"].count == 1
+        wal.sync()  # explicit barrier flushes the batch
+        assert metrics.latency["wal_fsync"].count == 2
+        wal.close()
+
+    def test_never_policy_still_flushes_records(self, tmp_path):
+        path = tmp_path / "w.wal"
+        metrics = ServiceMetrics()
+        wal = WriteAheadLog(path, fsync="never", metrics=metrics)
+        wal.open()
+        for record in _records(6):
+            wal.append(record)
+        wal.sync()  # no-op
+        assert "wal_fsync" not in metrics.latency
+        # Flushed to the OS: another handle sees every record.
+        assert len(WriteAheadLog(path)._scan()[0]) == 6
+        wal.close()
+
+    def test_records_are_greppable_json(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.open()
+        wal.append({"op": "insert", "seq": 7, "u": 1, "v": 2, "k": 0})
+        wal.close()
+        raw = path.read_bytes()[8:]
+        assert json.loads(raw.decode("utf-8"))["seq"] == 7
+        # Compact separators and sorted keys, as documented.
+        assert raw == b'{"k":0,"op":"insert","seq":7,"u":1,"v":2}'
