@@ -1,0 +1,96 @@
+"""CI gate for the perf smoke job.
+
+Run after ``python -m repro.bench serve --quick`` and ``python -m
+repro.bench perf --quick`` have written their reports into the current
+directory.  Checks, in order:
+
+1. ``BENCH_serve.json`` is schema v4+ and carries the ``batch`` section
+   (batches actually formed, requests actually vectorised) — the batch
+   path silently falling back to scalar would pass every correctness
+   test while losing the throughput this PR bought.
+2. Quick-config throughput has not regressed more than
+   ``MAX_REGRESSION`` vs the committed quick baseline
+   (``benchmarks/BENCH_serve.quick.json``).  Refresh that baseline in
+   the same PR whenever a deliberate change moves it.
+3. ``BENCH_perf.json`` is schema v2+ and its ``parallel`` section proves
+   the thread-pool paths stayed bit-identical (``grow_identical`` /
+   ``fold_identical``) and recorded ``grow_threads`` / ``fold_seconds``.
+
+Exits non-zero with a one-line reason on the first failure.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Fraction of baseline throughput below which the job fails (>30%
+#: regression per the issue; CI runners are noisy, anything tighter
+#: false-alarms on shared hardware).
+MAX_REGRESSION = 0.30
+
+HERE = pathlib.Path(__file__).resolve().parent
+SERVE_BASELINE = HERE / "BENCH_serve.quick.json"
+
+
+def fail(reason: str) -> None:
+    print(f"perf smoke FAILED: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    serve_path = pathlib.Path("BENCH_serve.json")
+    perf_path = pathlib.Path("BENCH_perf.json")
+    for path in (serve_path, perf_path):
+        if not path.exists():
+            fail(f"{path} not found — run the quick benches first")
+
+    serve = json.loads(serve_path.read_text(encoding="utf-8"))
+    if int(serve.get("version", 0)) < 4:
+        fail(f"BENCH_serve.json schema {serve.get('version')!r} < 4")
+    batch = serve.get("batch")
+    if not isinstance(batch, dict):
+        fail("BENCH_serve.json has no 'batch' section")
+    if int(batch.get("batches", 0)) <= 0:
+        fail("no batches formed — dispatcher batching is off")
+    if int(batch.get("vectorised_requests", 0)) <= 0:
+        fail("no requests vectorised — batch path fell back to scalar")
+    if not serve.get("quick"):
+        fail("BENCH_serve.json is not a --quick run; gate compares quick-to-quick")
+
+    baseline = json.loads(SERVE_BASELINE.read_text(encoding="utf-8"))
+    floor = baseline["requests_per_s"] * (1.0 - MAX_REGRESSION)
+    fresh = serve["requests_per_s"]
+    if fresh < floor:
+        fail(
+            f"throughput {fresh} req/s is below {floor:.0f} "
+            f"(baseline {baseline['requests_per_s']} minus {MAX_REGRESSION:.0%})"
+        )
+
+    perf = json.loads(perf_path.read_text(encoding="utf-8"))
+    if int(perf.get("version", 0)) < 2:
+        fail(f"BENCH_perf.json schema {perf.get('version')!r} < 2")
+    parallel = perf.get("parallel")
+    if not isinstance(parallel, dict):
+        fail("BENCH_perf.json has no 'parallel' section")
+    if not parallel.get("grow_identical"):
+        fail("threaded growth diverged from sequential output")
+    if not parallel.get("fold_identical"):
+        fail("parallel compaction fold produced a different bundle")
+    for field in ("grow_threads", "fold_seconds"):
+        if field not in parallel:
+            fail(f"BENCH_perf.json parallel section missing {field!r}")
+
+    print(
+        "perf smoke OK: "
+        f"{fresh} req/s (baseline {baseline['requests_per_s']}), "
+        f"{batch['batches']} batches (mean {batch['mean_batch_size']}), "
+        f"{batch['vectorised_requests']} vectorised; "
+        f"grow_threads={parallel['grow_threads']} "
+        f"fold_seconds={parallel['fold_seconds']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

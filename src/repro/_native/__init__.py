@@ -11,6 +11,16 @@ the pure-numpy CSR path, which is bit-for-bit equivalent.
 Set ``REPRO_NO_NATIVE=1`` to force the numpy fallback (used by the test
 suite to cover both paths), ``REPRO_NATIVE_CACHE`` to move the build
 cache.
+
+**Threading.** The kernel is loaded with :class:`ctypes.CDLL`, so every
+``tlp_grow_episode`` call releases the GIL for its whole duration —
+growth jobs fanned out by :func:`repro.core.parallel.partition_many`
+overlap their episodes on separate cores.  The kernel itself keeps no
+global state: everything it reads or writes lives in the
+:class:`GrowState` struct it is handed, so concurrent calls are safe as
+long as each thread passes its own state (each
+:class:`~repro.core.native_grow.NativeRunner` owns one).  Never share a
+``GrowState`` (or its backing ``NativeRunner`` buffers) between threads.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ Experiments (paper artefact in parentheses):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -111,6 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["always", "batch", "never"],
         default="always",
         help="serve only: WAL fsync policy for the mutate workload",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="serve only: run the load phase under cProfile and dump the "
+        "top-20 cumulative hotspots next to BENCH_serve.json",
     )
     return parser
 
@@ -312,6 +319,13 @@ def _run_serve(args) -> None:
     print(render_banner("Serving — partition-service load test"))
     print(f"graph: {dataset} scale={scale:g}, p=8, {requests} mixed queries\n")
     graph = load_cached(dataset, scale=scale, seed=args.seed)
+    profile_path = None
+    if args.profile:
+        from repro.bench.serve import DEFAULT_REPORT
+
+        base = args.output if args.output else DEFAULT_REPORT
+        root, _ = os.path.splitext(base)
+        profile_path = f"{root}_profile.txt"
     report = run_serve(
         graph,
         dataset=dataset,
@@ -321,6 +335,7 @@ def _run_serve(args) -> None:
         mutate_ratio=args.mutate,
         delete_ratio=args.delete_ratio,
         fsync=args.fsync,
+        profile_path=profile_path,
         progress=lambda message: print(f"  {message}", file=sys.stderr),
     )
     print(
@@ -345,6 +360,14 @@ def _run_serve(args) -> None:
         f"verified {report['verified_neighbors']} neighbour fan-outs "
         f"and {report['verified_edges']} edge routes"
     )
+    batch = report["batch"]
+    print(
+        f"batching: {batch['batches']} batches, mean size "
+        f"{batch['mean_batch_size']:g}, {batch['vectorised_requests']} "
+        f"vectorised answers, {batch['dedup_hits']} dedup hits"
+    )
+    if profile_path:
+        print(f"profile: top-20 cumulative hotspots in {profile_path}")
     ingest = report.get("ingest")
     if ingest:
         fsync_ms = ingest.get("wal_fsync_ms") or {}

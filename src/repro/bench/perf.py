@@ -17,15 +17,20 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.graph import Graph
 from repro.partitioning.metrics import replication_factor
 
 #: Bump when the schema of ``BENCH_perf.json`` changes.
-SCHEMA_VERSION = 1
+#: v2 adds the ``parallel`` section: ``grow_threads``, sequential vs
+#: thread-pool growth timings, and the compaction-fold ``fold_seconds``
+#: (all additive — v1 readers ignore it).
+SCHEMA_VERSION = 2
 
 #: The probe workload: G5 (Slashdot0811) is the largest stand-in that the
 #: full benchmark finishes in a couple of minutes at scale 0.25.
@@ -130,7 +135,89 @@ def run_perf(
         "seeds": list(seeds),
         "edges": graph.num_edges,
         "speedup": round(ref_secs / csr_secs, 2) if csr_secs else None,
+        "parallel": _parallel_section(graph, p, seeds),
         "results": [asdict(row) for row in rows],
+    }
+
+
+def _bundle_digests(directory: Path) -> Dict[str, object]:
+    """The checksums save_partition recorded (identity fingerprint)."""
+    manifest = json.loads(
+        (directory / "partition.json").read_text(encoding="utf-8")
+    )
+    return {
+        "sidecar": manifest["csr_sidecar"]["checksum"],
+        "parts": [entry["checksum"] for entry in manifest["partitions"]],
+    }
+
+
+def _parallel_section(graph: Graph, p: int, seeds: Sequence[int]) -> Dict:
+    """Measure thread-pool growth and compaction fold vs sequential.
+
+    Both measurements double as identity checks: the threaded growth
+    jobs must reproduce the sequential partitionings exactly, and the
+    parallel fold+save must produce a bundle with the same sha256
+    digests (per-partition edge checksums and sidecar checksum) as the
+    sequential one.  On a 1-core host the timings tie — the fields
+    still land so multi-core runs have a baseline to diff against.
+    """
+    from repro.core.parallel import partition_many, resolve_workers
+    from repro.core.tlp import TLPPartitioner
+    from repro.partitioning.serialization import save_partition
+    from repro.service.ingest import DeltaOverlay
+    from repro.service.store import PartitionStore
+
+    threads = resolve_workers(None)
+
+    # -- growth: independent per-seed jobs, sequential vs thread pool ----
+    def jobs():
+        return [
+            (TLPPartitioner(seed=seed, backend="csr"), graph, p)
+            for seed in seeds
+        ]
+
+    start = time.perf_counter()
+    sequential = [pt.partition(g, num) for pt, g, num in jobs()]
+    grow_seq = time.perf_counter() - start
+    start = time.perf_counter()
+    threaded = partition_many(jobs(), workers=threads)
+    grow_par = time.perf_counter() - start
+    grow_identical = all(
+        [s.edges_of(k) for k in range(p)] == [t.edges_of(k) for k in range(p)]
+        for s, t in zip(sequential, threaded)
+    )
+
+    # -- compaction fold: overlay with synthetic mutations ---------------
+    overlay = DeltaOverlay(PartitionStore(sequential[0]))
+    victims = []
+    for k in range(p):  # spread deletions over every partition
+        victims.extend(sequential[0].edges_of(k)[: max(1, graph.num_edges // (20 * p))])
+    for i, (u, v) in enumerate(victims):
+        was = overlay.apply_delete(u, v)
+        if i % 2 == 0:  # move half of them instead of dropping
+            overlay.apply_insert(u, v, (was + 1) % p)
+
+    def fold(workers: int, directory: Path) -> float:
+        start = time.perf_counter()
+        folded = overlay.to_partition(workers=workers)
+        save_partition(folded, directory, workers=workers)
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-fold-") as tmp:
+        seq_dir, par_dir = Path(tmp) / "seq", Path(tmp) / "par"
+        fold_seq = fold(1, seq_dir)
+        fold_par = fold(threads, par_dir)
+        fold_identical = _bundle_digests(seq_dir) == _bundle_digests(par_dir)
+
+    return {
+        "grow_threads": threads,
+        "grow_seconds_sequential": round(grow_seq, 4),
+        "grow_seconds_parallel": round(grow_par, 4),
+        "grow_identical": grow_identical,
+        "fold_mutations": len(victims),
+        "fold_seconds": round(fold_par, 4),
+        "fold_seconds_sequential": round(fold_seq, 4),
+        "fold_identical": fold_identical,
     }
 
 

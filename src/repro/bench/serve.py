@@ -44,7 +44,9 @@ from repro.graph.graph import Graph
 #: v3: additive ``ingest`` section (mutate workload: insert/delete
 #: throughput and WAL fsync latency); every v2 field is unchanged, so
 #: v2 readers keep working.
-SCHEMA_VERSION = 3
+#: v4: additive ``batch`` section (server-side batching + vectorised
+#: answering counters) — what the CI perf smoke job asserts on.
+SCHEMA_VERSION = 4
 
 DEFAULT_REPORT = "BENCH_serve.json"
 DEFAULT_DATASET = "G1"
@@ -197,14 +199,15 @@ async def _drive(
 
     async def worker(chunk: List[Tuple[str, Dict[str, int]]]) -> Tuple[int, int]:
         nonlocal_ok = [0, 0]
+        # Latencies accumulate locally and merge once at the end: an async
+        # lock acquisition per request would be measurable driver overhead.
+        local: Dict[str, List[float]] = {}
         client = ServiceClient(host, port, max_retries=5, backoff_base=0.02)
         async with client:
             for op, args in chunk:
                 start = time.perf_counter()
                 result = await client.call(op, **args)
-                elapsed = time.perf_counter() - start
-                async with lock:
-                    latencies[op].append(elapsed)
+                local.setdefault(op, []).append(time.perf_counter() - start)
                 if op == "neighbors":
                     routed = set(result["neighbors"])
                     direct = graph.neighbors(args["v"])
@@ -223,6 +226,9 @@ async def _drive(
                             f"{result['partition']}, owner is {expected}"
                         )
                     nonlocal_ok[1] += 1
+        async with lock:
+            for op, values in local.items():
+                latencies.setdefault(op, []).extend(values)
         return nonlocal_ok[0], nonlocal_ok[1]
 
     chunks = [workload[i::concurrency] for i in range(concurrency)]
@@ -248,6 +254,7 @@ def run_serve(
     mutate_ratio: float = 0.0,
     delete_ratio: float = 0.3,
     fsync: str = "always",
+    profile_path: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict:
     """Partition, persist, serve, and load-test ``graph``; returns the report.
@@ -260,6 +267,11 @@ def run_serve(
     read-side verification stays exact.  The report gains an ``ingest``
     section: mutation throughput, WAL bytes, fsync-policy latency
     (``fsync`` — always/batch/never), and RF drift.
+
+    ``profile_path`` runs the whole load phase under ``cProfile`` and
+    writes the top-20 cumulative hotspots there (plain text), so future
+    perf work starts from data instead of guesses.  Profiling slows the
+    run; the throughput figures of a profiled run are not comparable.
 
     Raises ``AssertionError`` if any routed response disagrees with the
     graph or the partition — correctness is part of what this benchmark
@@ -347,6 +359,15 @@ def run_serve(
             return latencies, n_ok, e_ok, stats, ingest, elapsed, mutate_seconds
 
         try:
+            if profile_path is not None:
+                import cProfile
+
+                note(f"profiling the load phase (cProfile -> {profile_path})")
+                profiler = cProfile.Profile()
+                outcome = profiler.runcall(asyncio.run, bench())
+                _write_profile(profiler, profile_path)
+            else:
+                outcome = asyncio.run(bench())
             (
                 latencies,
                 verified_neighbors,
@@ -355,7 +376,7 @@ def run_serve(
                 ingest_stats,
                 elapsed,
                 mutate_seconds,
-            ) = asyncio.run(bench())
+            ) = outcome
         finally:
             if ingestor is not None:
                 ingestor.close()
@@ -400,6 +421,24 @@ def run_serve(
             "wal_fsync_ms": stats["metrics"]["latency"].get("wal_fsync"),
         }
 
+    counters = stats["metrics"]["counters"]
+    batches = counters.get("batches", 0)
+    batch_report = {
+        # Server-side batching: how many dispatcher batches formed, how
+        # many requests rode in multi-request batches, and how much work
+        # the vectorised store path / coalescing absorbed.
+        "batches": batches,
+        "requests_in_batches": counters.get("batch_requests_total", 0),
+        "batched_requests": counters.get("batched_requests", 0),
+        "mean_batch_size": round(
+            counters.get("batch_requests_total", 0) / batches, 2
+        )
+        if batches
+        else 0.0,
+        "dedup_hits": counters.get("batch_dedup_hits", 0),
+        "vectorised_requests": counters.get("requests_vectorised", 0),
+    }
+
     total = sum(len(s) for s in latencies.values())
     return {
         "version": SCHEMA_VERSION,
@@ -420,10 +459,26 @@ def run_serve(
         "requests_per_s": round(total / elapsed) if elapsed else 0,
         "verified_neighbors": verified_neighbors,
         "verified_edges": verified_edges,
+        "batch": batch_report,
         "ingest": ingest_report,
         "ops": ops_report,
         "server_metrics": stats["metrics"],
     }
+
+
+def _write_profile(profiler, path: str, top: int = 20) -> str:
+    """Dump the top-``top`` cumulative-time hotspots to ``path``."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(buffer.getvalue())
+    os.replace(tmp, path)
+    return path
 
 
 def write_report(report: Dict, path: str = DEFAULT_REPORT) -> str:

@@ -10,6 +10,12 @@ backends produce — bit-for-bit.
 Only the stage policies the kernel encodes (modularity, edge-count
 ratio, fixed) are supported; :meth:`NativeRunner.try_create` returns
 ``None`` for anything else and the caller falls back to the numpy path.
+
+A runner is **single-threaded by construction** — it owns one
+``GrowState`` and one set of scratch buffers — but *different* runners
+are independent, and the ``ctypes`` episode call drops the GIL, so
+independent ``partition()`` jobs grow concurrently on real cores via
+:func:`repro.core.parallel.partition_many` (one job per worker thread).
 """
 
 from __future__ import annotations

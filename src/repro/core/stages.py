@@ -24,7 +24,15 @@ STAGE_TWO = 2
 
 
 class StagePolicy(abc.ABC):
-    """Decides which stage the current step of a round belongs to."""
+    """Decides which stage the current step of a round belongs to.
+
+    Policies are read-only after construction (``stage()`` must not
+    mutate the policy), which makes one instance safe to share between
+    the growth jobs :func:`repro.core.parallel.partition_many` runs
+    concurrently — the native kernel encodes the policy into its own
+    per-runner state anyway.  A custom subclass that accumulates state
+    across calls must get its own instance per job.
+    """
 
     @abc.abstractmethod
     def stage(self, state: PartitionState, capacity: int) -> int:

@@ -9,6 +9,7 @@ or lazily as an edge iterator for the streaming partitioners.
 from __future__ import annotations
 
 import gzip
+import io
 import os
 from pathlib import Path
 from typing import IO, Dict, Iterable, Iterator, Tuple, Union
@@ -19,11 +20,45 @@ from repro.graph.graph import Graph
 PathLike = Union[str, "os.PathLike[str]"]
 
 
+class _OwningTextIOWrapper(io.TextIOWrapper):
+    """Text wrapper that also closes the raw file under a gzip member.
+
+    ``GzipFile`` built on an explicit ``fileobj`` deliberately leaves
+    that fileobj open on close; this closes the whole stack.
+    """
+
+    def __init__(self, gz: gzip.GzipFile, raw: IO[bytes]) -> None:
+        super().__init__(gz, encoding="utf-8")  # type: ignore[arg-type]
+        self._raw_file = raw
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw_file.close()
+
+
 def open_text(path: PathLike, mode: str) -> IO[str]:
-    """Open a text file, transparently gzip-compressed when it ends ``.gz``."""
+    """Open a text file, transparently gzip-compressed when it ends ``.gz``.
+
+    Gzip *writes* are deterministic: the member header carries no source
+    file name and a zero mtime, so equal text compresses to equal bytes
+    — which is what lets ``save_partition`` produce byte-identical
+    compressed bundles regardless of when (or on how many threads) it
+    runs.  Plain ``gzip.open`` would stamp the temp file's random name
+    and the current time into the first 30-ish bytes.
+    """
     path = Path(path)
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+        if "r" in mode:
+            return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+        raw = open(path, mode + "b")
+        try:
+            gz = gzip.GzipFile(filename="", mode=mode + "b", fileobj=raw, mtime=0)
+            return _OwningTextIOWrapper(gz, raw)
+        except Exception:
+            raw.close()
+            raise
     return open(path, mode + "t", encoding="utf-8")
 
 

@@ -33,10 +33,11 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.parallel import parallel_map
 from repro.partitioning.assignment import EdgePartition
 
 PathLike = Union[str, Path]
@@ -95,20 +96,34 @@ def _partition_adjacency(
     return ids.astype(_DTYPE, copy=False), indptr, indices
 
 
-def build_partition_csr(partition: EdgePartition) -> PartitionCSR:
+def build_partition_csr(
+    partition: EdgePartition, workers: Optional[int] = None
+) -> PartitionCSR:
     """Freeze ``partition`` into the flat-array form.
 
     The master/replica tables are derived here with the exact
     :class:`~repro.runtime.replication.ReplicationTable` rule so the CSR
     and dict serving backends answer bit-identically.
+
+    ``workers`` fans the per-partition adjacency construction (the
+    ``unique``/``lexsort``/``bincount`` passes, which release the GIL
+    inside numpy) over a thread pool, one partition per worker.  The
+    result is bit-identical for any worker count: each partition's CSR
+    block depends only on its own edges, blocks merge by ascending
+    ``k``, and the replica/master derivation below is sequential over
+    that merged order.
     """
     p = partition.num_partitions
-    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    edge_arrays: List[np.ndarray] = []
-    for k in range(p):
+
+    def block(k: int) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
         edges = np.asarray(partition.edges_of(k), dtype=_DTYPE).reshape(-1, 2)
-        edge_arrays.append(edges)
-        parts.append(_partition_adjacency(edges))
+        return edges, _partition_adjacency(edges)
+
+    blocks = parallel_map(block, range(p), workers)
+    edge_arrays: List[np.ndarray] = [edges for edges, _ in blocks]
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+        adjacency for _, adjacency in blocks
+    ]
 
     all_ids = [ids for ids, _, _ in parts if len(ids)]
     vertex_ids = (

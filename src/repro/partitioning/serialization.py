@@ -35,6 +35,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.core.parallel import parallel_map
 from repro.graph.graph import Edge
 from repro.graph.io import open_text
 from repro.partitioning import csr_bundle
@@ -81,6 +82,7 @@ def save_partition(
     metadata: Optional[Dict[str, object]] = None,
     compress: bool = False,
     sidecar: bool = True,
+    workers: Optional[int] = None,
 ) -> Path:
     """Write ``partition`` under ``directory``; returns the manifest path.
 
@@ -93,6 +95,13 @@ def save_partition(
     the binary CSR sidecar the serving layer memory-maps
     (:mod:`repro.partitioning.csr_bundle`); pass ``sidecar=False`` to
     write a minimal, text-only bundle.
+
+    ``workers`` fans the per-partition work (sort, edge file, checksum,
+    CSR block) over a thread pool — one partition per worker, ``None``
+    for one per core, ``1`` for the sequential loop.  The bundle is
+    byte-identical either way: every partition's file and manifest entry
+    depend only on that partition's edges, and the manifest is assembled
+    in ascending ``k`` from the positionally-merged results.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -103,11 +112,12 @@ def save_partition(
         "partitions": [],
         "metadata": metadata or {},
     }
-    for k in range(partition.num_partitions):
+
+    def save_one(k: int) -> Dict[str, object]:
         edges = sorted(partition.edges_of(k))
         path = _edge_file(directory, k, compress)
 
-        def write_edges(tmp: Path, edges=edges) -> None:
+        def write_edges(tmp: Path) -> None:
             with open_text(tmp, "w") as fh:
                 for u, v in edges:
                     fh.write(f"{u}\t{v}\n")
@@ -118,17 +128,19 @@ def save_partition(
         other = _edge_file(directory, k, not compress)
         if other.exists():
             other.unlink()
-        manifest["partitions"].append(
-            {
-                "index": k,
-                "file": path.name,
-                "edges": len(edges),
-                "checksum": _checksum(edges),
-            }
-        )
+        return {
+            "index": k,
+            "file": path.name,
+            "edges": len(edges),
+            "checksum": _checksum(edges),
+        }
+
+    manifest["partitions"] = parallel_map(
+        save_one, range(partition.num_partitions), workers
+    )
     sidecar_path = directory / csr_bundle.SIDECAR_NAME
     if sidecar:
-        csr = csr_bundle.build_partition_csr(partition)
+        csr = csr_bundle.build_partition_csr(partition, workers=workers)
         _write_atomic(sidecar_path, lambda tmp: csr_bundle.write_sidecar(csr, tmp))
         manifest["csr_sidecar"] = {
             "file": csr_bundle.SIDECAR_NAME,

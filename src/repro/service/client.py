@@ -56,6 +56,12 @@ def _backoff_delays(base: float, factor: float, retries: int) -> List[float]:
     return [base * factor**i for i in range(retries)]
 
 
+def _expire_call(future: "asyncio.Future") -> None:
+    """Timer callback: fail an unanswered call future with TimeoutError."""
+    if not future.done():
+        future.set_exception(asyncio.TimeoutError())
+
+
 class ServiceClient:
     """Pipelined asyncio client with retry/backoff."""
 
@@ -90,7 +96,6 @@ class ServiceClient:
         self._recv_task: Optional[asyncio.Task] = None
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_id = 0
-        self._send_lock = asyncio.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -156,9 +161,7 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                return await asyncio.wait_for(
-                    self._call_once(op, args), self.call_timeout
-                )
+                return await self._call_once(op, args)
             except ServiceError as exc:
                 if not exc.retryable or attempt >= len(delays):
                     raise
@@ -183,11 +186,25 @@ class ServiceClient:
         future: asyncio.Future = loop.create_future()
         self._pending[request_id] = future
         try:
-            async with self._send_lock:
-                await protocol.write_frame(
-                    self._writer, protocol.request(request_id, op, args)
-                )
-            response = await future
+            # A bare write() never yields to the loop, so concurrent
+            # pipelined calls can't interleave frames — no lock needed;
+            # drain() is only awaited for transport back-pressure.
+            self._writer.write(
+                protocol.encode_frame(protocol.request(request_id, op, args))
+            )
+            await self._writer.drain()
+            # The timeout guards only the wait for the response, and is a
+            # bare call_later + await rather than asyncio.wait_for: this
+            # is the per-request hot path, and wait_for's extra coroutine,
+            # waiter future, and done-callback bookkeeping are measurable
+            # at serving rates.  The recv loop only resolves futures that
+            # are not yet done, so a late response after expiry is simply
+            # dropped.
+            handle = loop.call_later(self.call_timeout, _expire_call, future)
+            try:
+                response = await future
+            finally:
+                handle.cancel()
         finally:
             self._pending.pop(request_id, None)
         epoch = response.get("epoch")
@@ -204,10 +221,10 @@ class ServiceClient:
 
     async def _recv_loop(self) -> None:
         assert self._reader is not None
-        reader = self._reader
+        frames = protocol.BufferedFrameReader(self._reader)
         try:
             while True:
-                response = await protocol.read_frame(reader)
+                response = await frames.read_frame()
                 if response is None:
                     raise ConnectionError("server closed the connection")
                 future = self._pending.get(response.get("id"))

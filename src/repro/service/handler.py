@@ -50,8 +50,9 @@ the event loop instead (see ``PartitionServer``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union, cast
 
+from repro.graph.graph import normalize_edge
 from repro.service import protocol
 from repro.service.ingest import (
     CapacityError,
@@ -84,6 +85,10 @@ OPERATIONS = (
 
 #: Ops that change server state: never coalesced inside a batch.
 MUTATING_OPS = frozenset({"insert_edge", "delete_edge", "compact", "reload"})
+
+#: Read ops answered in bulk through the stores' vectorised ``*_many``
+#: batch methods — ``execute_batch`` groups them per snapshot.
+VECTOR_OPS = frozenset({"master", "neighbors", "edge"})
 
 #: A ``(store, epoch)`` pair pinned by :meth:`StoreManager.acquire`.
 Lease = Tuple[PartitionStore, int]
@@ -228,21 +233,43 @@ class ServiceHandler:
         requests: List[Dict[str, Any]],
         leases: Optional[Sequence[Optional[Lease]]] = None,
     ) -> List[Dict[str, Any]]:
-        """Execute a batch, computing duplicate ``(op, args)`` pairs once.
+        """Execute a batch: dedup duplicates, answer routing reads in bulk.
 
         Responses line up index-for-index with ``requests`` and carry each
         request's own ``id`` even when the result was shared.  ``leases``
         optionally pins each request to the ``(store, epoch)`` the server
         leased at admission; results are only shared within one epoch.
+
+        Requests for the three routing ops (:data:`VECTOR_OPS`) are
+        grouped per ``(store, epoch, delta_version)`` snapshot and
+        answered through the store's vectorised ``route_many`` /
+        ``neighbors_many`` / ``owners_many`` — one searchsorted/gather
+        pass per batch instead of per request.  A mutating op flushes the
+        pending groups first, so observable ordering is unchanged: a read
+        admitted before a mutation is answered from the pre-mutation
+        snapshot, exactly as the scalar loop did.
         """
         self.metrics.inc("batches")
+        self.metrics.inc("batch_requests_total", len(requests))
         if len(requests) > 1:
             self.metrics.inc("batched_requests", len(requests))
         if leases is None:
             leases = [None] * len(requests)
         computed: Dict[Tuple, Dict[str, Any]] = {}
-        responses: List[Dict[str, Any]] = []
-        for request, lease in zip(requests, leases):
+        pending: Dict[Tuple, _VectorItem] = {}
+        groups: Dict[Tuple, _VectorGroup] = {}
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+
+        def flush() -> None:
+            for group in groups.values():
+                self._answer_vector_group(group, responses, computed)
+            groups.clear()
+            pending.clear()
+
+        for i, (request, lease) in enumerate(zip(requests, leases)):
+            op = request.get("op")
+            if isinstance(op, str) and op in MUTATING_OPS:
+                flush()  # state may change: answer the earlier reads first
             key = _coalesce_key(request)
             if key is not None:
                 # Results are shared only within one (epoch, delta_version)
@@ -250,17 +277,150 @@ class ServiceHandler:
                 # duplicates recompute instead of reusing a stale answer.
                 store = lease[0] if lease else self.manager.store
                 epoch = lease[1] if lease else self.manager.epoch
-                key = (epoch, getattr(store, "delta_version", 0)) + key
-            if key is not None and key in computed:
-                self.metrics.inc("batch_dedup_hits")
-                response = dict(computed[key])
-                response["id"] = request.get("id")
+                version = getattr(store, "delta_version", 0)
+                key = (epoch, version) + key
+                hit = computed.get(key)
+                if hit is not None:
+                    self.metrics.inc("batch_dedup_hits")
+                    response = dict(hit)
+                    response["id"] = request.get("id")
+                    responses[i] = response
+                    continue
+                item = pending.get(key)
+                if item is not None:
+                    # Duplicate of a read already queued for the bulk pass.
+                    self.metrics.inc("batch_dedup_hits")
+                    item.positions.append(i)
+                    item.ids.append(request.get("id"))
+                    continue
+                if op in VECTOR_OPS:
+                    parsed = _vector_args(op, request.get("args") or {})
+                    if parsed is not None:
+                        gkey = (id(store), epoch, version)
+                        group = groups.get(gkey)
+                        if group is None:
+                            group = groups[gkey] = _VectorGroup(store, epoch)
+                        item = _VectorItem(op, parsed, key, request, lease, i)
+                        group.items.append(item)
+                        pending[key] = item
+                        continue
+            responses[i] = self.execute(request, lease=lease)
+            if key is not None:
+                computed[key] = responses[i]
+        flush()
+        return cast(List[Dict[str, Any]], responses)
+
+    def _answer_vector_group(
+        self,
+        group: "_VectorGroup",
+        responses: List[Optional[Dict[str, Any]]],
+        computed: Dict[Tuple, Dict[str, Any]],
+    ) -> None:
+        """Answer one snapshot's worth of queued routing reads in bulk."""
+        store, epoch, items = group.store, group.epoch, group.items
+        m_items = [it for it in items if it.op == "master"]
+        n_items = [it for it in items if it.op == "neighbors"]
+        e_items = [it for it in items if it.op == "edge"]
+        try:
+            routes = (
+                store.route_many([it.args[0] for it in m_items])
+                if m_items
+                else []
+            )
+            rows = (
+                store.neighbors_many([it.args[0] for it in n_items])
+                if n_items
+                else []
+            )
+            owners = (
+                store.owners_many(
+                    [cast(Tuple[int, int], it.args) for it in e_items]
+                )
+                if e_items
+                else []
+            )
+        except Exception:  # noqa: BLE001 — fault barrier: scalar fallback
+            for item in items:
+                self._finish_vector_item(
+                    item,
+                    self.execute(item.request, lease=item.lease),
+                    responses,
+                    computed,
+                )
+            return
+        self.metrics.inc("requests_vectorised", len(items))
+        for item, route in zip(m_items, routes):
+            if route is None:
+                response = self._vector_miss(item, item.args[0], epoch)
             else:
-                response = self.execute(request, lease=lease)
-                if key is not None:
-                    computed[key] = response
-            responses.append(response)
-        return responses
+                master, replicas = route
+                response = self._vector_ok(
+                    item,
+                    {
+                        "v": item.args[0],
+                        "master": master,
+                        "mirrors": [k for k in replicas if k != master],
+                        "replicas": list(replicas),
+                    },
+                    epoch,
+                )
+            self._finish_vector_item(item, response, responses, computed)
+        for item, row in zip(n_items, rows):
+            if row is None:
+                response = self._vector_miss(item, item.args[0], epoch)
+            else:
+                neighbours, replicas = row
+                response = self._vector_ok(
+                    item,
+                    {
+                        "v": item.args[0],
+                        "neighbors": neighbours,
+                        "partitions": list(replicas),
+                    },
+                    epoch,
+                )
+            self._finish_vector_item(item, response, responses, computed)
+        for item, owner in zip(e_items, owners):
+            u, v = cast(Tuple[int, int], item.args)
+            if owner is None:
+                response = self._vector_miss(item, normalize_edge(u, v), epoch)
+            else:
+                response = self._vector_ok(
+                    item, {"u": u, "v": v, "partition": owner}, epoch
+                )
+            self._finish_vector_item(item, response, responses, computed)
+
+    def _vector_ok(
+        self, item: "_VectorItem", result: Dict[str, Any], epoch: int
+    ) -> Dict[str, Any]:
+        self.metrics.inc("requests_ok")
+        self.metrics.inc(f"op_{item.op}")
+        return protocol.ok_response(item.ids[0], result, epoch=epoch)
+
+    def _vector_miss(
+        self, item: "_VectorItem", missing: object, epoch: int
+    ) -> Dict[str, Any]:
+        self.metrics.inc("requests_not_found")
+        return protocol.error_response(
+            item.ids[0],
+            protocol.NOT_FOUND,
+            f"not in store: {missing!r}",
+            epoch=epoch,
+        )
+
+    @staticmethod
+    def _finish_vector_item(
+        item: "_VectorItem",
+        response: Dict[str, Any],
+        responses: List[Optional[Dict[str, Any]]],
+        computed: Dict[Tuple, Dict[str, Any]],
+    ) -> None:
+        responses[item.positions[0]] = response
+        for pos, rid in zip(item.positions[1:], item.ids[1:]):
+            shared = dict(response)
+            shared["id"] = rid
+            responses[pos] = shared
+        computed[item.key] = response
 
     # -- operations --------------------------------------------------------
 
@@ -361,6 +521,62 @@ class ServiceHandler:
 
 class _BadArgs(ValueError):
     """Argument validation failure → ``bad_request``."""
+
+
+class _VectorItem:
+    """One unique routing read queued for a bulk store call.
+
+    ``positions``/``ids`` grow when later requests in the batch coalesce
+    onto this computation; the first entry owns the canonical response.
+    """
+
+    __slots__ = ("op", "args", "key", "request", "lease", "positions", "ids")
+
+    def __init__(
+        self,
+        op: str,
+        args: Tuple[int, ...],
+        key: Tuple,
+        request: Dict[str, Any],
+        lease: Optional[Lease],
+        position: int,
+    ) -> None:
+        self.op = op
+        self.args = args
+        self.key = key
+        self.request = request
+        self.lease = lease
+        self.positions = [position]
+        self.ids: List[Any] = [request.get("id")]
+
+
+class _VectorGroup:
+    """All vector items pinned to one ``(store, epoch, delta_version)``."""
+
+    __slots__ = ("store", "epoch", "items")
+
+    def __init__(self, store: PartitionStore, epoch: int) -> None:
+        self.store = store
+        self.epoch = epoch
+        self.items: List[_VectorItem] = []
+
+
+def _vector_args(op: str, args: Dict[str, Any]) -> Optional[Tuple[int, ...]]:
+    """Validated positional args for a vector op, or None → scalar path.
+
+    Anything the scalar dispatch would reject (non-int vertex, self
+    loop) drops back to :meth:`ServiceHandler.execute` so error
+    responses stay bit-identical.
+    """
+    if not isinstance(args, dict):
+        return None
+    try:
+        if op == "edge":
+            u, v = _int_arg(args, "u"), _int_arg(args, "v")
+            return None if u == v else (u, v)
+        return (_int_arg(args, "v"),)
+    except _BadArgs:
+        return None
 
 
 def _int_arg(args: Dict[str, Any], name: str) -> int:

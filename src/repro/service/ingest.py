@@ -39,11 +39,17 @@ import asyncio
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.parallel import parallel_map
 from repro.graph.graph import Edge, normalize_edge
 from repro.partitioning.assignment import EdgePartition
-from repro.service.store import PartitionStore, StoreManager
+from repro.service.store import (
+    NeighborRow,
+    PartitionStore,
+    Route,
+    StoreManager,
+)
 from repro.service.wal import WriteAheadLog
 
 PathLike = Union[str, Path]
@@ -228,6 +234,71 @@ class DeltaOverlay(PartitionStore):
         base = self._base
         return sum(base.local_degree(v, k) for k in base.replicas_of(v))
 
+    # -- batch routing -----------------------------------------------------
+    #
+    # Delta corrections only apply to *touched* rows: ``_bump_degree``
+    # records both endpoints of every mutation in ``_deg``, so any vertex
+    # absent from it answers exactly as the base store.  Each batch is
+    # therefore split once — touched vertices take the scalar overlay
+    # path, the (typically much larger) untouched remainder is answered
+    # by one vectorised call on the base.
+
+    def route_many(self, vertices: Sequence[int]) -> List[Route]:
+        out: List[Route] = [None] * len(vertices)
+        base_pos: List[int] = []
+        base_vs: List[int] = []
+        for i, v in enumerate(vertices):
+            deg = self._deg.get(v)
+            if deg is None:
+                base_pos.append(i)
+                base_vs.append(v)
+            elif deg:
+                master = self._master.get(v)
+                if master is not None:
+                    out[i] = (master, tuple(sorted(deg)))
+        if base_vs:
+            for i, route in zip(base_pos, self._base.route_many(base_vs)):
+                out[i] = route
+        return out
+
+    def neighbors_many(self, vertices: Sequence[int]) -> List[NeighborRow]:
+        out: List[NeighborRow] = [None] * len(vertices)
+        base_pos: List[int] = []
+        base_vs: List[int] = []
+        for i, v in enumerate(vertices):
+            deg = self._deg.get(v)
+            if deg is None:
+                base_pos.append(i)
+                base_vs.append(v)
+            elif deg:
+                merged: Set[int] = set()
+                for k in deg:
+                    merged |= self.local_neighbors(v, k)
+                out[i] = (sorted(merged), tuple(sorted(deg)))
+        if base_vs:
+            for i, row in zip(base_pos, self._base.neighbors_many(base_vs)):
+                out[i] = row
+        return out
+
+    def owners_many(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * len(pairs)
+        base_pos: List[int] = []
+        base_pairs: List[Tuple[int, int]] = []
+        for i, (u, v) in enumerate(pairs):
+            edge = normalize_edge(u, v)
+            owner = self._ins_owner.get(edge)
+            if owner is not None:
+                out[i] = owner
+            elif edge not in self._del_owner:
+                base_pos.append(i)
+                base_pairs.append(edge)
+        if base_pairs:
+            for i, owner in zip(base_pos, self._base.owners_many(base_pairs)):
+                out[i] = owner
+        return out
+
     # -- summaries ---------------------------------------------------------
 
     def partition_stats(self, k: int) -> Dict[str, int]:
@@ -319,12 +390,19 @@ class DeltaOverlay(PartitionStore):
         self._mutated()
         return k
 
-    def to_partition(self) -> EdgePartition:
+    def to_partition(self, workers: Optional[int] = None) -> EdgePartition:
         """Fold base + delta into a fresh :class:`EdgePartition`.
 
         Deterministic: base edge order is preserved, overlay inserts are
         appended in sorted order.  This is the compaction input and the
         reference the property tests rebuild stats from.
+
+        ``workers`` folds the partitions on a thread pool (one partition
+        per worker; ``None`` = one per core, ``1`` = sequential).  Each
+        partition's fold reads only that partition's base edges and
+        delta entries and results merge by ascending ``k``, so the
+        output is identical for any worker count.  The caller must hold
+        mutations off for the duration (compaction freezes ingest).
         """
         p = self.num_partitions
         deleted: List[Set[Edge]] = [set() for _ in range(p)]
@@ -334,12 +412,13 @@ class DeltaOverlay(PartitionStore):
         for edge, k in self._ins_owner.items():
             inserted[k].append(edge)
         base_partition = self._base.partition
-        parts: List[List[Edge]] = []
-        for k in range(p):
+
+        def fold_one(k: int) -> List[Edge]:
             edges = [e for e in base_partition.edges_of(k) if e not in deleted[k]]
             edges.extend(sorted(inserted[k]))
-            parts.append(edges)
-        return EdgePartition(parts)
+            return edges
+
+        return EdgePartition(parallel_map(fold_one, range(p), workers))
 
     # -- internals ---------------------------------------------------------
 
@@ -524,6 +603,7 @@ class Ingestor:
         epsilon: float = 1.0,
         metrics=None,
         dedup_size: int = 4096,
+        fold_workers: Optional[int] = None,
     ) -> None:
         if policy not in PLACEMENT_POLICIES:
             raise ValueError(
@@ -540,6 +620,13 @@ class Ingestor:
         self.epsilon = epsilon
         self.metrics = metrics
         self.dedup_size = dedup_size
+        #: Thread-pool width for the compaction fold + bundle save
+        #: (``None`` = one per core, ``1`` = sequential); the folded
+        #: bundle is byte-identical for any value.
+        self.fold_workers = fold_workers
+        #: Wall-clock seconds of the most recent fold + save (the part of
+        #: the compaction pause the thread pool shrinks).
+        self.last_fold_seconds = 0.0
         #: Next WAL sequence number (monotonic across compactions).
         self.next_seq = 0
         self.inserts = 0
@@ -569,6 +656,7 @@ class Ingestor:
         epsilon: float = 1.0,
         metrics=None,
         dedup_size: int = 4096,
+        fold_workers: Optional[int] = None,
     ) -> "Ingestor":
         """Turn a read-only manager into a mutable one.
 
@@ -596,6 +684,7 @@ class Ingestor:
             epsilon=epsilon,
             metrics=metrics,
             dedup_size=dedup_size,
+            fold_workers=fold_workers,
         )
         ingestor._replay(records)
         ingestor.publish_gauges()
@@ -889,8 +978,9 @@ class Ingestor:
     def _fold_and_save(self) -> None:
         from repro.partitioning.serialization import save_partition
 
+        fold_started = time.perf_counter()
         overlay = self.overlay
-        partition = overlay.to_partition()
+        partition = overlay.to_partition(workers=self.fold_workers)
         metadata = dict(overlay.metadata)
         # Watermark: WAL records below this are folded into the bundle.
         metadata["ingest_folded_seq"] = self.next_seq
@@ -898,7 +988,11 @@ class Ingestor:
             int(metadata.get("compacted_mutations", 0) or 0)
             + overlay.pending_mutations
         )
-        save_partition(partition, self.bundle_dir, metadata=metadata)
+        save_partition(
+            partition, self.bundle_dir, metadata=metadata,
+            workers=self.fold_workers,
+        )
+        self.last_fold_seconds = time.perf_counter() - fold_started
 
     def _finish_compaction(
         self, info: Dict[str, object], folded: int, started: float
@@ -908,6 +1002,8 @@ class Ingestor:
         info = dict(info)
         info["folded_mutations"] = folded
         info["compaction_seconds"] = round(elapsed, 6)
+        info["fold_seconds"] = round(self.last_fold_seconds, 6)
+        info["fold_workers"] = self.fold_workers
         info["wal_bytes"] = self.wal.size
         self._count("compactions_ok")
         if self.metrics is not None:

@@ -141,6 +141,65 @@ def error_response(
 
 # -- asyncio stream helpers ------------------------------------------------
 
+#: Bytes pulled from the transport per refill of a BufferedFrameReader.
+_READ_CHUNK = 1 << 16
+
+
+class BufferedFrameReader:
+    """Incremental frame decoder that amortises awaits over TCP chunks.
+
+    :func:`read_frame` costs two ``readexactly`` awaits per frame even
+    when the bytes are already buffered.  This reader instead pulls whole
+    chunks with ``reader.read()`` and slices frames out of its own buffer,
+    so a chunk carrying N pipelined frames costs one await, not 2N —
+    the hot path on both the server's per-connection reader and the
+    pipelined client's receive loop.
+
+    Same contract as :func:`read_frame`: returns ``None`` on clean EOF at
+    a frame boundary, raises :class:`ProtocolError` on a truncated or
+    oversized frame.
+    """
+
+    __slots__ = ("_reader", "_buf", "_pos")
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self._reader = reader
+        self._buf = b""
+        self._pos = 0
+
+    async def read_frame(self) -> Optional[Dict[str, Any]]:
+        header_size = _LEN.size
+        while True:
+            have = len(self._buf) - self._pos
+            if have >= header_size:
+                (length,) = _LEN.unpack_from(self._buf, self._pos)
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+                    )
+                if have >= header_size + length:
+                    start = self._pos + header_size
+                    end = start + length
+                    body = self._buf[start:end]
+                    if end == len(self._buf):
+                        self._buf = b""
+                        self._pos = 0
+                    else:
+                        self._pos = end
+                    return decode_body(body)
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                if not have:
+                    return None
+                if have < header_size:
+                    raise ProtocolError("connection closed mid-header")
+                raise ProtocolError("connection closed mid-frame")
+            if self._pos:
+                self._buf = self._buf[self._pos :]
+                self._pos = 0
+            self._buf = self._buf + chunk if self._buf else chunk
+
+
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
     """Read one frame; returns ``None`` on clean EOF at a frame boundary."""
     try:

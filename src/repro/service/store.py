@@ -43,7 +43,17 @@ from __future__ import annotations
 import asyncio
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -59,6 +69,36 @@ PathLike = Union[str, Path]
 
 #: Accepted values for the ``backend=`` option of :meth:`PartitionStore.open`.
 BACKENDS = ("auto", "csr", "dict")
+
+#: Batch-answer types: ``(master, replicas)`` and ``(neighbours, replicas)``
+#: per vertex, ``None`` where the vertex (or edge) is not in the store.
+Route = Optional[Tuple[int, Tuple[int, ...]]]
+NeighborRow = Optional[Tuple[List[int], Tuple[int, ...]]]
+
+#: Bound on the memoised ``vertex id -> row`` maps of the CSR backend; the
+#: maps are cleared (not LRU-evicted) at the cap, which is cheap and good
+#: enough for the power-law workloads the server sees.
+_ROW_CACHE_MAX = 1 << 16
+
+
+def _ragged_take(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` for all i.
+
+    The flat fancy-index form of a ragged gather: ``repeat``/``cumsum``
+    build one index array so a whole batch of variable-length rows is
+    pulled out of an (mmap'd) array in a single vectorised pass instead
+    of ``len(starts)`` Python-level slices.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.asarray(values)[:0]
+    starts = np.asarray(starts, dtype=np.int64)
+    cum = np.cumsum(counts)
+    flat = np.repeat(starts - (cum - counts), counts) + np.arange(total)
+    return np.asarray(values)[flat]
 
 
 class PartitionStore:
@@ -200,6 +240,50 @@ class PartitionStore:
         """
         return len(self._adj[k].get(v, ()))
 
+    # -- batch routing -----------------------------------------------------
+    #
+    # One call answers a whole coalesced request batch.  The dict backend
+    # keeps these as plain scalar loops: they are the executable
+    # specification the vectorised CSR/overlay overrides are pinned
+    # against by the parity tests.  A miss yields ``None`` instead of
+    # raising so one uncovered vertex cannot poison the rest of a batch.
+
+    def route_many(self, vertices: Sequence[int]) -> List[Route]:
+        """``(master, replicas)`` per vertex; ``None`` where uncovered."""
+        out: List[Route] = []
+        for v in vertices:
+            try:
+                master = self.master_of(v)
+            except KeyError:
+                out.append(None)
+                continue
+            out.append((master, self.replicas_of(v)))
+        return out
+
+    def neighbors_many(self, vertices: Sequence[int]) -> List[NeighborRow]:
+        """``(sorted neighbours, replicas)`` per vertex; ``None`` on a miss."""
+        out: List[NeighborRow] = []
+        for v in vertices:
+            try:
+                merged = sorted(self.neighbors(v))
+            except KeyError:
+                out.append(None)
+                continue
+            out.append((merged, self.replicas_of(v)))
+        return out
+
+    def owners_many(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Optional[int]]:
+        """Owning partition per ``(u, v)`` pair; ``None`` where absent."""
+        out: List[Optional[int]] = []
+        for u, v in pairs:
+            try:
+                out.append(self.owner_of_edge(u, v))
+            except KeyError:
+                out.append(None)
+        return out
+
     # -- summaries ---------------------------------------------------------
 
     def partition_stats(self, k: int) -> Dict[str, int]:
@@ -277,6 +361,12 @@ class CSRPartitionStore(PartitionStore):
         self.metadata = dict(metadata or {})
         self.epoch = epoch
         self._materialized: Optional[EdgePartition] = None
+        # Memoised binary-search results.  The store is immutable, so a
+        # cached row can never go stale; repeated vertices — hot vertices
+        # across requests, duplicates within one batch — skip the
+        # searchsorted + int() round-trip entirely.
+        self._row_cache: Dict[int, Optional[int]] = {}
+        self._local_row_cache: Dict[Tuple[int, int], Optional[int]] = {}
 
     @classmethod
     def from_partition(
@@ -294,19 +384,50 @@ class CSRPartitionStore(PartitionStore):
 
     def _row(self, v: int) -> Optional[int]:
         """Row of ``v`` in the global vertex table, or None if uncovered."""
+        cache = self._row_cache
+        try:
+            return cache[v]
+        except KeyError:
+            pass
         ids = self._csr.vertex_ids
         i = int(np.searchsorted(ids, v))
-        if i >= len(ids) or int(ids[i]) != v:
-            return None
-        return i
+        row = i if i < len(ids) and int(ids[i]) == v else None
+        if len(cache) >= _ROW_CACHE_MAX:
+            cache.clear()
+        cache[v] = row
+        return row
 
     def _local_row(self, v: int, k: int) -> Optional[int]:
         """Row of ``v`` inside partition ``k``'s CSR, or None."""
+        cache = self._local_row_cache
+        key = (k, v)
+        try:
+            return cache[key]
+        except KeyError:
+            pass
         ids = self._csr.parts[k][0]
         i = int(np.searchsorted(ids, v))
-        if i >= len(ids) or int(ids[i]) != v:
-            return None
-        return i
+        row = i if i < len(ids) and int(ids[i]) == v else None
+        if len(cache) >= _ROW_CACHE_MAX:
+            cache.clear()
+        cache[key] = row
+        return row
+
+    def _replicas_at(self, row: int) -> Tuple[int, ...]:
+        """Replica set for an already-resolved global row."""
+        csr = self._csr
+        lo, hi = int(csr.rep_indptr[row]), int(csr.rep_indptr[row + 1])
+        return tuple(int(k) for k in csr.rep_parts[lo:hi])
+
+    def _rows_many(self, vs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, found)`` for a batch of vertex ids — one searchsorted."""
+        ids = self._csr.vertex_ids
+        n = len(ids)
+        if n == 0 or vs.size == 0:
+            zeros = np.zeros(vs.size, dtype=np.int64)
+            return zeros, np.zeros(vs.size, dtype=bool)
+        rows = np.minimum(np.searchsorted(ids, vs), n - 1)
+        return rows, np.asarray(ids)[rows] == vs
 
     # -- basic shape -------------------------------------------------------
 
@@ -350,9 +471,15 @@ class CSRPartitionStore(PartitionStore):
         row = self._row(v)
         if row is None:
             return ()
-        csr = self._csr
-        lo, hi = int(csr.rep_indptr[row]), int(csr.rep_indptr[row + 1])
-        return tuple(int(k) for k in csr.rep_parts[lo:hi])
+        return self._replicas_at(row)
+
+    def mirrors_of(self, v: int) -> Tuple[int, ...]:
+        """Non-master replicas of ``v`` (sorted) — one row lookup."""
+        row = self._row(v)
+        if row is None:
+            raise KeyError(v)
+        master = int(self._csr.master[row])
+        return tuple(k for k in self._replicas_at(row) if k != master)
 
     def owner_of_edge(self, u: int, v: int) -> int:
         """Partition holding edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -379,7 +506,7 @@ class CSRPartitionStore(PartitionStore):
         if row is None:
             raise KeyError(v)
         merged: Set[int] = set()
-        for k in self.replicas_of(v):
+        for k in self._replicas_at(row):
             merged |= self.local_neighbors(v, k)
         return merged
 
@@ -399,6 +526,107 @@ class CSRPartitionStore(PartitionStore):
         if row is None:
             return 0
         return int(indptr[row + 1]) - int(indptr[row])
+
+    # -- batch routing -----------------------------------------------------
+    #
+    # The vectorised counterparts of the scalar spec above: each method
+    # resolves the whole batch with one ``np.searchsorted`` over the
+    # global vertex table plus one ragged gather per touched partition,
+    # instead of per-request binary searches and ``int()`` conversions.
+
+    def route_many(self, vertices: Sequence[int]) -> List[Route]:
+        """``(master, replicas)`` per vertex; ``None`` where uncovered."""
+        vs = np.asarray(list(vertices), dtype=np.int64)
+        out: List[Route] = [None] * vs.size
+        rows, found = self._rows_many(vs)
+        if not found.any():
+            return out
+        csr = self._csr
+        frows = rows[found]
+        masters = np.asarray(csr.master)[frows].tolist()
+        starts = np.asarray(csr.rep_indptr)[frows]
+        counts = np.asarray(csr.rep_indptr)[frows + 1] - starts
+        flat = _ragged_take(csr.rep_parts, starts, counts).tolist()
+        counts_list = counts.tolist()
+        pos = 0
+        for j, i in enumerate(np.flatnonzero(found).tolist()):
+            c = counts_list[j]
+            out[i] = (masters[j], tuple(flat[pos : pos + c]))
+            pos += c
+        return out
+
+    def neighbors_many(self, vertices: Sequence[int]) -> List[NeighborRow]:
+        """``(sorted neighbours, replicas)`` per vertex; ``None`` on a miss."""
+        vs = [int(v) for v in vertices]
+        route = self.route_many(vs)
+        out: List[NeighborRow] = [None] * len(vs)
+        partial: List[List[int]] = [[] for _ in vs]
+        by_part: Dict[int, List[int]] = {}
+        for i, r in enumerate(route):
+            if r is None:
+                continue
+            for k in r[1]:
+                by_part.setdefault(k, []).append(i)
+        for k, positions in by_part.items():
+            ids_k, indptr_k, indices_k = self._csr.parts[k]
+            local_vs = np.asarray([vs[i] for i in positions], dtype=np.int64)
+            # Every vertex routed here has a replica in k by construction.
+            lrows = np.searchsorted(ids_k, local_vs)
+            starts = np.asarray(indptr_k)[lrows]
+            counts = np.asarray(indptr_k)[lrows + 1] - starts
+            flat_rows = _ragged_take(indices_k, starts, counts)
+            flat_ids = (
+                np.asarray(ids_k)[flat_rows].tolist() if flat_rows.size else []
+            )
+            pos = 0
+            for i, c in zip(positions, counts.tolist()):
+                partial[i].extend(flat_ids[pos : pos + c])
+                pos += c
+        for i, r in enumerate(route):
+            if r is None:
+                continue
+            merged = partial[i]
+            # Each edge lives in exactly one partition and the graph is
+            # simple, so the per-partition lists are disjoint: sorting
+            # the concatenation *is* the merged neighbour list.
+            merged.sort()
+            out[i] = (merged, r[1])
+        return out
+
+    def owners_many(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Optional[int]]:
+        """Owning partition per ``(u, v)`` pair; ``None`` where absent."""
+        norm = [normalize_edge(u, v) for u, v in pairs]
+        out: List[Optional[int]] = [None] * len(norm)
+        if not norm:
+            return out
+        a_route = self.route_many([a for a, _ in norm])
+        b_route = self.route_many([b for _, b in norm])
+        candidates: Dict[int, List[int]] = {}
+        for i, (ra, rb) in enumerate(zip(a_route, b_route)):
+            if ra is None or rb is None:
+                continue
+            # The owner hosts both endpoints: only partitions in the
+            # replica intersection can hold the edge (usually just one).
+            for k in sorted(set(ra[1]).intersection(rb[1])):
+                candidates.setdefault(k, []).append(i)
+        for k, positions in candidates.items():
+            ids_k, indptr_k, indices_k = self._csr.parts[k]
+            a_arr = np.asarray([norm[i][0] for i in positions], dtype=np.int64)
+            b_arr = np.asarray([norm[i][1] for i in positions], dtype=np.int64)
+            arows = np.searchsorted(ids_k, a_arr)
+            brows = np.searchsorted(ids_k, b_arr).tolist()
+            starts = np.asarray(indptr_k)[arows].tolist()
+            ends = np.asarray(indptr_k)[arows + 1].tolist()
+            for i, lo, hi, br in zip(positions, starts, ends, brows):
+                if out[i] is not None:
+                    continue  # already found: each edge has one owner
+                row = indices_k[lo:hi]  # sorted row
+                j = int(np.searchsorted(row, br))
+                if j < hi - lo and int(row[j]) == br:
+                    out[i] = k
+        return out
 
     # -- summaries ---------------------------------------------------------
 

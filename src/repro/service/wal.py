@@ -74,7 +74,10 @@ class WriteAheadLog:
         self.metrics = metrics
         self._fh = None  # type: ignore[var-annotated]
         self._dirty = False
-        self._last_fsync = 0.0
+        # -inf, not 0.0: time.monotonic() starts near zero on a freshly
+        # booted host, so a 0.0 sentinel would silently skip the first
+        # batch-policy fsync until one full interval of uptime passed.
+        self._last_fsync = float("-inf")
         #: Bytes dropped from a torn tail by the last :meth:`open`.
         self.torn_bytes_dropped = 0
         #: Complete records recovered by the last :meth:`open`.
