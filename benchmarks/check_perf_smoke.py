@@ -7,7 +7,12 @@ directory.  Checks, in order:
 1. ``BENCH_serve.json`` is schema v4+ and carries the ``batch`` section
    (batches actually formed, requests actually vectorised) — the batch
    path silently falling back to scalar would pass every correctness
-   test while losing the throughput this PR bought.
+   test while losing the throughput this PR bought.  When the run
+   included the cluster phase (schema v5, ``--cluster-workers``), the
+   ``cluster`` section must show the sharded server answered the same
+   verified workload without losing throughput vs single-process (the
+   throughput floor applies only when the machine has enough cores to
+   host the worker topology; correctness checks always apply).
 2. Quick-config throughput has not regressed more than
    ``MAX_REGRESSION`` vs the committed quick baseline
    (``benchmarks/BENCH_serve.quick.json``).  Refresh that baseline in
@@ -58,6 +63,46 @@ def main() -> None:
         fail("no requests vectorised — batch path fell back to scalar")
     if not serve.get("quick"):
         fail("BENCH_serve.json is not a --quick run; gate compares quick-to-quick")
+
+    cluster = serve.get("cluster")
+    if int(serve.get("version", 0)) >= 5 and cluster is not None:
+        if not isinstance(cluster, dict):
+            fail("BENCH_serve.json 'cluster' section is not an object")
+        if int(cluster.get("verified_neighbors", 0)) <= 0:
+            fail("cluster phase verified no neighbour fan-outs")
+        if int(cluster.get("verified_edges", 0)) <= 0:
+            fail("cluster phase verified no edge routes")
+        if int(cluster.get("num_requests", 0)) != int(serve["num_requests"]):
+            fail(
+                "cluster phase answered "
+                f"{cluster.get('num_requests')} requests, single-process "
+                f"answered {serve['num_requests']} — workloads diverged"
+            )
+        # Sharded serving must not lose throughput vs single-process
+        # (acceptance bar for the cluster subsystem) — but the
+        # comparison only measures sharding when the worker processes
+        # have cores of their own.  On a 1-core box the workers, the
+        # front-end, and the bench driver time-slice one CPU, so the
+        # cluster pays scatter/gather IPC with nothing to win; gate only
+        # when the machine can actually host the topology (front-end +
+        # driver + one core per worker), which GitHub's 4-vCPU runners
+        # satisfy for --cluster-workers 2.
+        cores = int(cluster.get("cpu_count") or 0)
+        needed = int(cluster.get("workers", 0)) * int(cluster.get("replicas", 1)) + 2
+        if cores >= needed:
+            floor = serve["requests_per_s"] * (1.0 - MAX_REGRESSION)
+            if cluster["requests_per_s"] < floor:
+                fail(
+                    f"cluster throughput {cluster['requests_per_s']} req/s is "
+                    f"below {floor:.0f} ({serve['requests_per_s']} single-process "
+                    f"minus {MAX_REGRESSION:.0%})"
+                )
+        else:
+            print(
+                f"note: cluster throughput floor skipped — {cores} CPUs < "
+                f"{needed} needed for {cluster.get('workers')} workers "
+                f"(speedup_vs_single={cluster.get('speedup_vs_single')})"
+            )
 
     baseline = json.loads(SERVE_BASELINE.read_text(encoding="utf-8"))
     floor = baseline["requests_per_s"] * (1.0 - MAX_REGRESSION)

@@ -188,7 +188,108 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="per-partition edge capacity bound C for inserts "
         "(default: unbounded)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cluster mode: shard the store across N worker processes "
+        "(0 = single-process, the default)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="cluster mode: R replica processes per shard (failover targets)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose Prometheus metrics on http://HOST:PORT/metrics",
+    )
     return parser
+
+
+def _install_stop_signals(stop: "asyncio.Event") -> None:  # noqa: F821
+    """SIGTERM and SIGINT both trigger a graceful drain-and-stop."""
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, AttributeError, OSError, RuntimeError):
+            # No POSIX signals on this platform, or the loop is not on
+            # the main thread (embedded / tests); Ctrl-C still works via
+            # KeyboardInterrupt.
+            pass
+
+
+def _serve_cluster(args: "argparse.Namespace") -> int:  # noqa: F821
+    """Cluster mode: supervisor + N shard workers behind one front door."""
+    import asyncio
+
+    from repro.service.cluster import ClusterError, ClusterServer
+    from repro.service.promhttp import MetricsServer
+
+    async def run() -> int:
+        server = ClusterServer(
+            args.directory,
+            workers=args.workers,
+            replicas=args.replicas,
+            host=args.host,
+            port=args.port,
+            backend=args.store_backend,
+            verify=not args.no_verify,
+            max_queue=args.max_queue,
+            batch_window=args.batch_window,
+            request_timeout=args.request_timeout,
+            allow_reload=not args.no_hot_reload,
+        )
+        try:
+            host, port = await server.start()
+        except ClusterError as exc:
+            print(f"error: cluster failed to start: {exc}", file=sys.stderr)
+            return 2
+        router = server.cluster.router
+        print(
+            f"opened {args.directory} [{router.backend} backend]: "
+            f"p={router.num_partitions}, {router.num_edges} edges, "
+            f"{router.num_vertices} vertices, "
+            f"RF={router.replication_factor():.4f}"
+        )
+        print(
+            f"serving on {host}:{port} — {server.cluster.workers} shards "
+            f"x {server.cluster.replicas} replicas "
+            "(SIGTERM or Ctrl-C drains and stops)"
+        )
+        metrics_server = None
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(
+                server.metrics, host=args.host, port=args.metrics_port
+            )
+            mhost, mport = await metrics_server.start()
+            print(f"metrics on http://{mhost}:{mport}/metrics")
+        stop = asyncio.Event()
+        _install_stop_signals(stop)
+        try:
+            await stop.wait()
+        finally:
+            print("draining in-flight requests and stopping workers ...")
+            if metrics_server is not None:
+                await metrics_server.stop()
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+        return 0
 
 
 def serve_main(argv: List[str]) -> int:
@@ -199,6 +300,15 @@ def serve_main(argv: List[str]) -> int:
     from repro.service.store import PartitionStore, ReloadError, StoreManager
 
     args = _build_serve_parser().parse_args(argv)
+    if args.workers:
+        if args.wal:
+            print(
+                "error: --wal is a single-process feature; cluster mode "
+                "(--workers) serves read-only",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_cluster(args)
     try:
         store = PartitionStore.open(
             args.directory,
@@ -281,7 +391,16 @@ def serve_main(argv: List[str]) -> int:
                     await hot_reload("watch")
 
         host, port = await server.start()
-        print(f"serving on {host}:{port} — Ctrl-C to drain and stop")
+        print(f"serving on {host}:{port} — SIGTERM or Ctrl-C drains and stops")
+        metrics_server = None
+        if args.metrics_port is not None:
+            from repro.service.promhttp import MetricsServer
+
+            metrics_server = MetricsServer(
+                server.metrics, host=args.host, port=args.metrics_port
+            )
+            mhost, mport = await metrics_server.start()
+            print(f"metrics on http://{mhost}:{mport}/metrics")
         watcher = None
         if args.watch > 0 and not args.no_hot_reload:
             watcher = asyncio.create_task(watch_manifest(args.watch))
@@ -299,12 +418,16 @@ def serve_main(argv: List[str]) -> int:
                 # No POSIX signals on this platform, or the loop is not
                 # on the main thread (embedded / tests).
                 pass
+        stop_event = asyncio.Event()
+        _install_stop_signals(stop_event)
         try:
-            await asyncio.Event().wait()  # until cancelled
+            await stop_event.wait()
         finally:
             if watcher is not None:
                 watcher.cancel()
             print("draining in-flight requests ...")
+            if metrics_server is not None:
+                await metrics_server.stop()
             await server.stop()
             if ingestor is not None:
                 ingestor.close()  # flush + fsync the WAL tail

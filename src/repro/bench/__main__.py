@@ -119,6 +119,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve only: run the load phase under cProfile and dump the "
         "top-20 cumulative hotspots next to BENCH_serve.json",
     )
+    parser.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve only: also replay the workload against a sharded "
+        "cluster of N worker processes (0 = skip the cluster phase)",
+    )
+    parser.add_argument(
+        "--cluster-replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="serve only: replica processes per shard in the cluster phase",
+    )
     return parser
 
 
@@ -337,6 +352,8 @@ def _run_serve(args) -> None:
         fsync=args.fsync,
         profile_path=profile_path,
         progress=lambda message: print(f"  {message}", file=sys.stderr),
+        cluster_workers=args.cluster_workers,
+        cluster_replicas=args.cluster_replicas,
     )
     print(
         render_table(
@@ -368,6 +385,16 @@ def _run_serve(args) -> None:
     )
     if profile_path:
         print(f"profile: top-20 cumulative hotspots in {profile_path}")
+    cluster = report.get("cluster")
+    if cluster:
+        print(
+            f"cluster [{cluster['workers']} shards x {cluster['replicas']} "
+            f"replicas]: {cluster['num_requests']} requests in "
+            f"{cluster['elapsed_s']:g}s = {cluster['requests_per_s']} req/s "
+            f"({cluster['speedup_vs_single']:g}x vs single-process); "
+            f"verified {cluster['verified_neighbors']} fan-outs and "
+            f"{cluster['verified_edges']} edge routes"
+        )
     ingest = report.get("ingest")
     if ingest:
         fsync_ms = ingest.get("wal_fsync_ms") or {}

@@ -46,7 +46,10 @@ from repro.graph.graph import Graph
 #: v2 readers keep working.
 #: v4: additive ``batch`` section (server-side batching + vectorised
 #: answering counters) — what the CI perf smoke job asserts on.
-SCHEMA_VERSION = 4
+#: v5: additive ``cluster`` section (``--cluster-workers``: the same
+#: verified workload replayed against the multi-process sharded server,
+#: with throughput vs the single-process run); every v4 field unchanged.
+SCHEMA_VERSION = 5
 
 DEFAULT_REPORT = "BENCH_serve.json"
 DEFAULT_DATASET = "G1"
@@ -256,6 +259,8 @@ def run_serve(
     fsync: str = "always",
     profile_path: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    cluster_workers: int = 0,
+    cluster_replicas: int = 1,
 ) -> Dict:
     """Partition, persist, serve, and load-test ``graph``; returns the report.
 
@@ -272,6 +277,13 @@ def run_serve(
     writes the top-20 cumulative hotspots there (plain text), so future
     perf work starts from data instead of guesses.  Profiling slows the
     run; the throughput figures of a profiled run are not comparable.
+
+    ``cluster_workers > 0`` adds a second phase: the same bundle is
+    served by a :class:`~repro.service.cluster.ClusterServer` (that many
+    shard worker processes, ``cluster_replicas`` replicas each) and the
+    *same* workload is replayed with the same verification — so the
+    report's ``cluster`` section tracks sharded vs single-process
+    throughput over bit-identical answers.
 
     Raises ``AssertionError`` if any routed response disagrees with the
     graph or the partition — correctness is part of what this benchmark
@@ -381,6 +393,36 @@ def run_serve(
             if ingestor is not None:
                 ingestor.close()
 
+        cluster_report: Optional[Dict] = None
+        if cluster_workers > 0:
+            from repro.service.cluster import ClusterServer
+
+            note(
+                f"cluster phase: {cluster_workers} shard workers "
+                f"x {cluster_replicas} replicas, same workload"
+            )
+
+            async def cluster_bench() -> Tuple[
+                Dict[str, List[float]], int, int, float
+            ]:
+                server = ClusterServer(
+                    tmp,
+                    workers=cluster_workers,
+                    replicas=cluster_replicas,
+                    batch_window=batch_window,
+                )
+                async with server:
+                    chost, cport = server.address
+                    start = time.perf_counter()
+                    lat, n_ok, e_ok, _ = await _drive(
+                        chost, cport, workload, concurrency, graph, edge_owner
+                    )
+                    return lat, n_ok, e_ok, time.perf_counter() - start
+
+            c_lat, c_n_ok, c_e_ok, c_elapsed = asyncio.run(cluster_bench())
+            c_total = sum(len(s) for s in c_lat.values())
+            c_rps = round(c_total / c_elapsed) if c_elapsed else 0
+
     if verified_neighbors == 0:
         raise AssertionError("workload exercised no neighbours queries")
 
@@ -440,6 +482,23 @@ def run_serve(
     }
 
     total = sum(len(s) for s in latencies.values())
+    single_rps = round(total / elapsed) if elapsed else 0
+    if cluster_workers > 0:
+        cluster_report = {
+            "workers": cluster_workers,
+            "replicas": cluster_replicas,
+            # The sharded number only means anything relative to the
+            # single-process one when the workers had cores to run on.
+            "cpu_count": os.cpu_count(),
+            "num_requests": c_total,
+            "elapsed_s": round(c_elapsed, 4),
+            "requests_per_s": c_rps,
+            "speedup_vs_single": round(c_rps / single_rps, 3)
+            if single_rps
+            else 0.0,
+            "verified_neighbors": c_n_ok,
+            "verified_edges": c_e_ok,
+        }
     return {
         "version": SCHEMA_VERSION,
         "quick": quick,
@@ -456,10 +515,11 @@ def run_serve(
         "num_requests": total,
         "concurrency": concurrency,
         "elapsed_s": round(elapsed, 4),
-        "requests_per_s": round(total / elapsed) if elapsed else 0,
+        "requests_per_s": single_rps,
         "verified_neighbors": verified_neighbors,
         "verified_edges": verified_edges,
         "batch": batch_report,
+        "cluster": cluster_report,
         "ingest": ingest_report,
         "ops": ops_report,
         "server_metrics": stats["metrics"],

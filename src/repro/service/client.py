@@ -3,9 +3,17 @@
 :class:`ServiceClient` (asyncio) keeps one connection, pipelines any
 number of concurrent ``call()``s over it (matching responses by request
 ``id``), and transparently retries *retryable* failures — connection
-drops, ``overload``, ``timeout`` — with exponential backoff and jitterless
-deterministic delays (tests stay reproducible).  Semantic errors
-(``bad_request``, ``not_found``) raise :class:`ServiceError` immediately.
+drops, ``overload``, ``timeout``, ``unavailable`` — with exponentially
+capped **full-jitter** backoff (each sleep is drawn uniformly from
+``[0, base * factor**attempt]``, so a fleet of clients retrying a freshly
+promoted replica after a failover spreads out instead of thundering in
+lock-step; pass ``jitter=False`` for the old deterministic delays when a
+test needs exact timing).  Semantic errors (``bad_request``,
+``not_found``) raise :class:`ServiceError` immediately.
+
+Both clients speak the same framing over TCP (``host``/``port``) or a
+UNIX domain socket (``path=...``) — the cluster front-end uses the
+latter for its per-worker connections.
 
 :class:`SyncServiceClient` is a minimal blocking counterpart over a plain
 socket (one request in flight), for shells and examples where an event
@@ -31,6 +39,7 @@ returns the original result instead of double-applying.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import time
 import uuid
@@ -53,7 +62,18 @@ class ServiceError(RuntimeError):
 
 
 def _backoff_delays(base: float, factor: float, retries: int) -> List[float]:
+    """Per-attempt backoff *caps*: ``base * factor**attempt``.
+
+    With jitter enabled the actual sleep for attempt ``i`` is drawn
+    uniformly from ``[0, delays[i]]`` (AWS-style "full jitter"); without
+    it the cap itself is slept, which is the historical deterministic
+    behaviour.
+    """
     return [base * factor**i for i in range(retries)]
+
+
+def _jittered(cap: float, rng: Optional[random.Random]) -> float:
+    return rng.uniform(0.0, cap) if rng is not None else cap
 
 
 def _expire_call(future: "asyncio.Future") -> None:
@@ -67,22 +87,32 @@ class ServiceClient:
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         *,
+        path: Optional[str] = None,
         max_retries: int = 3,
         backoff_base: float = 0.05,
         backoff_factor: float = 2.0,
         call_timeout: float = 10.0,
+        jitter: bool = True,
+        jitter_seed: Optional[int] = None,
         on_epoch_change: Optional[Callable[[Optional[int], int], None]] = None,
         client_tag: Optional[str] = None,
     ) -> None:
+        if path is None and (host is None or port is None):
+            raise ValueError("need host+port (TCP) or path= (UNIX socket)")
         self.host = host
         self.port = port
+        #: UNIX domain socket path; when set, host/port are ignored.
+        self.path = path
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.call_timeout = call_timeout
+        self._rng: Optional[random.Random] = (
+            random.Random(jitter_seed) if jitter else None
+        )
         #: Identity for mutation dedup; survives reconnects (not restarts —
         #: pass an explicit tag for durable at-most-once across processes).
         self.client_tag = client_tag or f"c-{uuid.uuid4().hex[:12]}"
@@ -102,9 +132,15 @@ class ServiceClient:
     async def connect(self) -> "ServiceClient":
         """Open the connection (idempotent); returns ``self``."""
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
-            )
+            if self.path is not None:
+                self._reader, self._writer = await asyncio.open_unix_connection(
+                    self.path
+                )
+            else:
+                assert self.host is not None and self.port is not None
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
             self._recv_task = asyncio.create_task(
                 self._recv_loop(), name="repro-serve-client-recv"
             )
@@ -172,7 +208,7 @@ class ServiceClient:
             except asyncio.TimeoutError:
                 if attempt >= len(delays):
                     raise
-            await asyncio.sleep(delays[attempt])
+            await asyncio.sleep(_jittered(delays[attempt], self._rng))
             attempt += 1
 
     async def _call_once(
@@ -319,21 +355,30 @@ class SyncServiceClient:
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         *,
+        path: Optional[str] = None,
         max_retries: int = 3,
         backoff_base: float = 0.05,
         backoff_factor: float = 2.0,
         timeout: float = 10.0,
+        jitter: bool = True,
+        jitter_seed: Optional[int] = None,
         client_tag: Optional[str] = None,
     ) -> None:
+        if path is None and (host is None or port is None):
+            raise ValueError("need host+port (TCP) or path= (UNIX socket)")
         self.host = host
         self.port = port
+        self.path = path
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.timeout = timeout
+        self._rng: Optional[random.Random] = (
+            random.Random(jitter_seed) if jitter else None
+        )
         self.last_epoch: Optional[int] = None
         self.client_tag = client_tag or f"c-{uuid.uuid4().hex[:12]}"
         self._next_cseq = 0
@@ -342,9 +387,19 @@ class SyncServiceClient:
 
     def connect(self) -> "SyncServiceClient":
         if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+            if self.path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                try:
+                    sock.connect(self.path)
+                except BaseException:
+                    sock.close()
+                    raise
+                self._sock = sock
+            else:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
         return self
 
     def close(self) -> None:
@@ -377,7 +432,7 @@ class SyncServiceClient:
                 self.close()
                 if attempt >= len(delays):
                     raise
-            time.sleep(delays[attempt])
+            time.sleep(_jittered(delays[attempt], self._rng))
             attempt += 1
 
     def _call_once(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:

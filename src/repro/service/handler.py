@@ -83,8 +83,23 @@ OPERATIONS = (
     "compact",
 )
 
-#: Ops that change server state: never coalesced inside a batch.
-MUTATING_OPS = frozenset({"insert_edge", "delete_edge", "compact", "reload"})
+#: Ops that change server state: never coalesced inside a batch.  The
+#: last four are cluster-internal (:mod:`repro.service.cluster` shard
+#: workers); they are not public :data:`OPERATIONS`, but listing them
+#: here gives them the same flush-before-mutation barrier and bans
+#: coalescing two identical swap commands into one computation.
+MUTATING_OPS = frozenset(
+    {
+        "insert_edge",
+        "delete_edge",
+        "compact",
+        "reload",
+        "prepare",
+        "commit",
+        "abort",
+        "release_epoch",
+    }
+)
 
 #: Read ops answered in bulk through the stores' vectorised ``*_many``
 #: batch methods — ``execute_batch`` groups them per snapshot.
@@ -620,6 +635,8 @@ def _coalesce_key(request: Dict[str, Any]) -> Optional[Tuple]:
     if op in MUTATING_OPS:
         return None
     try:
-        return (op, tuple(sorted(args.items())))
+        key = (op, tuple(sorted(args.items())))
+        hash(key)  # list-valued args (e.g. shard_query) are unkeyable
     except TypeError:
         return None
+    return key

@@ -58,6 +58,14 @@ CONFLICT = "conflict"
 CAPACITY = "capacity"
 #: Mutations are paused while a compaction folds the overlay — retry shortly.
 INGEST_FROZEN = "ingest_frozen"
+#: No worker currently serves the shard the request routes to (every
+#: replica is down or mid-respawn) — back off and retry; failover or the
+#: supervisor's respawn makes the shard answerable again shortly.
+UNAVAILABLE = "unavailable"
+#: A shard sub-query named an epoch this worker no longer (or does not
+#: yet) retain — cluster-internal; the front-end treats it as a failover
+#: signal, clients should never see it.
+STALE_EPOCH = "stale_epoch"
 #: Handler raised; the failure is logged server-side.
 INTERNAL = "internal"
 
@@ -73,14 +81,18 @@ ERROR_CODES = frozenset(
         CONFLICT,
         CAPACITY,
         INGEST_FROZEN,
+        UNAVAILABLE,
+        STALE_EPOCH,
         INTERNAL,
     }
 )
 
 #: Error codes a client may transparently retry (with backoff).  A frozen
 #: ingest is retryable by construction: the mutation was *not* applied and
-#: the freeze lifts when the compaction's fold finishes.
-RETRYABLE_CODES = frozenset({OVERLOAD, TIMEOUT, INGEST_FROZEN})
+#: the freeze lifts when the compaction's fold finishes.  ``unavailable``
+#: is retryable the same way: the read was never executed, and a replica
+#: promotion or supervisor respawn answers the retry.
+RETRYABLE_CODES = frozenset({OVERLOAD, TIMEOUT, INGEST_FROZEN, UNAVAILABLE})
 
 
 class ProtocolError(ValueError):

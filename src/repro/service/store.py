@@ -284,6 +284,40 @@ class PartitionStore:
                 out.append(None)
         return out
 
+    # -- group-restricted batch routing ------------------------------------
+    #
+    # The shard-worker read path: a cluster worker owns the contiguous
+    # partition group ``[lo, hi)`` and answers only from those adjacency
+    # lists; the front-end concatenates the disjoint partial lists it
+    # gathers from the shards spanning a vertex.  ``None`` per item means
+    # "this group holds nothing for that vertex/edge" — distinct from an
+    # empty list, which cannot occur (a replica implies incident edges).
+
+    def group_neighbors_many(
+        self, vertices: Sequence[int], lo: int, hi: int
+    ) -> List[Optional[List[int]]]:
+        """Per vertex: sorted neighbours via partitions in ``[lo, hi)`` only."""
+        out: List[Optional[List[int]]] = []
+        for v in vertices:
+            group = [k for k in self.replicas_of(v) if lo <= k < hi]
+            if not group:
+                out.append(None)
+                continue
+            merged: Set[int] = set()
+            for k in group:
+                merged |= self.local_neighbors(v, k)
+            out.append(sorted(merged))
+        return out
+
+    def group_owners_many(
+        self, pairs: Sequence[Tuple[int, int]], lo: int, hi: int
+    ) -> List[Optional[int]]:
+        """Owning partition per pair when it lies in ``[lo, hi)``, else None."""
+        return [
+            owner if owner is not None and lo <= owner < hi else None
+            for owner in self.owners_many(pairs)
+        ]
+
     # -- summaries ---------------------------------------------------------
 
     def partition_stats(self, k: int) -> Dict[str, int]:
@@ -626,6 +660,51 @@ class CSRPartitionStore(PartitionStore):
                 j = int(np.searchsorted(row, br))
                 if j < hi - lo and int(row[j]) == br:
                     out[i] = k
+        return out
+
+    def group_neighbors_many(
+        self, vertices: Sequence[int], lo: int, hi: int
+    ) -> List[Optional[List[int]]]:
+        """Per vertex: sorted neighbours via partitions in ``[lo, hi)`` only.
+
+        Same ragged-gather shape as :meth:`neighbors_many`, with the
+        fan-out clipped to the worker's partition group — still one
+        ``searchsorted`` + gather per *touched* partition for the whole
+        batch.
+        """
+        vs = [int(v) for v in vertices]
+        route = self.route_many(vs)
+        out: List[Optional[List[int]]] = [None] * len(vs)
+        partial: List[List[int]] = [[] for _ in vs]
+        hit = [False] * len(vs)
+        by_part: Dict[int, List[int]] = {}
+        for i, r in enumerate(route):
+            if r is None:
+                continue
+            for k in r[1]:
+                if lo <= k < hi:
+                    hit[i] = True
+                    by_part.setdefault(k, []).append(i)
+        for k, positions in by_part.items():
+            ids_k, indptr_k, indices_k = self._csr.parts[k]
+            local_vs = np.asarray([vs[i] for i in positions], dtype=np.int64)
+            lrows = np.searchsorted(ids_k, local_vs)
+            starts = np.asarray(indptr_k)[lrows]
+            counts = np.asarray(indptr_k)[lrows + 1] - starts
+            flat_rows = _ragged_take(indices_k, starts, counts)
+            flat_ids = (
+                np.asarray(ids_k)[flat_rows].tolist() if flat_rows.size else []
+            )
+            pos = 0
+            for i, c in zip(positions, counts.tolist()):
+                partial[i].extend(flat_ids[pos : pos + c])
+                pos += c
+        for i, got in enumerate(hit):
+            if got:
+                # Disjoint per-partition lists: sort of the concatenation
+                # is the merged group-local neighbour list.
+                partial[i].sort()
+                out[i] = partial[i]
         return out
 
     # -- summaries ---------------------------------------------------------
