@@ -20,6 +20,10 @@ directory.  Checks, in order:
 3. ``BENCH_perf.json`` is schema v2+ and its ``parallel`` section proves
    the thread-pool paths stayed bit-identical (``grow_identical`` /
    ``fold_identical``) and recorded ``grow_threads`` / ``fold_seconds``.
+4. When ``python -m repro.bench refine --quick`` contributed a
+   ``refine`` section (schema v3), every row must have ``rf_delta >= 0``
+   — a refinement pass that *raises* RF violates the engine's
+   monotonicity invariant and must fail the job, not ship.
 
 Exits non-zero with a one-line reason on the first failure.
 """
@@ -127,6 +131,30 @@ def main() -> None:
         if field not in parallel:
             fail(f"BENCH_perf.json parallel section missing {field!r}")
 
+    refine = perf.get("refine")
+    refine_note = ""
+    if int(perf.get("version", 0)) >= 3 or refine is not None:
+        if not isinstance(refine, dict):
+            fail("BENCH_perf.json has no 'refine' section — run the refine bench")
+        rows = refine.get("rows")
+        if not isinstance(rows, list) or not rows:
+            fail("BENCH_perf.json refine section recorded no rows")
+        for row in rows:
+            delta = float(row.get("rf_delta", -1.0))
+            if delta < 0:
+                fail(
+                    f"refinement RAISED RF on {row.get('dataset')}/"
+                    f"{row.get('source')}: rf_delta={delta} — "
+                    "monotonicity invariant broken"
+                )
+            if row.get("rf_after", 0) > row.get("rf_before", 0) + 1e-9:
+                fail(
+                    f"refine row {row.get('dataset')}/{row.get('source')} "
+                    "has rf_after > rf_before"
+                )
+        best = max(float(r.get("rf_delta", 0.0)) for r in rows)
+        refine_note = f"; refine rows={len(rows)} best_rf_delta={best}"
+
     print(
         "perf smoke OK: "
         f"{fresh} req/s (baseline {baseline['requests_per_s']}), "
@@ -134,6 +162,7 @@ def main() -> None:
         f"{batch['vectorised_requests']} vectorised; "
         f"grow_threads={parallel['grow_threads']} "
         f"fold_seconds={parallel['fold_seconds']}"
+        f"{refine_note}"
     )
 
 

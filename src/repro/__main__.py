@@ -26,6 +26,14 @@ the bundle on a live server::
     python -m repro serve parts/ --port 7531 --wal
     python -m repro compact --port 7531
 
+``refine`` runs the local-search RF refinement post-pass over a saved
+bundle (boundary-edge moves and pair swaps under the capacity bound) and
+rewrites it in place — a running ``--watch`` server picks the refined
+bundle up automatically, or ``reload`` swaps it in by hand::
+
+    python -m repro refine parts/
+    python -m repro serve parts/ --wal --refine-on-compact   # refine online
+
 Examples
 --------
 ::
@@ -189,6 +197,21 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "(default: unbounded)",
     )
     parser.add_argument(
+        "--refine-on-compact",
+        action="store_true",
+        help="with --wal: run local-search RF refinement on every "
+        "compaction, folding out mutation-induced RF drift before the "
+        "epoch swap",
+    )
+    parser.add_argument(
+        "--refine-slack",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="with --refine-on-compact: capacity headroom multiplier "
+        "ceil(S*m/p) for the refinement pass (default 1.0)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -342,15 +365,23 @@ def serve_main(argv: List[str]) -> int:
                 fsync=args.fsync,
                 policy=args.placement,
                 capacity=args.capacity,
+                refine_on_compact=args.refine_on_compact,
+                refine_slack=args.refine_slack,
             )
         except Exception as exc:  # noqa: BLE001 — bad WAL = refuse to start
             print(f"error: cannot enable ingest: {exc}", file=sys.stderr)
             return 2
         capacity = args.capacity if args.capacity is not None else "unbounded"
+        refine = (
+            f", refine-on-compact slack {args.refine_slack:g}"
+            if args.refine_on_compact
+            else ""
+        )
         print(
             f"ingest enabled [{args.placement} placement, capacity {capacity}, "
-            f"fsync {args.fsync}]: replayed {ingestor.replayed_mutations} "
-            f"WAL mutations ({ingestor.wal.size} bytes)"
+            f"fsync {args.fsync}{refine}]: replayed "
+            f"{ingestor.replayed_mutations} WAL mutations "
+            f"({ingestor.wal.size} bytes)"
         )
 
     async def run() -> None:
@@ -536,6 +567,99 @@ def compact_main(argv: List[str]) -> int:
     return 0
 
 
+def _build_refine_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro refine",
+        description="Lower a saved bundle's replication factor with "
+        "local-search refinement (boundary-edge moves and pair swaps under "
+        "the capacity bound), rewriting the bundle with before/after RF "
+        "recorded in its manifest.",
+    )
+    parser.add_argument("directory", type=Path, help="a --save-dir bundle")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write the refined bundle here instead of rewriting in place",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="capacity headroom multiplier: bound is ceil(S*m/p), floored "
+        "at the input's largest partition (default 1.0)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=0,
+        metavar="EDGES",
+        help="explicit per-partition edge bound (overrides --slack)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        metavar="RF",
+        help="stop when a pass improves RF by less than this "
+        "(default 0 = run to the fixpoint)",
+    )
+    parser.add_argument(
+        "--max-passes", type=int, default=8, help="pass bound (default 8)"
+    )
+    parser.add_argument(
+        "--no-swaps",
+        action="store_true",
+        help="disable the capacity-neutral pair-swap phase (moves only)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip manifest checksum checks"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool size for rewriting the bundle (default: serial)",
+    )
+    return parser
+
+
+def refine_main(argv: List[str]) -> int:
+    """The ``refine`` subcommand: refine a saved bundle offline."""
+    from repro.partitioning.refine import RefineError, refine_bundle
+
+    args = _build_refine_parser().parse_args(argv)
+    try:
+        manifest, stats = refine_bundle(
+            args.directory,
+            output=args.output,
+            verify=not args.no_verify,
+            workers=args.workers,
+            capacity=args.capacity,
+            slack=args.slack,
+            epsilon=args.epsilon,
+            max_passes=args.max_passes,
+            swaps=not args.no_swaps,
+        )
+    except RefineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot refine {args.directory}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"RF {stats.rf_before:.4f} -> {stats.rf_after:.4f} "
+        f"(-{stats.rf_delta:.4f}): {stats.moves} moves + {stats.swaps} swaps "
+        f"over {stats.passes} passes in {stats.seconds:.3f}s "
+        f"[{stats.converged}, capacity {stats.capacity}]"
+    )
+    print(f"wrote refined bundle with manifest {manifest}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -546,6 +670,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return reload_main(argv[1:])
     if argv and argv[0] == "compact":
         return compact_main(argv[1:])
+    if argv and argv[0] == "refine":
+        return refine_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.partitions < 1:
         print("error: --partitions must be >= 1", file=sys.stderr)

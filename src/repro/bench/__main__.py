@@ -15,8 +15,12 @@ Experiments (paper artefact in parentheses):
 * ``seeds``   — RF stability across random seeds, per algorithm
 * ``slack``   — TLP's balance-slack vs RF trade-off
 * ``perf``    — TLP backend throughput benchmark; writes ``BENCH_perf.json``
+* ``refine``  — local-search RF refinement benchmark (rf-delta, moves/s,
+  time-to-convergence per bundle); merges a ``refine`` section into
+  ``BENCH_perf.json``
 * ``serve``   — partition-service load test; writes ``BENCH_serve.json``
-* ``all``    — everything above (except ``perf``/``serve``, run explicitly)
+* ``all``    — everything above (except ``perf``/``refine``/``serve``,
+  run explicitly)
 
 ``--scale`` overrides each dataset's default scale (see DESIGN.md §5);
 ``--quick`` uses the small bench scales the pytest suite uses.
@@ -63,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "seeds",
             "slack",
             "perf",
+            "refine",
             "serve",
             "all",
         ],
@@ -310,8 +315,64 @@ def _run_perf(args) -> None:
         )
     )
     print(f"\nTLP speedup (csr vs reference): {report['speedup']:g}x")
+    # The refine experiment owns the 'refine' section; carry it over so
+    # a perf rerun never silently drops tracked refinement numbers.
+    import json
+
+    from repro.bench.perf import DEFAULT_REPORT
+
+    try:
+        with open(DEFAULT_REPORT, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict) and "refine" in existing:
+            report["refine"] = existing["refine"]
+    except (OSError, ValueError):
+        pass
     path = write_report(report)
     print(f"wrote {path}")
+
+
+def _run_refine(args) -> None:
+    from repro.bench.harness import load_paper_graphs
+    from repro.bench.refine import (
+        DEFAULT_DATASETS,
+        DEFAULT_P,
+        merge_refine_section,
+        run_refine,
+    )
+
+    datasets = args.datasets or list(DEFAULT_DATASETS)
+    print(render_banner("Refinement — local-search RF post-pass benchmark"))
+    print(f"datasets: {' '.join(datasets)}, p={DEFAULT_P}\n")
+    graphs = load_paper_graphs(
+        scale=args.scale, seed=args.seed, keys=datasets, bench=args.quick
+    )
+    section = run_refine(
+        graphs,
+        seed=args.seed,
+        quick=args.quick,
+        progress=lambda row: print(
+            f"  done {row['dataset']} {row['source']:4s} "
+            f"RF {row['rf_before']:.4f} -> {row['rf_after']:.4f} "
+            f"(-{row['rf_delta']:.4f}) {row['moves']}mv+{row['swaps']}sw "
+            f"in {row['seconds']:g}s [{row['converged']}]",
+            file=sys.stderr,
+        ),
+    )
+    print(
+        render_table(
+            ["dataset", "source", "RF before", "RF after", "delta",
+             "moves", "swaps", "seconds", "moves/s", "converged"],
+            [
+                [r["dataset"], r["source"], r["rf_before"], r["rf_after"],
+                 r["rf_delta"], r["moves"], r["swaps"], r["seconds"],
+                 r["moves_per_s"], r["converged"]]
+                for r in section["rows"]
+            ],
+        )
+    )
+    path = merge_refine_section(section)
+    print(f"\nmerged refine section into {path}")
 
 
 def _run_serve(args) -> None:
@@ -507,6 +568,8 @@ def _dispatch(args) -> int:
             _run_slack(args, graphs)
         elif want == "perf":
             _run_perf(args)
+        elif want == "refine":
+            _run_refine(args)
         elif want == "serve":
             _run_serve(args)
         elif want == "scaling":

@@ -30,7 +30,10 @@ from repro.partitioning.metrics import replication_factor
 #: v2 adds the ``parallel`` section: ``grow_threads``, sequential vs
 #: thread-pool growth timings, and the compaction-fold ``fold_seconds``
 #: (all additive — v1 readers ignore it).
-SCHEMA_VERSION = 2
+#: v3 adds the ``refine`` section written by ``python -m repro.bench
+#: refine`` (local-search RF refinement: rf_before/rf_after/rf_delta,
+#: moves/s, time-to-convergence per dataset x source partitioner).
+SCHEMA_VERSION = 3
 
 #: The probe workload: G5 (Slashdot0811) is the largest stand-in that the
 #: full benchmark finishes in a couple of minutes at scale 0.25.

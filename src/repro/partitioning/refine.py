@@ -1,0 +1,573 @@
+"""Local-search RF refinement: gain-indexed boundary moves and pair swaps.
+
+A post-pass that lowers the replication factor of *any*
+:class:`~repro.partitioning.assignment.EdgePartition` — whatever
+partitioner produced it, offline or online — by local search over the
+boundary edges, in the spirit of "Enhancing Balanced Graph Edge
+Partition with Effective Local Search" (see PAPERS.md):
+
+* **Moves.**  Relocating edge ``(u, v)`` from partition ``A`` to ``B``
+  frees a replica for every endpoint whose *last* ``A``-edge it was, and
+  costs one for every endpoint absent from ``B``.  Positive-gain moves
+  strictly shrink ``sum_k |V(P_k)|`` (the RF numerator), so greedy
+  application terminates.  Candidates are drawn from a **gain-indexed
+  max-heap** with lazy invalidation: stale entries are re-scored on pop,
+  and every applied move re-seeds the heap with the incident edges whose
+  gains it disturbed — the classic FM work-list, adapted to edge
+  partitions.
+* **Swaps.**  A positive-gain move whose target sits at the capacity
+  bound is not lost: the swap phase pairs it with a counter-move from
+  the target back to the source (sizes restored exactly), accepted only
+  when the *combined* replica delta is negative.  Swaps unlock the
+  plateau that a perfectly balanced input otherwise presents to
+  move-only refinement — no slack required.
+* **Determinism.**  There is no randomness anywhere: ties break on
+  (gain, target size, target id, edge) everywhere, so refining the same
+  partition twice — in the same process or from a WAL replay — produces
+  the identical result.  The property suite pins this.
+* **Stopping.**  A pass is one heap drain plus one swap phase.  The
+  refiner stops at a fixpoint (no improving move or swap), when a pass
+  improves RF by less than ``epsilon``, at ``max_passes``, or when a
+  ``max_moves`` budget runs out — whichever comes first, recorded in
+  :attr:`RefineStats.converged`.
+
+The capacity bound mirrors :func:`repro.partitioning.refinement.
+refine_replication`: by default ``ceil(slack * m / p)``, floored at the
+input's largest partition so refinement never *worsens* an unbalanced
+input.  Balance can only improve or stay.
+
+:func:`refine_bundle` applies the engine to an on-disk
+``save_partition`` bundle and rewrites it (atomically, manifest last)
+with the before/after RF recorded in the manifest metadata.  A bundle
+whose write-ahead log still holds unfolded mutations is **refused** with
+:class:`PendingMutationsError` — mirroring the serving layer's guard
+that refuses a plain reload while mutations pend: rewriting the base
+under an outstanding delta would orphan acknowledged writes.  Compact
+first; ``Ingestor(refine_on_compact=True)`` does both in one step.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.graph.graph import Edge
+from repro.partitioning.assignment import EdgePartition
+
+PathLike = Union[str, Path]
+
+#: The serving layer's WAL file name inside a bundle directory.  Kept in
+#: lockstep with :data:`repro.service.ingest.WAL_NAME` (pinned by a test);
+#: duplicated here so the partitioning layer does not import the service
+#: layer.
+INGEST_WAL_NAME = "ingest.wal"
+
+
+class RefineError(RuntimeError):
+    """Base class for refinement failures."""
+
+
+class PendingMutationsError(RefineError):
+    """The bundle's WAL holds unfolded mutations; compact before refining.
+
+    Mirrors the serving layer's reload guard: rewriting the base bundle
+    while a delta overlay / WAL still references it would silently drop
+    acknowledged mutations and poison the next WAL replay.
+    """
+
+
+@dataclass
+class RefineStats:
+    """What one refinement run did, and why it stopped."""
+
+    passes: int
+    moves: int
+    swaps: int
+    replicas_before: int
+    replicas_after: int
+    covered_vertices: int
+    capacity: int
+    seconds: float
+    #: ``"fixpoint"`` (no improving move/swap), ``"epsilon"`` (pass gain
+    #: under the threshold), ``"max_passes"``, or ``"move_budget"``.
+    converged: str
+
+    @property
+    def replicas_saved(self) -> int:
+        """Total replicas removed."""
+        return self.replicas_before - self.replicas_after
+
+    @property
+    def rf_before(self) -> float:
+        """Input RF (``1.0`` for an empty partition)."""
+        if self.covered_vertices == 0:
+            return 1.0
+        return self.replicas_before / self.covered_vertices
+
+    @property
+    def rf_after(self) -> float:
+        """Output RF (``1.0`` for an empty partition)."""
+        if self.covered_vertices == 0:
+            return 1.0
+        return self.replicas_after / self.covered_vertices
+
+    @property
+    def rf_delta(self) -> float:
+        """``rf_before - rf_after`` (>= 0: refinement never worsens RF)."""
+        return self.rf_before - self.rf_after
+
+    @property
+    def applied(self) -> int:
+        """Moves plus swaps."""
+        return self.moves + self.swaps
+
+    @property
+    def moves_per_s(self) -> float:
+        """Applied moves+swaps per wall-clock second."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.applied / self.seconds
+
+    def manifest_entry(self) -> Dict[str, object]:
+        """The summary :func:`refine_bundle` records in the manifest."""
+        return {
+            "rf_before": round(self.rf_before, 6),
+            "rf_after": round(self.rf_after, 6),
+            "rf_delta": round(self.rf_delta, 6),
+            "moves": self.moves,
+            "swaps": self.swaps,
+            "passes": self.passes,
+            "capacity": self.capacity,
+            "seconds": round(self.seconds, 6),
+            "converged": self.converged,
+        }
+
+
+class LocalSearchRefiner:
+    """Configured move/swap local search over edge partitions.
+
+    One instance is reusable across partitions (``refine`` builds fresh
+    state per call).  Parameters:
+
+    ``capacity``
+        Per-partition edge bound; ``0`` derives ``ceil(slack * m / p)``
+        floored at the input's largest partition.
+    ``slack``
+        Headroom multiplier for the derived capacity (>= 1.0).  With
+        swaps enabled the default ``1.0`` already escapes the balanced
+        plateau; slack simply lets single moves do more of the work.
+    ``epsilon``
+        Stop when a full pass improves RF by less than this (``0.0`` =
+        run to the exact fixpoint).
+    ``max_passes`` / ``max_moves``
+        Hard bounds on work; ``max_moves=0`` means unbounded.
+    ``swaps``
+        Enable the capacity-neutral pair-swap phase.
+    ``swap_limit``
+        Max swap *attempts* per pass (``0`` = try every blocked
+        candidate); each attempt scans one partition's edge set, so the
+        cap bounds the quadratic corner.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 0,
+        slack: float = 1.0,
+        epsilon: float = 0.0,
+        max_passes: int = 8,
+        max_moves: int = 0,
+        swaps: bool = True,
+        swap_limit: int = 0,
+    ) -> None:
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1.0, got {slack}")
+        if epsilon < 0.0:
+            raise ValueError(f"epsilon must be >= 0.0, got {epsilon}")
+        if max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.slack = slack
+        self.epsilon = epsilon
+        self.max_passes = max_passes
+        self.max_moves = max_moves
+        self.swaps = swaps
+        self.swap_limit = swap_limit
+
+    # -- public API --------------------------------------------------------
+
+    def refine(
+        self, partition: EdgePartition
+    ) -> Tuple[EdgePartition, RefineStats]:
+        """Refine ``partition``; returns ``(refined, stats)``.
+
+        The input is never mutated.  The output covers exactly the same
+        edge set (conservation), respects the capacity bound, and has
+        ``total_replicas(refined) <= total_replicas(partition)``.
+        """
+        started = time.perf_counter()
+        state = _State(partition, self.capacity, self.slack)
+        converged = "max_passes"
+        passes = 0
+        for _ in range(self.max_passes):
+            passes += 1
+            saved_before = state.replicas
+            budget = self._remaining_budget(state)
+            if budget == 0:
+                converged = "move_budget"
+                break
+            state.drain_moves(budget)
+            if self.swaps:
+                budget = self._remaining_budget(state)
+                if budget == 0:
+                    converged = "move_budget"
+                    break
+                state.drain_swaps(budget, self.swap_limit)
+            pass_saved = saved_before - state.replicas
+            if pass_saved == 0:
+                converged = "fixpoint"
+                break
+            if self.epsilon > 0.0 and state.covered:
+                if pass_saved / state.covered < self.epsilon:
+                    converged = "epsilon"
+                    break
+        if self._remaining_budget(state) == 0 and self.max_moves:
+            converged = "move_budget"
+        refined = state.to_partition()
+        stats = RefineStats(
+            passes=passes,
+            moves=state.moves,
+            swaps=state.swaps,
+            replicas_before=state.replicas_before,
+            replicas_after=state.replicas,
+            covered_vertices=state.covered,
+            capacity=state.capacity,
+            seconds=time.perf_counter() - started,
+            converged=converged,
+        )
+        return refined, stats
+
+    def _remaining_budget(self, state: "_State") -> int:
+        """Moves+swaps still allowed (-1 = unbounded)."""
+        if not self.max_moves:
+            return -1
+        return max(0, self.max_moves - state.moves - state.swaps)
+
+
+def refine_partition(
+    partition: EdgePartition, **options: object
+) -> Tuple[EdgePartition, RefineStats]:
+    """One-shot convenience wrapper around :class:`LocalSearchRefiner`."""
+    return LocalSearchRefiner(**options).refine(partition)  # type: ignore[arg-type]
+
+
+# -- the mutable search state -------------------------------------------------
+
+
+class _State:
+    """Edge ownership, per-vertex incidence counts, and the gain heap."""
+
+    def __init__(
+        self, partition: EdgePartition, capacity: int, slack: float
+    ) -> None:
+        p = partition.num_partitions
+        m = partition.num_edges
+        self.p = p
+        if capacity <= 0:
+            capacity = max(1, math.ceil(slack * m / p)) if p else 1
+            capacity = max(capacity, max(partition.partition_sizes() or [0]))
+        self.capacity = capacity
+        self.edge_part: Dict[Edge, int] = dict(partition.edge_to_partition())
+        #: vertex -> {partition: incident edge count}; exact at all times.
+        self.incident: Dict[int, Dict[int, int]] = {}
+        #: vertex -> every edge touching it (static across moves).
+        self.vertex_edges: Dict[int, List[Edge]] = {}
+        self.sizes: List[int] = [0] * p
+        self.part_edges: List[Set[Edge]] = [set() for _ in range(p)]
+        for edge, k in self.edge_part.items():
+            self.sizes[k] += 1
+            self.part_edges[k].add(edge)
+            for w in edge:
+                row = self.incident.setdefault(w, {})
+                row[k] = row.get(k, 0) + 1
+                self.vertex_edges.setdefault(w, []).append(edge)
+        self.replicas = sum(len(row) for row in self.incident.values())
+        self.replicas_before = self.replicas
+        self.covered = len(self.incident)
+        self.moves = 0
+        self.swaps = 0
+        #: Positive-gain moves blocked by capacity, found during drains;
+        #: the swap phase works through them.  edge -> recorded gain.
+        self.blocked: Dict[Edge, int] = {}
+
+    # -- gain arithmetic ---------------------------------------------------
+
+    def move_gain(self, edge: Edge, target: int) -> int:
+        """Replicas freed minus replicas added by ``edge`` -> ``target``."""
+        u, v = edge
+        source = self.edge_part[edge]
+        row_u, row_v = self.incident[u], self.incident[v]
+        remove = (row_u[source] == 1) + (row_v[source] == 1)
+        add = (target not in row_u) + (target not in row_v)
+        return remove - add
+
+    def best_move(
+        self, edge: Edge, respect_capacity: bool
+    ) -> Tuple[int, int]:
+        """``(gain, target)`` of the best relocation of ``edge``.
+
+        Only partitions already hosting an endpoint can yield a positive
+        gain (an alien target costs two adds against at most two
+        removes), so the candidate set is the endpoints' replica sets.
+        Ties break to the smaller, then lower-id target — fully
+        deterministic.  Returns ``(0, -1)`` when nothing improves.
+        """
+        u, v = edge
+        source = self.edge_part[edge]
+        row_u, row_v = self.incident[u], self.incident[v]
+        remove = (row_u[source] == 1) + (row_v[source] == 1)
+        if remove == 0:
+            return 0, -1
+        best_gain, best_target = 0, -1
+        for target in sorted(set(row_u) | set(row_v)):
+            if target == source:
+                continue
+            if respect_capacity and self.sizes[target] >= self.capacity:
+                continue
+            gain = remove - (target not in row_u) - (target not in row_v)
+            if gain <= 0:
+                continue
+            if (
+                best_target < 0
+                or gain > best_gain
+                or (
+                    gain == best_gain
+                    and self.sizes[target] < self.sizes[best_target]
+                )
+            ):
+                best_gain, best_target = gain, target
+        return best_gain, best_target
+
+    # -- mutation ----------------------------------------------------------
+
+    def apply_move(self, edge: Edge, target: int) -> None:
+        """Relocate ``edge`` to ``target``, keeping every aggregate exact."""
+        source = self.edge_part[edge]
+        self.edge_part[edge] = target
+        self.sizes[source] -= 1
+        self.sizes[target] += 1
+        self.part_edges[source].discard(edge)
+        self.part_edges[target].add(edge)
+        for w in edge:
+            row = self.incident[w]
+            row[source] -= 1
+            if row[source] == 0:
+                del row[source]
+                self.replicas -= 1
+            if target in row:
+                row[target] += 1
+            else:
+                row[target] = 1
+                self.replicas += 1
+
+    # -- the move drain ----------------------------------------------------
+
+    def drain_moves(self, budget: int) -> None:
+        """Apply positive-gain moves until none remain (or budget ends).
+
+        Lazy heap: every pop is re-scored against the live state; a
+        stale entry re-enqueues its fresh score instead of acting on an
+        outdated one.  Each applied move re-seeds the entries of the
+        edges incident to the moved edge's endpoints — the only gains a
+        move can disturb (plus capacity effects, which the lazy
+        re-score already covers).
+        """
+        heap: List[Tuple[int, Edge, int]] = []
+        for edge in self.edge_part:
+            gain, target = self.best_move(edge, respect_capacity=True)
+            if target >= 0:
+                heap.append((-gain, edge, target))
+            self._note_blocked(edge)
+        heapq.heapify(heap)
+        while heap:
+            if budget == 0:
+                return
+            neg_gain, edge, target = heapq.heappop(heap)
+            gain, best_target = self.best_move(edge, respect_capacity=True)
+            if best_target < 0:
+                self._note_blocked(edge)
+                continue
+            if (-gain, best_target) != (neg_gain, target):
+                heapq.heappush(heap, (-gain, edge, best_target))
+                continue
+            self.apply_move(edge, best_target)
+            self.moves += 1
+            if budget > 0:
+                budget -= 1
+            self.blocked.pop(edge, None)
+            for w in edge:
+                for other in self.vertex_edges[w]:
+                    if other == edge:
+                        continue
+                    other_gain, other_target = self.best_move(
+                        other, respect_capacity=True
+                    )
+                    if other_target >= 0:
+                        heapq.heappush(
+                            heap, (-other_gain, other, other_target)
+                        )
+                    self._note_blocked(other)
+
+    def _note_blocked(self, edge: Edge) -> None:
+        """Record a positive-gain move currently shut out by capacity."""
+        gain, target = self.best_move(edge, respect_capacity=False)
+        if target >= 0 and self.sizes[target] >= self.capacity:
+            self.blocked[edge] = gain
+
+    # -- the swap phase ----------------------------------------------------
+
+    def drain_swaps(self, budget: int, swap_limit: int) -> None:
+        """Pair capacity-blocked moves with counter-moves (sizes neutral).
+
+        For a blocked candidate ``e: A -> B`` the phase tentatively
+        applies the move (``B`` runs one over capacity), then looks for
+        the best counter-move of some ``f in B`` back to ``A`` — scored
+        *after* ``e`` landed, so the combined delta is exact — and keeps
+        the pair only when it strictly lowers the replica total;
+        otherwise ``e`` is rolled back.  Partition sizes end exactly
+        where they started, so the capacity bound holds throughout the
+        refined output.
+        """
+        candidates = sorted(
+            self.blocked.items(), key=lambda item: (-item[1], item[0])
+        )
+        self.blocked.clear()
+        attempts = 0
+        for edge, _recorded in candidates:
+            if budget == 0:
+                return
+            if swap_limit and attempts >= swap_limit:
+                return
+            gain, target = self.best_move(edge, respect_capacity=False)
+            if target < 0 or self.sizes[target] < self.capacity:
+                continue  # no longer blocked; the next move drain takes it
+            attempts += 1
+            source = self.edge_part[edge]
+            before = self.replicas
+            self.apply_move(edge, target)
+            counter = self._best_counter_move(target, source, exclude=edge)
+            if counter is None:
+                self.apply_move(edge, source)  # roll back
+                continue
+            counter_edge, _counter_gain = counter
+            self.apply_move(counter_edge, source)
+            if self.replicas < before:
+                self.swaps += 1
+                if budget > 0:
+                    budget -= 1
+            else:  # combined delta not an improvement: roll both back
+                self.apply_move(counter_edge, target)
+                self.apply_move(edge, source)
+
+    def _best_counter_move(
+        self, source: int, target: int, exclude: Edge
+    ) -> Optional[Tuple[Edge, int]]:
+        """Best ``f: source -> target`` scored on the live state.
+
+        Scans ``source``'s current edge set; the max is selected by
+        ``(gain, edge)`` so the result is independent of set iteration
+        order.  Returns ``None`` when the partition has nothing to give
+        back (only ``exclude`` itself).
+        """
+        best: Optional[Tuple[int, Edge]] = None
+        for edge in self.part_edges[source]:
+            if edge == exclude:
+                continue
+            gain = self.move_gain(edge, target)
+            if best is None or (-gain, edge) < (-best[0], best[1]):
+                best = (gain, edge)
+        if best is None:
+            return None
+        return best[1], best[0]
+
+    # -- output ------------------------------------------------------------
+
+    def to_partition(self) -> EdgePartition:
+        """Materialise the refined assignment (deterministic edge order)."""
+        parts: List[List[Edge]] = [[] for _ in range(self.p)]
+        for edge in sorted(self.edge_part):
+            parts[self.edge_part[edge]].append(edge)
+        return EdgePartition(parts)
+
+
+# -- bundle-level refinement --------------------------------------------------
+
+
+def refine_bundle(
+    directory: PathLike,
+    output: Optional[PathLike] = None,
+    *,
+    verify: bool = True,
+    workers: Optional[int] = None,
+    capacity: int = 0,
+    slack: float = 1.0,
+    epsilon: float = 0.0,
+    max_passes: int = 8,
+    max_moves: int = 0,
+    swaps: bool = True,
+    swap_limit: int = 0,
+) -> Tuple[Path, RefineStats]:
+    """Refine the bundle at ``directory``; returns ``(manifest, stats)``.
+
+    Loads the bundle (manifest-verified unless ``verify=False``), runs
+    the local search, and rewrites it — in place by default, or to
+    ``output`` — via :func:`~repro.partitioning.serialization.
+    save_partition` (atomic files, manifest last, CSR sidecar rebuilt),
+    with the run summary under ``metadata["refined"]`` and the
+    metadata's ``replication_factor`` updated when present.
+
+    Raises :class:`PendingMutationsError` when the bundle carries a
+    non-empty write-ahead log: those mutations are not in the edge
+    files yet, and a refined rewrite would orphan them.  Run compaction
+    first (``python -m repro compact`` against the live server, or
+    ``Ingestor(refine_on_compact=True)`` to fold and refine in one
+    pass).
+    """
+    from repro.partitioning.serialization import load_partition, save_partition
+
+    directory = Path(directory)
+    wal = directory / INGEST_WAL_NAME
+    if wal.exists() and wal.stat().st_size > 0:
+        raise PendingMutationsError(
+            f"bundle {directory} has {wal.stat().st_size} bytes of unfolded "
+            "WAL mutations; compact before refining"
+        )
+    partition = load_partition(directory, verify=verify)
+    refiner = LocalSearchRefiner(
+        capacity=capacity,
+        slack=slack,
+        epsilon=epsilon,
+        max_passes=max_passes,
+        max_moves=max_moves,
+        swaps=swaps,
+        swap_limit=swap_limit,
+    )
+    refined, stats = refiner.refine(partition)
+    from repro.partitioning.serialization import partition_metadata
+
+    metadata = partition_metadata(directory)
+    metadata["refined"] = stats.manifest_entry()
+    if "replication_factor" in metadata:
+        metadata["replication_factor"] = round(stats.rf_after, 6)
+    manifest = save_partition(
+        refined,
+        output if output is not None else directory,
+        metadata=metadata,
+        workers=workers,
+    )
+    return manifest, stats

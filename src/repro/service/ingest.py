@@ -39,9 +39,21 @@ import asyncio
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.parallel import parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.partitioning.refine import RefineStats
 from repro.graph.graph import Edge, normalize_edge
 from repro.partitioning.assignment import EdgePartition
 from repro.service.store import (
@@ -604,6 +616,10 @@ class Ingestor:
         metrics=None,
         dedup_size: int = 4096,
         fold_workers: Optional[int] = None,
+        refine_on_compact: bool = False,
+        refine_slack: float = 1.0,
+        refine_epsilon: float = 0.0,
+        refine_max_passes: int = 8,
     ) -> None:
         if policy not in PLACEMENT_POLICIES:
             raise ValueError(
@@ -624,6 +640,15 @@ class Ingestor:
         #: (``None`` = one per core, ``1`` = sequential); the folded
         #: bundle is byte-identical for any value.
         self.fold_workers = fold_workers
+        #: Run local-search RF refinement on every compaction fold,
+        #: clawing back mutation-induced RF drift before the epoch swap.
+        self.refine_on_compact = refine_on_compact
+        self.refine_slack = refine_slack
+        self.refine_epsilon = refine_epsilon
+        self.refine_max_passes = refine_max_passes
+        #: :class:`~repro.partitioning.refine.RefineStats` of the most
+        #: recent refined compaction (``None`` until one runs).
+        self.last_refine_stats: Optional[RefineStats] = None
         #: Wall-clock seconds of the most recent fold + save (the part of
         #: the compaction pause the thread pool shrinks).
         self.last_fold_seconds = 0.0
@@ -657,6 +682,10 @@ class Ingestor:
         metrics=None,
         dedup_size: int = 4096,
         fold_workers: Optional[int] = None,
+        refine_on_compact: bool = False,
+        refine_slack: float = 1.0,
+        refine_epsilon: float = 0.0,
+        refine_max_passes: int = 8,
     ) -> "Ingestor":
         """Turn a read-only manager into a mutable one.
 
@@ -685,6 +714,10 @@ class Ingestor:
             metrics=metrics,
             dedup_size=dedup_size,
             fold_workers=fold_workers,
+            refine_on_compact=refine_on_compact,
+            refine_slack=refine_slack,
+            refine_epsilon=refine_epsilon,
+            refine_max_passes=refine_max_passes,
         )
         ingestor._replay(records)
         ingestor.publish_gauges()
@@ -988,6 +1021,23 @@ class Ingestor:
             int(metadata.get("compacted_mutations", 0) or 0)
             + overlay.pending_mutations
         )
+        if self.refine_on_compact:
+            # Local-search post-pass over the folded partition: claws
+            # back mutation-induced RF drift before the epoch swap, so
+            # every refined compaction publishes a strictly-no-worse
+            # bundle (still zero dropped queries — same reload path).
+            from repro.partitioning.refine import LocalSearchRefiner
+
+            refiner = LocalSearchRefiner(
+                slack=self.refine_slack,
+                epsilon=self.refine_epsilon,
+                max_passes=self.refine_max_passes,
+            )
+            partition, stats = refiner.refine(partition)
+            self.last_refine_stats = stats
+            metadata["refined"] = stats.manifest_entry()
+            if "replication_factor" in metadata:
+                metadata["replication_factor"] = round(stats.rf_after, 6)
         save_partition(
             partition, self.bundle_dir, metadata=metadata,
             workers=self.fold_workers,
@@ -1005,6 +1055,16 @@ class Ingestor:
         info["fold_seconds"] = round(self.last_fold_seconds, 6)
         info["fold_workers"] = self.fold_workers
         info["wal_bytes"] = self.wal.size
+        if self.refine_on_compact and self.last_refine_stats is not None:
+            stats = self.last_refine_stats
+            info["refined"] = {
+                "rf_before": round(stats.rf_before, 6),
+                "rf_after": round(stats.rf_after, 6),
+                "moves": stats.moves,
+                "swaps": stats.swaps,
+                "passes": stats.passes,
+                "seconds": round(stats.seconds, 6),
+            }
         self._count("compactions_ok")
         if self.metrics is not None:
             self.metrics.observe("compaction", elapsed)

@@ -1,0 +1,92 @@
+"""Smoke test for ``python -m repro.bench refine`` and its JSON section."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.refine import DEFAULT_SOURCES, merge_refine_section, run_refine
+from repro.graph.generators import holme_kim
+
+ROW_KEYS = {
+    "dataset",
+    "source",
+    "p",
+    "edges",
+    "vertices",
+    "rf_before",
+    "rf_after",
+    "rf_delta",
+    "moves",
+    "swaps",
+    "passes",
+    "capacity",
+    "converged",
+    "seconds",
+    "bundle_seconds",
+    "moves_per_s",
+}
+
+
+@pytest.fixture(scope="module")
+def section():
+    """One tiny refine benchmark shared by every schema assertion."""
+    graphs = {"tiny": holme_kim(200, 3, 0.3, seed=5)}
+    return run_refine(graphs, p=4, seed=0, quick=True, slack=1.05)
+
+
+class TestRefineSection:
+    def test_top_level_schema(self, section):
+        assert section["p"] == 4
+        assert section["seed"] == 0
+        assert section["quick"] is True
+        assert section["slack"] == 1.05
+        assert section["sources"] == list(DEFAULT_SOURCES)
+
+    def test_rows_schema_and_gate_invariant(self, section):
+        rows = section["rows"]
+        assert len(rows) == len(DEFAULT_SOURCES)  # one per source
+        for row in rows:
+            assert set(row) == ROW_KEYS
+            assert row["dataset"] == "tiny"
+            # The CI gate's invariant: refinement never raises RF.
+            assert row["rf_delta"] >= 0
+            assert row["rf_after"] <= row["rf_before"] + 1e-9
+            assert row["rf_before"] >= 1.0
+            assert row["seconds"] >= 0
+            assert row["converged"] in {
+                "fixpoint",
+                "epsilon",
+                "max_passes",
+                "move_budget",
+            }
+
+    def test_dbh_source_improves(self, section):
+        """Streaming DBH leaves headroom even on a tiny graph."""
+        by_source = {row["source"]: row for row in section["rows"]}
+        dbh = by_source["DBH"]
+        assert dbh["moves"] + dbh["swaps"] > 0
+        assert dbh["rf_delta"] > 0
+
+    def test_merge_preserves_other_sections(self, section, tmp_path):
+        """refine and perf co-own BENCH_perf.json without clobbering."""
+        from repro.bench.perf import SCHEMA_VERSION
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(
+            json.dumps({"version": 2, "results": [{"rf": 2.0}], "parallel": {}})
+        )
+        merge_refine_section(section, str(path))
+        merged = json.loads(path.read_text())
+        assert merged["version"] == SCHEMA_VERSION
+        assert merged["results"] == [{"rf": 2.0}]
+        assert merged["parallel"] == {}
+        assert merged["refine"] == section
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_merge_into_missing_report(self, section, tmp_path):
+        path = tmp_path / "fresh.json"
+        merge_refine_section(section, str(path))
+        merged = json.loads(path.read_text())
+        assert merged["refine"]["rows"] == section["rows"]

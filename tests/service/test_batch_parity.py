@@ -1,10 +1,17 @@
 """Batch answering parity: vectorised ``*_many`` == scalar, everywhere.
 
 The acceptance property of the batch path is that it is invisible: for
-every op, every backend (dict spec / CSR arrays), and every overlay
-state (clean store / live ``DeltaOverlay`` mid-mutation), the vectorised
-batch methods and the handler's ``execute_batch`` answer bit-identically
-to the scalar path, down to Python int types in the payloads.
+every op, every backend (dict spec / CSR arrays), every overlay state
+(clean store / live ``DeltaOverlay`` mid-mutation), and every bundle
+provenance (as-partitioned / post-refinement), the vectorised batch
+methods and the handler's ``execute_batch`` answer bit-identically to
+the scalar path, down to Python int types in the payloads.
+
+The refined variants pin that local-search refinement is invisible to
+the serving layer too: a refined partition routes differently (that is
+the point) but answers every query self-consistently, and — unlike the
+overlay variants — still verifies against the input graph, because
+refinement conserves the edge set exactly.
 """
 
 import pytest
@@ -12,6 +19,7 @@ import pytest
 from repro.core.tlp import TLPPartitioner
 from repro.graph.graph import normalize_edge
 from repro.partitioning.csr_bundle import build_partition_csr
+from repro.partitioning.refine import refine_partition
 from repro.service.handler import ServiceHandler
 from repro.service.ingest import DeltaOverlay
 from repro.service.store import CSRPartitionStore, PartitionStore
@@ -31,6 +39,13 @@ def partition(graph):
     return TLPPartitioner(seed=0).partition(graph, P)
 
 
+@pytest.fixture(scope="module")
+def refined_partition(partition):
+    refined, stats = refine_partition(partition, slack=1.05)
+    assert stats.rf_delta >= 0
+    return refined
+
+
 def _mutate(overlay, graph, partition):
     """A deterministic mid-mutation state touching every delta table."""
     edges = sorted(partition.edges_of(0))[:6] + sorted(partition.edges_of(1))[:6]
@@ -46,7 +61,7 @@ def _mutate(overlay, graph, partition):
     return overlay
 
 
-def _variants(graph, partition):
+def _variants(graph, partition, refined_partition):
     dict_store = PartitionStore(partition)
     csr_store = CSRPartitionStore(build_partition_csr(partition))
     return {
@@ -60,12 +75,26 @@ def _variants(graph, partition):
             graph,
             partition,
         ),
+        "dict-refined": PartitionStore(refined_partition),
+        "csr-refined": CSRPartitionStore(
+            build_partition_csr(refined_partition)
+        ),
     }
 
 
-@pytest.fixture(scope="module", params=["dict-clean", "csr-clean", "dict-overlay", "csr-overlay"])
-def store(request, graph, partition):
-    return _variants(graph, partition)[request.param]
+@pytest.fixture(
+    scope="module",
+    params=[
+        "dict-clean",
+        "csr-clean",
+        "dict-overlay",
+        "csr-overlay",
+        "dict-refined",
+        "csr-refined",
+    ],
+)
+def store(request, graph, partition, refined_partition):
+    return _variants(graph, partition, refined_partition)[request.param]
 
 
 def _probe_vertices(graph, store):

@@ -404,6 +404,125 @@ class TestCoordinatedSwap:
 
         asyncio.run(go())
 
+    def test_refined_bundle_coordinated_swap_under_load_zero_drops(
+        self, graph, tmp_path
+    ):
+        """A refined bundle publishes through the two-phase cluster swap.
+
+        The offline pipeline (refine a DBH bundle to a measurably lower
+        RF) feeds the coordinated swap under verified live load: zero
+        dropped queries, per-connection epochs monotonic, and per-epoch
+        RF attribution — the swap ack and each epoch's serving store
+        carry exactly the RF the refinement stats reported.
+        """
+        from repro.partitioning.refine import refine_bundle
+        from repro.partitioning.registry import make_partitioner
+
+        base_dir = tmp_path / "base"
+        refined_dir = tmp_path / "refined"
+        save_partition(
+            make_partitioner("DBH", seed=1).partition(graph, 4), base_dir
+        )
+        _, stats = refine_bundle(base_dir, output=refined_dir)
+        assert stats.rf_delta > 0  # DBH leaves headroom: a real improvement
+        epoch_rf = {1: stats.rf_before, 2: stats.rf_after}
+        epoch_refs = {
+            1: PartitionStore.open(base_dir),
+            2: PartitionStore.open(refined_dir),
+        }
+        for epoch, store in epoch_refs.items():
+            assert store.replication_factor() == pytest.approx(
+                epoch_rf[epoch], abs=1e-6
+            )
+        vertices = sorted(graph.vertices())
+        edges = sorted(graph.edges())
+        num_clients = 3
+
+        async def go():
+            cluster = ClusterServer(
+                base_dir,
+                workers=2,
+                failover_timeout=30.0,
+                request_timeout=60.0,
+            )
+            manager = cluster.manager
+            async with cluster:
+                stop = asyncio.Event()
+                issued = [0] * num_clients
+                answered = [0] * num_clients
+                epochs_seen = [[] for _ in range(num_clients)]
+
+                async def load(idx):
+                    rng = random.Random(4000 + idx)
+                    async with ServiceClient(
+                        *cluster.address, max_retries=0, call_timeout=60.0
+                    ) as client:
+                        while not stop.is_set():
+                            op = rng.choice(("neighbors", "master", "edge"))
+                            if op == "edge":
+                                u, v = rng.choice(edges)
+                                args = {"u": u, "v": v}
+                            else:
+                                args = {"v": rng.choice(vertices)}
+                            issued[idx] += 1
+                            result = await client.call(op, **args)
+                            epoch = client.last_epoch
+                            _verify(op, result, epoch, graph, epoch_refs)
+                            answered[idx] += 1
+                            epochs_seen[idx].append(epoch)
+
+                async def controller():
+                    async with ServiceClient(
+                        *cluster.address, max_retries=0, call_timeout=120.0
+                    ) as admin:
+                        await asyncio.sleep(0.2)
+                        info = await admin.reload(str(refined_dir))
+                        assert info["epoch"] == 2
+                        assert info["workers_prepared"] == 2
+                        assert info["workers_committed"] == 2
+                        # The swap ack attributes the refined RF to the
+                        # epoch it just published.
+                        assert info["replication_factor"] == pytest.approx(
+                            stats.rf_after, abs=1e-6
+                        )
+                        await asyncio.sleep(0.2)
+
+                tasks = [
+                    asyncio.create_task(load(i)) for i in range(num_clients)
+                ]
+                await controller()
+                stop.set()
+                await asyncio.gather(*tasks)
+
+                # Zero dropped queries; per-connection epochs monotonic.
+                assert issued == answered
+                assert sum(issued) > 0
+                for seen in epochs_seen:
+                    assert seen == sorted(seen)
+                # The load spanned the flip; the refined epoch serves the
+                # refined RF through the front-end store.
+                distinct = set().union(*map(set, epochs_seen))
+                assert distinct == {1, 2}
+                assert manager.epoch == 2
+                assert manager.store.replication_factor() == pytest.approx(
+                    stats.rf_after, abs=1e-6
+                )
+                assert manager.store.metadata["refined"][
+                    "rf_after"
+                ] == pytest.approx(stats.rf_after, abs=1e-6)
+                assert manager.active_leases() == 0
+                assert manager.retired_epochs() == ()
+
+                # Every worker converged on the refined epoch.
+                for shard in range(2):
+                    info = await cluster.cluster.group(shard).call(
+                        "worker_info"
+                    )
+                    assert info["epoch"] == 2
+                    assert info["retained"] == []
+
+        asyncio.run(go())
+
     def test_corrupt_bundle_never_disturbs_workers(
         self, graph, bundles, corrupt_bundle
     ):

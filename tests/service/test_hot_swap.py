@@ -447,6 +447,131 @@ class TestInProcessManager:
         assert manager.reloading is False
 
 
+class TestRefinedCompactionUnderLoad:
+    """Compaction-with-refinement swaps epochs under verified live load.
+
+    An ingestor with ``refine_on_compact`` folds the pending mutations
+    and then runs the local-search refinement pass on the folded
+    partition before every epoch swap.  Under concurrent verified query
+    load the contract is: zero dropped queries, and per-epoch RF
+    attribution — every published epoch serves *exactly* the RF its
+    compaction reported, and carries it in the bundle manifest.
+    """
+
+    def test_refined_compaction_under_verified_load(self, graph, tmp_path):
+        from repro.partitioning.refine import RefineStats
+        from repro.service.ingest import Ingestor
+
+        # DBH placement leaves real refinement headroom (TLP output is
+        # typically already move-optimal on dense graphs).
+        bundle = tmp_path / "dbh"
+        save_partition(
+            make_partitioner("DBH", seed=1).partition(graph, 4), bundle
+        )
+        vertices = list(graph.vertices())
+        num_workers = 3
+        rounds = 2
+
+        async def go():
+            manager = StoreManager(PartitionStore.open(bundle))
+            ingestor = Ingestor.enable(
+                manager,
+                bundle,
+                fsync="never",
+                refine_on_compact=True,
+                refine_slack=1.05,
+            )
+            server = PartitionServer(
+                manager, request_timeout=30.0, ingestor=ingestor
+            )
+            stop = asyncio.Event()
+            issued = [0] * num_workers
+            answered = [0] * num_workers
+            rf_by_epoch = {}
+
+            async def worker(idx):
+                rng = random.Random(700 + idx)
+                async with ServiceClient(*server.address) as client:
+                    while not stop.is_set():
+                        v = rng.choice(vertices)
+                        issued[idx] += 1
+                        result = await client.call("neighbors", v=v)
+                        # The controller only *adds* fresh edges, so the
+                        # base neighbourhood must always be present.
+                        assert set(result["neighbors"]) >= graph.neighbors(v)
+                        answered[idx] += 1
+
+            async def controller():
+                fresh = max(vertices) + 10
+                async with ServiceClient(
+                    *server.address, max_retries=0, call_timeout=60.0
+                ) as admin:
+                    await asyncio.sleep(0.1)
+                    for round_no in range(rounds):
+                        for i in range(20):
+                            await admin.insert_edge(
+                                rng.choice(vertices),
+                                fresh + round_no * 100 + i,
+                            )
+                        await asyncio.sleep(0.05)
+                        before = manager.epoch
+                        info = await admin.call("compact")
+                        assert info["folded_mutations"] == 20
+                        assert manager.epoch == before + 1
+                        refined = info["refined"]
+                        assert (
+                            refined["rf_after"] <= refined["rf_before"] + 1e-9
+                        )
+                        rf_by_epoch[info["epoch"]] = refined
+                        # Attribution at publish time: the freshly swapped
+                        # epoch serves the refined RF (the overlay is clean
+                        # — this controller is the only mutator)...
+                        live_rf = manager.store.replication_factor()
+                        assert live_rf == pytest.approx(
+                            refined["rf_after"], abs=1e-6
+                        )
+                        # ...and the manifest records the same numbers.
+                        manifest = manager.store.metadata["refined"]
+                        assert manifest["rf_after"] == pytest.approx(
+                            refined["rf_after"], abs=1e-6
+                        )
+                        await asyncio.sleep(0.05)
+
+            rng = random.Random(77)
+            async with server:
+                workers = [
+                    asyncio.create_task(worker(i)) for i in range(num_workers)
+                ]
+                await controller()
+                stop.set()
+                await asyncio.gather(*workers)
+
+                # Zero dropped queries across the refined swaps.
+                assert issued == answered
+                assert sum(issued) > 0
+                assert manager.epoch == 1 + rounds
+                assert manager.active_leases() == 0
+                assert manager.retired_epochs() == ()
+                assert server.metrics.counters["compactions_ok"] == rounds
+                # Per-epoch attribution survives: one record per epoch,
+                # and the live epoch still serves the last reported RF.
+                assert sorted(rf_by_epoch) == list(range(2, 2 + rounds))
+                last = rf_by_epoch[manager.epoch]
+                assert manager.store.replication_factor() == pytest.approx(
+                    last["rf_after"], abs=1e-6
+                )
+                # The DBH seed left headroom: refinement actually moved
+                # edges somewhere along the way.
+                total_applied = sum(
+                    r["moves"] + r["swaps"] for r in rf_by_epoch.values()
+                )
+                assert total_applied > 0
+                assert isinstance(ingestor.last_refine_stats, RefineStats)
+            ingestor.close()
+
+        asyncio.run(go())
+
+
 class TestRebalancePipeline:
     """repartition -> save_partition -> hot reload, end to end.
 
