@@ -12,7 +12,10 @@ directory.  Checks, in order:
    ``cluster`` section must show the sharded server answered the same
    verified workload without losing throughput vs single-process (the
    throughput floor applies only when the machine has enough cores to
-   host the worker topology; correctness checks always apply).
+   host the worker topology; correctness checks always apply).  A
+   schema v6 run (``--wire both``) must additionally show the binary
+   codec at least matching JSON single-process throughput (small noise
+   tolerance) and a passing counter-parity verify.
 2. Quick-config throughput has not regressed more than
    ``MAX_REGRESSION`` vs the committed quick baseline
    (``benchmarks/BENCH_serve.quick.json``).  Refresh that baseline in
@@ -38,6 +41,13 @@ import sys
 #: regression per the issue; CI runners are noisy, anything tighter
 #: false-alarms on shared hardware).
 MAX_REGRESSION = 0.30
+
+#: Binary single-process throughput must be at least this fraction of
+#: the JSON run in the same report (``--wire both``).  The codec wins on
+#: encode/decode microbenchmarks; end-to-end the asyncio framing
+#: dominates, so the gate only guards against binary *regressing* the
+#: serving path, with headroom for runner noise.
+MIN_BINARY_VS_JSON = 0.95
 
 HERE = pathlib.Path(__file__).resolve().parent
 SERVE_BASELINE = HERE / "BENCH_serve.quick.json"
@@ -108,6 +118,34 @@ def main() -> None:
                 f"(speedup_vs_single={cluster.get('speedup_vs_single')})"
             )
 
+    wire_note = ""
+    if int(serve.get("version", 0)) >= 6:
+        parity = serve.get("counter_parity", "")
+        if not str(parity).startswith(("ok", "skipped")):
+            fail(f"counter parity verify did not run cleanly: {parity!r}")
+        modes = serve.get("wire_modes") or {}
+        json_rps = int((modes.get("json") or {}).get("requests_per_s", 0))
+        binary_rps = int((modes.get("binary") or {}).get("requests_per_s", 0))
+        if json_rps and binary_rps:
+            floor = json_rps * MIN_BINARY_VS_JSON
+            if binary_rps < floor:
+                fail(
+                    f"binary wire {binary_rps} req/s is below "
+                    f"{floor:.0f} ({MIN_BINARY_VS_JSON:.0%} of JSON's "
+                    f"{json_rps} req/s) — the binary codec regressed "
+                    "single-process serving"
+                )
+            wire_note = f"; wire binary {binary_rps} vs json {json_rps} req/s"
+        if cluster is not None:
+            c_modes = cluster.get("wire_modes") or {}
+            for mode, summary in sorted(c_modes.items()):
+                ratio = summary.get("speedup_vs_single")
+                print(
+                    f"note: cluster wire={mode} "
+                    f"{summary.get('requests_per_s')} req/s "
+                    f"(speedup_vs_single={ratio})"
+                )
+
     baseline = json.loads(SERVE_BASELINE.read_text(encoding="utf-8"))
     floor = baseline["requests_per_s"] * (1.0 - MAX_REGRESSION)
     fresh = serve["requests_per_s"]
@@ -162,7 +200,7 @@ def main() -> None:
         f"{batch['vectorised_requests']} vectorised; "
         f"grow_threads={parallel['grow_threads']} "
         f"fold_seconds={parallel['fold_seconds']}"
-        f"{refine_note}"
+        f"{wire_note}{refine_note}"
     )
 
 

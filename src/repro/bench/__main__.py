@@ -139,6 +139,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="R",
         help="serve only: replica processes per shard in the cluster phase",
     )
+    parser.add_argument(
+        "--wire",
+        choices=["json", "binary", "both"],
+        default="binary",
+        help="serve only: client wire codec; 'both' drives the workload "
+        "once per codec (binary as the headline numbers)",
+    )
     return parser
 
 
@@ -415,6 +422,7 @@ def _run_serve(args) -> None:
         progress=lambda message: print(f"  {message}", file=sys.stderr),
         cluster_workers=args.cluster_workers,
         cluster_replicas=args.cluster_replicas,
+        wire=args.wire,
     )
     print(
         render_table(
@@ -434,10 +442,18 @@ def _run_serve(args) -> None:
     )
     print(
         f"{report['num_requests']} requests in {report['elapsed_s']:g}s "
-        f"= {report['requests_per_s']} req/s; "
+        f"= {report['requests_per_s']} req/s [wire={report['wire']}]; "
         f"verified {report['verified_neighbors']} neighbour fan-outs "
         f"and {report['verified_edges']} edge routes"
     )
+    modes = report.get("wire_modes") or {}
+    if len(modes) > 1:
+        per_codec = ", ".join(
+            f"{mode} {summary['requests_per_s']} req/s"
+            for mode, summary in sorted(modes.items())
+        )
+        print(f"wire modes: {per_codec}")
+    print(f"counter parity: {report['counter_parity']}")
     batch = report["batch"]
     print(
         f"batching: {batch['batches']} batches, mean size "
@@ -450,12 +466,21 @@ def _run_serve(args) -> None:
     if cluster:
         print(
             f"cluster [{cluster['workers']} shards x {cluster['replicas']} "
-            f"replicas]: {cluster['num_requests']} requests in "
-            f"{cluster['elapsed_s']:g}s = {cluster['requests_per_s']} req/s "
+            f"replicas, wire={cluster['wire']}]: {cluster['num_requests']} "
+            f"requests in {cluster['elapsed_s']:g}s = "
+            f"{cluster['requests_per_s']} req/s "
             f"({cluster['speedup_vs_single']:g}x vs single-process); "
             f"verified {cluster['verified_neighbors']} fan-outs and "
             f"{cluster['verified_edges']} edge routes"
         )
+        c_modes = cluster.get("wire_modes") or {}
+        if len(c_modes) > 1:
+            per_codec = ", ".join(
+                f"{mode} {summary['requests_per_s']} req/s "
+                f"({summary['speedup_vs_single']:g}x)"
+                for mode, summary in sorted(c_modes.items())
+            )
+            print(f"cluster wire modes: {per_codec}")
     ingest = report.get("ingest")
     if ingest:
         fsync_ms = ingest.get("wal_fsync_ms") or {}

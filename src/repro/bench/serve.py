@@ -49,7 +49,12 @@ from repro.graph.graph import Graph
 #: v5: additive ``cluster`` section (``--cluster-workers``: the same
 #: verified workload replayed against the multi-process sharded server,
 #: with throughput vs the single-process run); every v4 field unchanged.
-SCHEMA_VERSION = 5
+#: v6: wire codec selection (``--wire json|binary|both``) — top-level
+#: ``wire`` names the headline codec, ``wire_modes`` records per-codec
+#: single-process throughput, the ``cluster`` section gains ``wire`` and
+#: (with ``both``) per-codec ratios, and the verify pass asserts
+#: server-vs-client per-op counter parity; every v5 field unchanged.
+SCHEMA_VERSION = 6
 
 DEFAULT_REPORT = "BENCH_serve.json"
 DEFAULT_DATASET = "G1"
@@ -162,13 +167,15 @@ async def _drive(
     graph: Graph,
     edge_owner: Dict[Tuple[int, int], int],
     mutations: Optional[List[Tuple[str, Dict[str, int]]]] = None,
+    wire: str = "json",
 ) -> Tuple[Dict[str, List[float]], int, int, float]:
     """Run the workload through ``concurrency`` clients; verify responses.
 
     ``mutations`` adds one dedicated writer driving insert/delete ops
     (idempotently stamped by the client wrappers) concurrently with the
     readers; the returned float is the writer's wall-clock seconds
-    (0.0 without mutations).
+    (0.0 without mutations).  ``wire`` selects the client codec
+    (binary-preferring clients negotiate on connect).
     """
     from repro.service.client import ServiceClient
 
@@ -180,7 +187,12 @@ async def _drive(
     async def mutator() -> float:
         assert mutations is not None
         client = ServiceClient(
-            host, port, max_retries=5, backoff_base=0.02, client_tag="bench-writer"
+            host,
+            port,
+            max_retries=5,
+            backoff_base=0.02,
+            client_tag="bench-writer",
+            wire=wire,
         )
         samples: Dict[str, List[float]] = {"insert_edge": [], "delete_edge": []}
         start = time.perf_counter()
@@ -205,7 +217,9 @@ async def _drive(
         # Latencies accumulate locally and merge once at the end: an async
         # lock acquisition per request would be measurable driver overhead.
         local: Dict[str, List[float]] = {}
-        client = ServiceClient(host, port, max_retries=5, backoff_base=0.02)
+        client = ServiceClient(
+            host, port, max_retries=5, backoff_base=0.02, wire=wire
+        )
         async with client:
             for op, args in chunk:
                 start = time.perf_counter()
@@ -261,6 +275,7 @@ def run_serve(
     progress: Optional[Callable[[str], None]] = None,
     cluster_workers: int = 0,
     cluster_replicas: int = 1,
+    wire: str = "binary",
 ) -> Dict:
     """Partition, persist, serve, and load-test ``graph``; returns the report.
 
@@ -285,6 +300,15 @@ def run_serve(
     report's ``cluster`` section tracks sharded vs single-process
     throughput over bit-identical answers.
 
+    ``wire`` selects the client codec: ``"json"``, ``"binary"`` (the
+    default — clients negotiate on connect), or ``"both"``, which drives
+    the workload once per codec against the same server (JSON first,
+    binary as the headline) and records per-codec throughput under
+    ``wire_modes``.  The verify pass also asserts per-op counter parity:
+    the server's ``op_*`` counters must equal the client-side op counts
+    (dedup-answered requests included), unless a retryable disturbance
+    (timeout/overload/failover) made double-counting legitimate.
+
     Raises ``AssertionError`` if any routed response disagrees with the
     graph or the partition — correctness is part of what this benchmark
     tracks, exactly like backend parity in ``repro.bench.perf``.
@@ -293,6 +317,13 @@ def run_serve(
     from repro.partitioning.serialization import save_partition
     from repro.service.server import PartitionServer
     from repro.service.store import PartitionStore, StoreManager
+
+    if wire not in ("json", "binary", "both"):
+        raise ValueError(f"wire must be json, binary or both, got {wire!r}")
+    #: Codecs to drive, headline last — JSON first so the binary numbers
+    #: land in the top-level fields when measuring both.
+    wire_list = ["json", "binary"] if wire == "both" else [wire]
+    headline_wire = wire_list[-1]
 
     def note(message: str) -> None:
         if progress is not None:
@@ -349,18 +380,35 @@ def run_serve(
         note(f"driving {len(workload)} queries through {concurrency} clients")
 
         async def bench() -> Tuple[
-            Dict[str, List[float]], int, int, Dict, Optional[Dict], float, float
+            Dict[str, List[float]], int, int, Dict, Optional[Dict], float, float,
+            Dict[str, Dict[str, float]],
         ]:
             server = PartitionServer(
                 served, batch_window=batch_window, ingestor=ingestor
             )
             async with server:
                 host, port = server.address
-                start = time.perf_counter()
-                latencies, n_ok, e_ok, mutate_seconds = await _drive(
-                    host, port, workload, concurrency, graph, edge_owner, mutations
-                )
-                elapsed = time.perf_counter() - start
+                per_wire: Dict[str, Dict[str, float]] = {}
+                for mode in wire_list:
+                    # Mutations ride only on the headline drive, so the
+                    # ingest section measures one writer pass either way.
+                    muts = mutations if mode == headline_wire else None
+                    start = time.perf_counter()
+                    latencies, n_ok, e_ok, mutate_seconds = await _drive(
+                        host, port, workload, concurrency, graph, edge_owner,
+                        muts, wire=mode,
+                    )
+                    elapsed = time.perf_counter() - start
+                    total = sum(len(s) for s in latencies.values())
+                    per_wire[mode] = {
+                        "num_requests": total,
+                        "elapsed_s": round(elapsed, 4),
+                        "requests_per_s": round(total / elapsed) if elapsed else 0,
+                    }
+                    note(
+                        f"wire={mode}: {per_wire[mode]['requests_per_s']} req/s "
+                        f"over {total} requests"
+                    )
                 from repro.service.client import ServiceClient
 
                 async with ServiceClient(host, port) as client:
@@ -368,7 +416,10 @@ def run_serve(
                     ingest = (
                         await client.ingest_stats() if ingestor is not None else None
                     )
-            return latencies, n_ok, e_ok, stats, ingest, elapsed, mutate_seconds
+            return (
+                latencies, n_ok, e_ok, stats, ingest, elapsed, mutate_seconds,
+                per_wire,
+            )
 
         try:
             if profile_path is not None:
@@ -388,10 +439,18 @@ def run_serve(
                 ingest_stats,
                 elapsed,
                 mutate_seconds,
+                wire_modes,
             ) = outcome
         finally:
             if ingestor is not None:
                 ingestor.close()
+
+        # Verify pass: server-side per-op counters must agree with the
+        # client-side op counts — dedup-answered requests included.
+        parity = _assert_counter_parity(
+            stats["metrics"]["counters"], workload, len(wire_list), mutations
+        )
+        note(f"counter parity: {parity}")
 
         cluster_report: Optional[Dict] = None
         if cluster_workers > 0:
@@ -403,7 +462,8 @@ def run_serve(
             )
 
             async def cluster_bench() -> Tuple[
-                Dict[str, List[float]], int, int, float
+                Dict[str, List[float]], int, int, float,
+                Dict[str, Dict[str, float]], Dict,
             ]:
                 server = ClusterServer(
                     tmp,
@@ -413,15 +473,41 @@ def run_serve(
                 )
                 async with server:
                     chost, cport = server.address
-                    start = time.perf_counter()
-                    lat, n_ok, e_ok, _ = await _drive(
-                        chost, cport, workload, concurrency, graph, edge_owner
-                    )
-                    return lat, n_ok, e_ok, time.perf_counter() - start
+                    per_wire: Dict[str, Dict[str, float]] = {}
+                    for mode in wire_list:
+                        start = time.perf_counter()
+                        lat, n_ok, e_ok, _ = await _drive(
+                            chost, cport, workload, concurrency, graph,
+                            edge_owner, wire=mode,
+                        )
+                        mode_elapsed = time.perf_counter() - start
+                        mode_total = sum(len(s) for s in lat.values())
+                        per_wire[mode] = {
+                            "num_requests": mode_total,
+                            "elapsed_s": round(mode_elapsed, 4),
+                            "requests_per_s": round(mode_total / mode_elapsed)
+                            if mode_elapsed
+                            else 0,
+                        }
+                        note(
+                            f"cluster wire={mode}: "
+                            f"{per_wire[mode]['requests_per_s']} req/s"
+                        )
+                    from repro.service.client import ServiceClient
 
-            c_lat, c_n_ok, c_e_ok, c_elapsed = asyncio.run(cluster_bench())
+                    async with ServiceClient(chost, cport) as client:
+                        cstats = await client.stats()
+                    return lat, n_ok, e_ok, mode_elapsed, per_wire, cstats
+
+            (
+                c_lat, c_n_ok, c_e_ok, c_elapsed, c_wire_modes, c_stats,
+            ) = asyncio.run(cluster_bench())
             c_total = sum(len(s) for s in c_lat.values())
             c_rps = round(c_total / c_elapsed) if c_elapsed else 0
+            c_parity = _assert_counter_parity(
+                c_stats["metrics"]["counters"], workload, len(wire_list), None
+            )
+            note(f"cluster counter parity: {c_parity}")
 
     if verified_neighbors == 0:
         raise AssertionError("workload exercised no neighbours queries")
@@ -484,12 +570,22 @@ def run_serve(
     total = sum(len(s) for s in latencies.values())
     single_rps = round(total / elapsed) if elapsed else 0
     if cluster_workers > 0:
+        # Per-codec sharded-vs-single ratio: each codec's cluster replay
+        # against the same codec's single-process drive.
+        for mode, summary in c_wire_modes.items():
+            single_mode_rps = wire_modes.get(mode, {}).get("requests_per_s", 0)
+            summary["speedup_vs_single"] = (
+                round(summary["requests_per_s"] / single_mode_rps, 3)
+                if single_mode_rps
+                else 0.0
+            )
         cluster_report = {
             "workers": cluster_workers,
             "replicas": cluster_replicas,
             # The sharded number only means anything relative to the
             # single-process one when the workers had cores to run on.
             "cpu_count": os.cpu_count(),
+            "wire": headline_wire,
             "num_requests": c_total,
             "elapsed_s": round(c_elapsed, 4),
             "requests_per_s": c_rps,
@@ -498,6 +594,8 @@ def run_serve(
             else 0.0,
             "verified_neighbors": c_n_ok,
             "verified_edges": c_e_ok,
+            "wire_modes": c_wire_modes,
+            "counter_parity": c_parity,
         }
     return {
         "version": SCHEMA_VERSION,
@@ -512,6 +610,9 @@ def run_serve(
         "store_open_seconds": store_open,
         "rss_max_kib": _rss_max_kib(),
         "replication_factor": stats["replication_factor"],
+        "wire": headline_wire,
+        "wire_modes": wire_modes,
+        "counter_parity": parity,
         "num_requests": total,
         "concurrency": concurrency,
         "elapsed_s": round(elapsed, 4),
@@ -524,6 +625,68 @@ def run_serve(
         "ops": ops_report,
         "server_metrics": stats["metrics"],
     }
+
+
+#: Counters that, when nonzero, mean a request may legitimately have
+#: been answered (and counted) more times than the client sent it —
+#: retries after timeouts/overload, failover re-sends — so strict
+#: per-op parity cannot be asserted for that run.
+_DISTURBANCE_COUNTERS = (
+    "requests_timeout",
+    "requests_overload",
+    "requests_unavailable",
+    "requests_rejected_shutdown",
+    "requests_stale_epoch",
+    "responses_dropped",
+    "responses_unencodable",
+    "failovers",
+    "workers_marked_down",
+    "shard_unavailable_errors",
+)
+
+
+def _assert_counter_parity(
+    counters: Dict[str, int],
+    workload: List[Tuple[str, Dict[str, int]]],
+    passes: int,
+    mutations: Optional[List[Tuple[str, Dict[str, int]]]],
+) -> str:
+    """Assert server ``op_*`` counters equal client-side op counts.
+
+    Every workload op ran ``passes`` times (once per wire mode) and every
+    one succeeded (the drive raises otherwise), so the server must have
+    counted exactly that many — dedup-answered requests included.
+    Negotiation pings (``op_ping`` from binary probes) and the final
+    ``stats``/``ingest_stats`` snapshot calls are excluded: ping is not in
+    the workload mix, and a snapshot's own increment lands after the
+    snapshot it returns.  Returns a short description of what was
+    checked, or why the check was skipped.
+    """
+    disturbed = [
+        name for name in _DISTURBANCE_COUNTERS if counters.get(name, 0)
+    ]
+    if disturbed:
+        return f"skipped (retries possible: {', '.join(disturbed)})"
+    expected: Dict[str, int] = {}
+    for op, _ in workload:
+        expected[op] = expected.get(op, 0) + passes
+    if mutations:
+        for op, _ in mutations:
+            expected[op] = expected.get(op, 0) + 1
+    drift = {
+        op: (counters.get(f"op_{op}", 0), want)
+        for op, want in sorted(expected.items())
+        if counters.get(f"op_{op}", 0) != want
+    }
+    if drift:
+        raise AssertionError(
+            "server/client op counter drift: "
+            + ", ".join(
+                f"op_{op}={got} (clients sent {want})"
+                for op, (got, want) in drift.items()
+            )
+        )
+    return f"ok ({len(expected)} ops x {passes} pass(es))"
 
 
 def _write_profile(profiler, path: str, top: int = 20) -> str:

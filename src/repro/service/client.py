@@ -5,11 +5,20 @@ number of concurrent ``call()``s over it (matching responses by request
 ``id``), and transparently retries *retryable* failures — connection
 drops, ``overload``, ``timeout``, ``unavailable`` — with exponentially
 capped **full-jitter** backoff (each sleep is drawn uniformly from
-``[0, base * factor**attempt]``, so a fleet of clients retrying a freshly
-promoted replica after a failover spreads out instead of thundering in
-lock-step; pass ``jitter=False`` for the old deterministic delays when a
-test needs exact timing).  Semantic errors (``bad_request``,
-``not_found``) raise :class:`ServiceError` immediately.
+``[cap/8, cap]`` where ``cap = base * factor**attempt``; the floor keeps
+a fleet of clients from landing near-zero sleeps that hammer a freshly
+promoted replica on the very first retry, while the jitter spreads them
+out instead of thundering in lock-step; pass ``jitter=False`` for the
+old deterministic delays when a test needs exact timing).  Semantic
+errors (``bad_request``, ``not_found``) raise :class:`ServiceError`
+immediately.
+
+Both clients can speak either wire codec.  ``wire="binary"`` negotiates
+at connect time: the client sends a binary ``ping`` before anything
+else; if the server answers OK the session stays binary, and on an
+error response (or a dropped/garbled connection — older servers) the
+client downgrades to JSON for the life of the client.  The default is
+JSON, the executable spec.
 
 Both clients speak the same framing over TCP (``host``/``port``) or a
 UNIX domain socket (``path=...``) — the cluster front-end uses the
@@ -65,15 +74,23 @@ def _backoff_delays(base: float, factor: float, retries: int) -> List[float]:
     """Per-attempt backoff *caps*: ``base * factor**attempt``.
 
     With jitter enabled the actual sleep for attempt ``i`` is drawn
-    uniformly from ``[0, delays[i]]`` (AWS-style "full jitter"); without
-    it the cap itself is slept, which is the historical deterministic
-    behaviour.
+    uniformly from ``[delays[i] / 8, delays[i]]`` (full jitter with a
+    floor); without it the cap itself is slept, which is the historical
+    deterministic behaviour.
     """
     return [base * factor**i for i in range(retries)]
 
 
+#: Fraction of the backoff cap used as the minimum sleep.  Pure full
+#: jitter draws from ``[0, cap]``, so some clients sleep ~0 and retry
+#: into a still-recovering server immediately — the floor guarantees
+#: every retry backs off by something while keeping 7/8 of the range
+#: for spreading the fleet out.
+_JITTER_FLOOR = 0.125
+
+
 def _jittered(cap: float, rng: Optional[random.Random]) -> float:
-    return rng.uniform(0.0, cap) if rng is not None else cap
+    return rng.uniform(cap * _JITTER_FLOOR, cap) if rng is not None else cap
 
 
 def _expire_call(future: "asyncio.Future") -> None:
@@ -99,13 +116,23 @@ class ServiceClient:
         jitter_seed: Optional[int] = None,
         on_epoch_change: Optional[Callable[[Optional[int], int], None]] = None,
         client_tag: Optional[str] = None,
+        wire: str = protocol.WIRE_JSON,
     ) -> None:
         if path is None and (host is None or port is None):
             raise ValueError("need host+port (TCP) or path= (UNIX socket)")
+        if wire not in protocol.WIRES:
+            raise ValueError(f"wire must be one of {sorted(protocol.WIRES)}")
         self.host = host
         self.port = port
         #: UNIX domain socket path; when set, host/port are ignored.
         self.path = path
+        #: Requested codec; ``wire_active`` is what negotiation settled on.
+        self.wire = wire
+        #: Codec in force after connect-time negotiation (None until the
+        #: first connect; stays JSON for ``wire="json"`` clients).
+        self.wire_active: Optional[str] = (
+            protocol.WIRE_JSON if wire == protocol.WIRE_JSON else None
+        )
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
@@ -130,21 +157,78 @@ class ServiceClient:
     # -- lifecycle ---------------------------------------------------------
 
     async def connect(self) -> "ServiceClient":
-        """Open the connection (idempotent); returns ``self``."""
+        """Open the connection (idempotent); returns ``self``.
+
+        A ``wire="binary"`` client negotiates the codec on its first
+        connect — one binary ``ping`` before the receive loop starts, so
+        the probe's response can be read inline.  The outcome sticks for
+        the life of the client: reconnects after a drop reuse it rather
+        than re-probing the same server.
+        """
         if self._writer is None:
-            if self.path is not None:
-                self._reader, self._writer = await asyncio.open_unix_connection(
-                    self.path
-                )
-            else:
-                assert self.host is not None and self.port is not None
-                self._reader, self._writer = await asyncio.open_connection(
-                    self.host, self.port
-                )
+            await self._open_transport()
+            if self.wire_active is None:
+                await self._negotiate_binary()
             self._recv_task = asyncio.create_task(
                 self._recv_loop(), name="repro-serve-client-recv"
             )
         return self
+
+    async def _open_transport(self) -> None:
+        if self.path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.path
+            )
+        else:
+            assert self.host is not None and self.port is not None
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def _negotiate_binary(self) -> None:
+        """Probe with a binary ``ping``; downgrade to JSON on rejection.
+
+        Three outcomes: an OK response locks in binary; an error response
+        (a server with ``accept_binary=False``) downgrades on the same,
+        still-healthy connection; anything else — connection dropped,
+        garbage, timeout — downgrades *and* reopens the transport, since
+        a server that chokes on the probe may have lost framing.
+        """
+        assert self._reader is not None and self._writer is not None
+        response: Optional[Dict[str, Any]] = None
+        try:
+            self._writer.write(
+                protocol.encode_frame(
+                    protocol.request(0, "ping"), protocol.WIRE_BINARY
+                )
+            )
+            await self._writer.drain()
+            response = await asyncio.wait_for(
+                protocol.read_frame(self._reader), timeout=self.call_timeout
+            )
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            protocol.ProtocolError,
+        ):
+            response = None
+        if response is not None and response.get("ok"):
+            self.wire_active = protocol.WIRE_BINARY
+            self._observe_epoch(response.get("epoch"))
+            return
+        self.wire_active = protocol.WIRE_JSON
+        if response is None:
+            # Unknown connection state — start over on a clean transport.
+            writer, self._writer, self._reader = self._writer, None, None
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            await self._open_transport()
 
     async def close(self) -> None:
         """Close the connection and fail any in-flight calls."""
@@ -226,7 +310,10 @@ class ServiceClient:
             # pipelined calls can't interleave frames — no lock needed;
             # drain() is only awaited for transport back-pressure.
             self._writer.write(
-                protocol.encode_frame(protocol.request(request_id, op, args))
+                protocol.encode_frame(
+                    protocol.request(request_id, op, args),
+                    self.wire_active or protocol.WIRE_JSON,
+                )
             )
             await self._writer.drain()
             # The timeout guards only the wait for the response, and is a
@@ -366,12 +453,19 @@ class SyncServiceClient:
         jitter: bool = True,
         jitter_seed: Optional[int] = None,
         client_tag: Optional[str] = None,
+        wire: str = protocol.WIRE_JSON,
     ) -> None:
         if path is None and (host is None or port is None):
             raise ValueError("need host+port (TCP) or path= (UNIX socket)")
+        if wire not in protocol.WIRES:
+            raise ValueError(f"wire must be one of {sorted(protocol.WIRES)}")
         self.host = host
         self.port = port
         self.path = path
+        self.wire = wire
+        self.wire_active: Optional[str] = (
+            protocol.WIRE_JSON if wire == protocol.WIRE_JSON else None
+        )
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
@@ -387,20 +481,47 @@ class SyncServiceClient:
 
     def connect(self) -> "SyncServiceClient":
         if self._sock is None:
-            if self.path is not None:
-                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(self.timeout)
-                try:
-                    sock.connect(self.path)
-                except BaseException:
-                    sock.close()
-                    raise
-                self._sock = sock
-            else:
-                self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
-                )
+            self._open_socket()
+            if self.wire_active is None:
+                self._negotiate_binary()
         return self
+
+    def _open_socket(self) -> None:
+        if self.path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.path)
+            except BaseException:
+                sock.close()
+                raise
+            self._sock = sock
+        else:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+
+    def _negotiate_binary(self) -> None:
+        """Blocking counterpart of the async codec negotiation."""
+        assert self._sock is not None
+        response: Optional[Dict[str, Any]] = None
+        try:
+            protocol.send_frame_sync(
+                self._sock, protocol.request(0, "ping"), protocol.WIRE_BINARY
+            )
+            response = protocol.recv_frame_sync(self._sock)
+        except (ConnectionError, OSError, socket.timeout, protocol.ProtocolError):
+            response = None
+        if response is not None and response.get("ok"):
+            self.wire_active = protocol.WIRE_BINARY
+            epoch = response.get("epoch")
+            if isinstance(epoch, int):
+                self.last_epoch = epoch
+            return
+        self.wire_active = protocol.WIRE_JSON
+        if response is None:
+            self.close()
+            self._open_socket()
 
     def close(self) -> None:
         sock, self._sock = self._sock, None
@@ -440,7 +561,11 @@ class SyncServiceClient:
         assert self._sock is not None
         self._next_id += 1
         request_id = self._next_id
-        protocol.send_frame_sync(self._sock, protocol.request(request_id, op, args))
+        protocol.send_frame_sync(
+            self._sock,
+            protocol.request(request_id, op, args),
+            self.wire_active or protocol.WIRE_JSON,
+        )
         response = protocol.recv_frame_sync(self._sock)
         if response is None:
             raise ConnectionError("server closed the connection")

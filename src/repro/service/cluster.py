@@ -32,6 +32,18 @@ worker *processes* and keeps the wire protocol unchanged::
   Per-partition adjacency lists are disjoint, so merging shard partials
   is a concatenate + sort — answers are bit-identical to single-process
   serving.
+* **Pre-encoded splicing** — internal worker links speak the binary
+  wire codec by default (``wire="binary"``), and ``shard_query`` then
+  asks for *pre-encoded* neighbour partials: the worker encodes each
+  partial once (:func:`~repro.service.protocol.encode_int_run`) and the
+  front-end splices a single-shard partial verbatim into the outgoing
+  response frame as a :class:`~repro.service.protocol.PreEncoded` value
+  — no decode/re-encode round-trip on the hot path.  Only vertices
+  whose replicas span multiple shards (or mixed-codec fallbacks) pay
+  the decode-merge-sort, and cross-shard reductions like ``stats``
+  always do.  The canonical binary encoding makes spliced bytes
+  indistinguishable from freshly encoded ones, so answers stay
+  bit-identical either way.
 * **Replicas & failover** — every shard has ``replicas`` identical
   workers (the PR 2 deterministic master tie-break makes any process
   over the same bundle a valid read replica).  A shard call walks the
@@ -80,6 +92,7 @@ from repro.service.handler import (
     _BadArgs,
     _int_arg,
     _str_arg,
+    count_shared_response,
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import PartitionServer
@@ -335,9 +348,20 @@ class ShardWorkerHandler(ServiceHandler):
         result: Dict[str, Any] = {"epoch": want, "shard": self.shard}
         try:
             if nq:
-                result["neighbors"] = target.group_neighbors_many(
+                partials = target.group_neighbors_many(
                     [int(v) for v in nq], lo, hi
                 )
+                if args.get("encoded"):
+                    # Pre-encode each partial once; the front-end splices
+                    # single-shard partials verbatim into its response
+                    # frame.  Only meaningful over a binary link — the
+                    # front-end clears the flag on a downgraded client.
+                    result["neighbors_wire"] = [
+                        None if p is None else protocol.encode_int_run(p)
+                        for p in partials
+                    ]
+                else:
+                    result["neighbors"] = partials
             if oq:
                 result["owners"] = target.group_owners_many(
                     [(int(u), int(v)) for u, v in oq], lo, hi
@@ -439,10 +463,15 @@ class _WorkerHandle:
         "last_respawn",
         "_ctx",
         "_call_timeout",
+        "_wire",
     )
 
     def __init__(
-        self, spec: Dict[str, Any], ctx: Any, call_timeout: float
+        self,
+        spec: Dict[str, Any],
+        ctx: Any,
+        call_timeout: float,
+        wire: str = protocol.WIRE_BINARY,
     ) -> None:
         self.spec = spec
         self.process: Optional[Any] = None
@@ -452,6 +481,7 @@ class _WorkerHandle:
         self.last_respawn = 0.0
         self._ctx = ctx
         self._call_timeout = call_timeout
+        self._wire = wire
 
     @property
     def name(self) -> str:
@@ -480,7 +510,16 @@ class _WorkerHandle:
                 path=str(self.spec["socket_path"]),
                 max_retries=0,
                 call_timeout=self._call_timeout,
+                wire=self._wire,
             )
+        if args.get("encoded"):
+            # Pre-encoded partials are bytes — only a binary link can
+            # carry them.  Negotiation happens on first connect; if this
+            # link downgraded to JSON, fall back to plain partials.
+            if self.client.wire_active is None:
+                await self.client.connect()
+            if self.client.wire_active != protocol.WIRE_BINARY:
+                args = dict(args, encoded=False)
         return await self.client.call(op, **args)
 
     async def drop_client(self) -> None:
@@ -624,9 +663,13 @@ class PartitionCluster:
         spawn_timeout: float = 60.0,
         drain_timeout: float = 10.0,
         worker_request_timeout: float = 30.0,
+        wire: str = protocol.WIRE_BINARY,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if wire not in protocol.WIRES:
+            raise ValueError(f"wire must be one of {sorted(protocol.WIRES)}")
+        self.wire = wire
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.directory = str(directory)
         self.backend = backend
@@ -667,7 +710,12 @@ class PartitionCluster:
                     "request_timeout": worker_request_timeout,
                 }
                 handles.append(
-                    _WorkerHandle(spec, self._ctx, call_timeout=worker_call_timeout)
+                    _WorkerHandle(
+                        spec,
+                        self._ctx,
+                        call_timeout=worker_call_timeout,
+                        wire=wire,
+                    )
                 )
             self._groups.append(
                 _ShardGroup(
@@ -1030,8 +1078,8 @@ class _PlanItem:
 
     __slots__ = (
         "op", "positions", "ids", "v", "u", "norm", "k",
-        "replicas", "shards", "arrived", "partial", "owner", "stats",
-        "failure",
+        "replicas", "shards", "arrived", "partial", "wire_partials",
+        "owner", "stats", "failure",
     )
 
     def __init__(self, op: str, position: int, request_id: Any) -> None:
@@ -1046,6 +1094,8 @@ class _PlanItem:
         self.shards: List[int] = []
         self.arrived = 0
         self.partial: List[int] = []
+        #: Pre-encoded binary partials (worker answered ``encoded``).
+        self.wire_partials: List[bytes] = []
         self.owner: Optional[int] = None
         self.stats: Optional[Dict[str, int]] = None
         self.failure: Optional[BaseException] = None
@@ -1194,11 +1244,16 @@ class ClusterHandler:
                 calls.append((plan, shard, sub))
         if calls:
             metrics.inc("cluster_scatter_calls", len(calls))
+            # Ask for pre-encoded neighbour partials whenever the worker
+            # links speak binary; the handle clears the flag per-call if
+            # its link negotiated down to JSON.
+            encoded = self.cluster.wire == protocol.WIRE_BINARY
             results = await asyncio.gather(
                 *(
                     self.cluster.group(shard).call(
                         "shard_query",
                         epoch=plan.epoch,
+                        encoded=encoded and bool(sub.neighbors),
                         neighbors=[item.v for item in sub.neighbors],
                         owners=[[item.norm[0], item.norm[1]] for item in sub.owners],
                         stats=[item.k for item in sub.stats],
@@ -1365,6 +1420,20 @@ class ClusterHandler:
             for item in sub.neighbors + sub.owners + sub.stats:
                 item.failure = item.failure or result
             return
+        wires = result.get("neighbors_wire")
+        if wires is not None:
+            for item, blob in zip(sub.neighbors, wires):
+                item.arrived += 1
+                if blob is None:
+                    item.failure = item.failure or ClusterError(
+                        "shard answered None for a routed vertex"
+                    )
+                elif isinstance(blob, (bytes, bytearray)):
+                    item.wire_partials.append(bytes(blob))
+                else:
+                    item.failure = item.failure or ClusterError(
+                        "shard answered a non-bytes pre-encoded partial"
+                    )
         partials = result.get("neighbors") or []
         for item, partial in zip(sub.neighbors, partials):
             item.arrived += 1
@@ -1402,14 +1471,36 @@ class ClusterHandler:
                 if item.failure is not None or item.arrived < len(item.shards):
                     response = self._unavailable(item, epoch)
                 else:
-                    # Disjoint per-shard partials: sorted concatenation is
-                    # exactly the single-process merged neighbour list.
-                    item.partial.sort()
+                    neighbors: Any
+                    if len(item.wire_partials) == 1 and not item.partial:
+                        # One shard answered the whole (sorted) list
+                        # pre-encoded: splice its bytes verbatim into the
+                        # response frame.  Canonical encoding makes this
+                        # bit-identical to encoding the list ourselves.
+                        self.metrics.inc("scatter_spliced")
+                        neighbors = protocol.PreEncoded(item.wire_partials[0])
+                    else:
+                        # Cross-shard vertex (or mixed encoded/plain
+                        # fallback): decode, concatenate, sort.  Disjoint
+                        # per-shard partials make the sorted concatenation
+                        # exactly the single-process merged list.
+                        try:
+                            for blob in item.wire_partials:
+                                item.partial.extend(protocol.decode_value(blob))
+                        except protocol.ProtocolError as exc:
+                            item.failure = exc
+                            self._finish_item(
+                                item, self._unavailable(item, epoch), responses
+                            )
+                            continue
+                        self.metrics.inc("scatter_merged")
+                        item.partial.sort()
+                        neighbors = item.partial
                     response = self._ok(
                         item,
                         {
                             "v": item.v,
-                            "neighbors": item.partial,
+                            "neighbors": neighbors,
                             "partitions": list(item.replicas),
                         },
                         epoch,
@@ -1465,8 +1556,8 @@ class ClusterHandler:
             epoch=epoch,
         )
 
-    @staticmethod
     def _finish_item(
+        self,
         item: _PlanItem,
         response: Dict[str, Any],
         responses: List[Optional[Dict[str, Any]]],
@@ -1476,6 +1567,8 @@ class ClusterHandler:
             shared = dict(response)
             shared["id"] = request_id
             responses[position] = shared
+            # Coalesced duplicates share the scatter, not the accounting.
+            count_shared_response(self.metrics, item.op, shared)
 
 
 # -- facade -----------------------------------------------------------------

@@ -108,6 +108,41 @@ VECTOR_OPS = frozenset({"master", "neighbors", "edge"})
 #: A ``(store, epoch)`` pair pinned by :meth:`StoreManager.acquire`.
 Lease = Tuple[PartitionStore, int]
 
+#: Error-code → metrics-counter mapping used when counting dedup-shared
+#: responses; mirrors the counters bumped on the fresh-computation path.
+_ERROR_COUNTERS = {
+    protocol.NOT_FOUND: "requests_not_found",
+    protocol.BAD_REQUEST: "requests_bad",
+    protocol.CONFLICT: "requests_conflict",
+    protocol.CAPACITY: "requests_capacity",
+    protocol.INGEST_FROZEN: "requests_frozen",
+    protocol.INTERNAL: "requests_internal_error",
+    protocol.UNAVAILABLE: "requests_unavailable",
+    protocol.STALE_EPOCH: "requests_stale_epoch",
+}
+
+
+def count_shared_response(
+    metrics: ServiceMetrics, op: Any, response: Dict[str, Any]
+) -> None:
+    """Count a dedup-answered request like a freshly computed one.
+
+    Coalescing shares the *computation*, not the accounting: every request
+    answered from a shared result still increments ``requests_ok``/``op_*``
+    (or the matching error counter), so server counters equal the number of
+    requests actually answered — the bench asserts this parity against its
+    client-side counts.
+    """
+    if response.get("ok"):
+        metrics.inc("requests_ok")
+        if isinstance(op, str):
+            metrics.inc(f"op_{op}")
+    else:
+        error = response.get("error") or {}
+        counter = _ERROR_COUNTERS.get(error.get("code"))
+        if counter is not None:
+            metrics.inc(counter)
+
 
 class ServiceHandler:
     """Executes protocol requests against a store, recording metrics."""
@@ -300,6 +335,7 @@ class ServiceHandler:
                     response = dict(hit)
                     response["id"] = request.get("id")
                     responses[i] = response
+                    self._count_shared(op, response)
                     continue
                 item = pending.get(key)
                 if item is not None:
@@ -423,8 +459,8 @@ class ServiceHandler:
             epoch=epoch,
         )
 
-    @staticmethod
     def _finish_vector_item(
+        self,
         item: "_VectorItem",
         response: Dict[str, Any],
         responses: List[Optional[Dict[str, Any]]],
@@ -435,7 +471,11 @@ class ServiceHandler:
             shared = dict(response)
             shared["id"] = rid
             responses[pos] = shared
+            self._count_shared(item.op, shared)
         computed[item.key] = response
+
+    def _count_shared(self, op: Any, response: Dict[str, Any]) -> None:
+        count_shared_response(self.metrics, op, response)
 
     # -- operations --------------------------------------------------------
 

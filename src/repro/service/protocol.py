@@ -1,11 +1,32 @@
-"""Wire protocol: length-prefixed JSON frames over a byte stream.
+"""Wire protocol: length-prefixed frames over a byte stream, JSON or binary.
 
 Every message — request or response — is one frame::
 
     +----------------+----------------------+
-    | 4-byte big-end | UTF-8 JSON payload   |
+    | 4-byte big-end | frame body           |
     | payload length |                      |
     +----------------+----------------------+
+
+The body is one of two self-identifying codecs, distinguished by the
+first byte:
+
+* **JSON** (the fallback and the executable spec): a UTF-8 JSON object.
+  JSON text never starts with byte ``0xB7`` (an invalid UTF-8 lead
+  byte), so the two codecs are unambiguous per frame.
+* **Binary** (:data:`WIRE_BINARY`): magic byte ``0xB7``, a version byte
+  (``0x01``), then exactly one value in a msgpack-style typed encoding
+  restricted to the protocol's closed vocabulary — see
+  :func:`encode_value` for the tag grammar.  Integer-only arrays (vertex
+  ids, partition lists — the bulk of every hot response) are packed
+  little-endian runs encoded and decoded at C speed via the ``array``
+  module.  Binary answers are bit-identical to JSON answers
+  (``tests/service/test_wire_parity.py`` pins this).
+
+A connection may carry both codecs: the server decodes each frame by its
+first byte and answers in the codec of the request that produced the
+response.  Clients that want binary negotiate at connect time by sending
+a binary ``ping`` and downgrade to JSON if the server rejects it or
+drops the connection.
 
 Requests are ``{"id": <int>, "op": <str>, "args": {...}}``; responses are
 ``{"id": <int>, "ok": true, "result": {...}}`` or
@@ -28,13 +49,26 @@ import asyncio
 import json
 import socket
 import struct
-from typing import Any, Dict, Optional
+import sys
+from array import array
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Frames above this size are rejected — a corrupt or hostile length prefix
 #: must not make the server allocate gigabytes.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
+
+#: Wire codec names, as negotiated by clients and recorded in benches.
+WIRE_JSON = "json"
+WIRE_BINARY = "binary"
+WIRES = frozenset({WIRE_JSON, WIRE_BINARY})
+
+#: First byte of every binary frame body.  0xB7 is an invalid UTF-8 lead
+#: byte, so no JSON frame can start with it.
+BINARY_MAGIC = 0xB7
+BINARY_VERSION = 0x01
+_MAGIC_PREFIX = bytes((BINARY_MAGIC,))
 
 # -- error codes -----------------------------------------------------------
 
@@ -99,18 +133,616 @@ class ProtocolError(ValueError):
     """A frame violated the protocol (bad length, bad JSON, not an object)."""
 
 
-# -- encoding --------------------------------------------------------------
+# -- pre-encoded splicing --------------------------------------------------
 
-def encode_frame(payload: Dict[str, Any]) -> bytes:
-    """Serialise one message to its on-wire form."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+_UNSET = object()
+
+
+class PreEncoded:
+    """An already binary-encoded value, spliced verbatim into binary frames.
+
+    The cluster front-end wraps worker-encoded ``neighbors`` partials in
+    this so the response encoder can concatenate the bytes into the
+    outgoing frame without a decode/re-encode round-trip.  A JSON client
+    asking for the same answer forces :meth:`value` — a one-time decode,
+    cached, so coalesced responses shared across mixed-codec connections
+    pay it at most once.
+    """
+
+    __slots__ = ("data", "_decoded")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self._decoded = _UNSET
+
+    def value(self) -> Any:
+        if self._decoded is _UNSET:
+            self._decoded = decode_value(self.data)
+        return self._decoded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreEncoded({len(self.data)} bytes)"
+
+
+# -- binary value codec ----------------------------------------------------
+#
+# Tag grammar (all multi-byte lengths and integers little-endian):
+#
+#   0x00..0x7F  positive fixint
+#   0x80|n      fixmap, n < 16 entries            0xC0  nil
+#   0x90|n      fixarray, n < 16 items            0xC2  false   0xC3  true
+#   0xA0|n      fixstr, n < 32 bytes              0xCB  float64
+#   0xC4/C5/C6  bin  8/16/32-bit length
+#   0xD0/D1/D2/D3  int  8/16/32/64-bit signed
+#   0xD9/DA/DB  str  8/16/32-bit length
+#   0xDC/DD     array 16/32-bit count             0xDE/DF  map 16/32
+#   0xE1        packed int run: u8 width (1|2|4|8), u32 count,
+#               count*width bytes of signed little-endian integers
+#   0xE2        bigint: u32 length, ASCII decimal (ints beyond int64)
+#
+# Encoding is canonical: the smallest form that fits is always chosen,
+# and any non-empty list of (exactly-typed) ints becomes a packed run of
+# the narrowest width holding every element — so equal payloads encode
+# to equal bytes, which is what lets the cluster splice worker-encoded
+# partials into responses without re-encoding.
+
+_MAX_DEPTH = 64
+
+_F64 = struct.Struct("<d")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+#: array typecodes by item width — resolved from the platform so 'i'/'l'
+#: size differences cannot change the wire format.
+_WIDTH_CODE: Dict[int, str] = {}
+for _code in ("b", "h", "i", "l", "q"):
+    _WIDTH_CODE.setdefault(array(_code).itemsize, _code)
+
+_LITTLE = sys.byteorder == "little"
+
+#: Cache of encoded short strings — the protocol's key vocabulary is a
+#: closed set ("id", "op", "ok", "result", "neighbors", ...), so almost
+#: every map key hits this.
+_STR_CACHE: Dict[str, bytes] = {}
+_STR_CACHE_MAX = 1024
+
+
+def _encode_str(text: str) -> bytes:
+    cached = _STR_CACHE.get(text)
+    if cached is not None:
+        return cached
+    raw = text.encode("utf-8")
+    n = len(raw)
+    if n < 32:
+        encoded = bytes((0xA0 | n,)) + raw
+    elif n < 256:
+        encoded = bytes((0xD9, n)) + raw
+    elif n < 65536:
+        encoded = b"\xda" + _U16.pack(n) + raw
+    else:
+        encoded = b"\xdb" + _U32.pack(n) + raw
+    if n < 64 and len(_STR_CACHE) < _STR_CACHE_MAX:
+        _STR_CACHE[text] = encoded
+    return encoded
+
+
+def _encode_int(value: int, out: bytearray) -> None:
+    if 0 <= value < 0x80:
+        out.append(value)
+    elif -0x80 <= value < 0x80:
+        out.append(0xD0)
+        out += value.to_bytes(1, "little", signed=True)
+    elif -0x8000 <= value < 0x8000:
+        out.append(0xD1)
+        out += value.to_bytes(2, "little", signed=True)
+    elif -0x80000000 <= value < 0x80000000:
+        out.append(0xD2)
+        out += value.to_bytes(4, "little", signed=True)
+    elif -0x8000000000000000 <= value < 0x8000000000000000:
+        out.append(0xD3)
+        out += value.to_bytes(8, "little", signed=True)
+    else:
+        digits = str(value).encode("ascii")
+        out.append(0xE2)
+        out += _U32.pack(len(digits))
+        out += digits
+
+
+def _int_run_width(lo: int, hi: int) -> Optional[int]:
+    if -0x80 <= lo and hi < 0x80:
+        return 1
+    if -0x8000 <= lo and hi < 0x8000:
+        return 2
+    if -0x80000000 <= lo and hi < 0x80000000:
+        return 4
+    if -0x8000000000000000 <= lo and hi < 0x8000000000000000:
+        return 8
+    return None
+
+
+def _json_key(key: Any) -> str:
+    """Coerce a non-string map key exactly the way ``json.dumps`` does,
+    so both codecs agree on the decoded payload."""
+    if isinstance(key, str):
+        return key
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, (int, float)):
+        return json.dumps(key)
+    raise ProtocolError(f"unencodable map key type {type(key).__name__}")
+
+
+def _enc(value: Any, out: bytearray, depth: int) -> None:
+    kind = type(value)
+    if kind is int:
+        _encode_int(value, out)
+    elif kind is str:
+        encoded = _encode_str(value)
+        if len(out) + len(encoded) > MAX_FRAME_BYTES + 16:
+            raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        out += encoded
+    elif kind is list or kind is tuple:
+        _enc_sequence(value, out, depth)
+    elif kind is dict:
+        _enc_map(value, out, depth)
+    elif value is None:
+        out.append(0xC0)
+    elif kind is bool:
+        out.append(0xC3 if value else 0xC2)
+    elif kind is float:
+        out.append(0xCB)
+        out += _F64.pack(value)
+    elif kind is bytes or kind is bytearray:
+        n = len(value)
+        if len(out) + n > MAX_FRAME_BYTES + 16:
+            raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        if n < 256:
+            out.append(0xC4)
+            out.append(n)
+        elif n < 65536:
+            out.append(0xC5)
+            out += _U16.pack(n)
+        else:
+            out.append(0xC6)
+            out += _U32.pack(n)
+        out += value
+    elif kind is PreEncoded:
+        if len(out) + len(value.data) > MAX_FRAME_BYTES + 16:
+            raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        out += value.data
+    elif isinstance(value, bool):  # bool subclasses before int
+        out.append(0xC3 if value else 0xC2)
+    elif isinstance(value, int):
+        _encode_int(int(value), out)
+    elif isinstance(value, float):
+        out.append(0xCB)
+        out += _F64.pack(float(value))
+    elif isinstance(value, str):
+        out += _encode_str(str(value))
+    elif isinstance(value, (list, tuple)):
+        _enc_sequence(list(value), out, depth)
+    elif isinstance(value, dict):
+        _enc_map(value, out, depth)
+    elif isinstance(value, PreEncoded):
+        out += value.data
+    else:
+        raise ProtocolError(f"unencodable value type {type(value).__name__}")
+
+
+_INT_TYPE_SET = frozenset((int,))
+
+
+def _enc_sequence(value: Any, out: bytearray, depth: int) -> None:
+    if depth >= _MAX_DEPTH:
+        raise ProtocolError("value nested too deeply")
+    if len(out) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    n = len(value)
+    # C-speed exact-type scan: bools are ints to ``array`` but must not
+    # lose their type on the wire, so only `type(x) is int` runs pack.
+    if n and type(value[0]) is int and set(map(type, value)) == _INT_TYPE_SET:
+        width = _int_run_width(min(value), max(value))
+        if width is not None:
+            if len(out) + n * width > MAX_FRAME_BYTES + 16:
+                raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+            run = array(_WIDTH_CODE[width], value)
+            if not _LITTLE:  # pragma: no cover - big-endian hosts
+                run.byteswap()
+            out.append(0xE1)
+            out.append(width)
+            out += _U32.pack(n)
+            out += run.tobytes()
+            return
+    if n < 16:
+        out.append(0x90 | n)
+    elif n < 65536:
+        out.append(0xDC)
+        out += _U16.pack(n)
+    else:
+        out.append(0xDD)
+        out += _U32.pack(n)
+    depth += 1
+    for item in value:
+        _enc(item, out, depth)
+
+
+def _enc_map(value: Dict[Any, Any], out: bytearray, depth: int) -> None:
+    if depth >= _MAX_DEPTH:
+        raise ProtocolError("value nested too deeply")
+    if len(out) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    n = len(value)
+    if n < 16:
+        out.append(0x80 | n)
+    elif n < 65536:
+        out.append(0xDE)
+        out += _U16.pack(n)
+    else:
+        out.append(0xDF)
+        out += _U32.pack(n)
+    depth += 1
+    cache_get = _STR_CACHE.get
+    for key, item in value.items():
+        encoded = cache_get(key) if type(key) is str else None
+        if encoded is None:
+            encoded = _encode_str(key if type(key) is str else _json_key(key))
+        out += encoded
+        _enc(item, out, depth)
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value in the binary codec (no magic/version prefix).
+
+    This is what workers use to pre-encode ``shard_query`` partials: the
+    returned bytes can be wrapped in :class:`PreEncoded` and spliced
+    verbatim into any binary response frame.
+    """
+    out = bytearray()
+    _enc(value, out, 0)
+    return bytes(out)
+
+
+def encode_int_run(values: List[int]) -> bytes:
+    """Encode a list of plain ints, skipping the exact-type scan.
+
+    Trusted fast path for store-produced id lists (worker ``shard_query``
+    partials).  Produces byte-identical output to :func:`encode_value` on
+    the same list — the canonical packed run — so spliced partials stay
+    indistinguishable from freshly encoded ones.
+    """
+    n = len(values)
+    if not n:
+        return b"\x90"
+    width = _int_run_width(min(values), max(values))
+    if width is None:  # ids beyond int64 — fall back to the generic path
+        return encode_value(list(values))
+    run = array(_WIDTH_CODE[width], values)
+    if not _LITTLE:  # pragma: no cover - big-endian hosts
+        run.byteswap()
+    return bytes((0xE1, width)) + _U32.pack(n) + run.tobytes()
+
+
+def _dec(buf: bytes, pos: int, depth: int) -> Tuple[Any, int]:
+    end = len(buf)
+    if pos >= end:
+        raise ProtocolError("truncated binary value")
+    tag = buf[pos]
+    pos += 1
+    if tag < 0x80:
+        return tag, pos
+    if tag < 0x90:
+        return _dec_map(buf, pos, tag & 0x0F, depth)
+    if tag < 0xA0:
+        return _dec_array(buf, pos, tag & 0x0F, depth)
+    if tag < 0xC0:
+        n = tag & 0x1F
+        kend = pos + n
+        if kend > end:
+            raise ProtocolError("truncated binary value")
+        raw = buf[pos:kend]
+        cached = _KEY_CACHE.get(raw)
+        if cached is not None:
+            return cached, kend
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"bad UTF-8 in binary string: {exc}") from exc
+        if len(_KEY_CACHE) < _KEY_CACHE_MAX:
+            _KEY_CACHE[raw] = text
+        return text, kend
+    if tag == 0xC0:
+        return None, pos
+    if tag == 0xC2:
+        return False, pos
+    if tag == 0xC3:
+        return True, pos
+    if tag == 0xCB:
+        if pos + 8 > end:
+            raise ProtocolError("truncated binary value")
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if 0xD0 <= tag <= 0xD3:
+        width = 1 << (tag - 0xD0)
+        if pos + width > end:
+            raise ProtocolError("truncated binary value")
+        return int.from_bytes(buf[pos : pos + width], "little", signed=True), pos + width
+    if 0xD9 <= tag <= 0xDB:
+        n, pos = _dec_len(buf, pos, tag - 0xD9)
+        return _dec_str(buf, pos, n)
+    if 0xC4 <= tag <= 0xC6:
+        n, pos = _dec_len(buf, pos, tag - 0xC4)
+        if pos + n > end:
+            raise ProtocolError("truncated binary value")
+        return bytes(buf[pos : pos + n]), pos + n
+    if tag == 0xDC or tag == 0xDD:
+        n, pos = _dec_len(buf, pos, 1 if tag == 0xDC else 2)
+        return _dec_array(buf, pos, n, depth)
+    if tag == 0xDE or tag == 0xDF:
+        n, pos = _dec_len(buf, pos, 1 if tag == 0xDE else 2)
+        return _dec_map(buf, pos, n, depth)
+    if tag == 0xE1:
+        if pos + 5 > end:
+            raise ProtocolError("truncated binary value")
+        width = buf[pos]
+        code = _WIDTH_CODE.get(width)
+        if code is None:
+            raise ProtocolError(f"bad packed-run width {width}")
+        (count,) = _U32.unpack_from(buf, pos + 1)
+        pos += 5
+        nbytes = count * width
+        if pos + nbytes > end:
+            raise ProtocolError("truncated binary value")
+        run = array(code)
+        run.frombytes(buf[pos : pos + nbytes])
+        if not _LITTLE:  # pragma: no cover - big-endian hosts
+            run.byteswap()
+        return run.tolist(), pos + nbytes
+    if tag == 0xE2:
+        n, pos = _dec_len(buf, pos, 2)
+        if pos + n > end:
+            raise ProtocolError("truncated binary value")
+        try:
+            return int(buf[pos : pos + n].decode("ascii")), pos + n
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"bad bigint: {exc}") from exc
+    raise ProtocolError(f"unknown binary tag 0x{tag:02X}")
+
+
+def _dec_len(buf: bytes, pos: int, size_class: int) -> Tuple[int, int]:
+    width = 1 << size_class
+    if pos + width > len(buf):
+        raise ProtocolError("truncated binary value")
+    if width == 1:
+        return buf[pos], pos + 1
+    if width == 2:
+        return _U16.unpack_from(buf, pos)[0], pos + 2
+    return _U32.unpack_from(buf, pos)[0], pos + 4
+
+
+def _dec_str(buf: bytes, pos: int, n: int) -> Tuple[str, int]:
+    end = pos + n
+    if end > len(buf):
+        raise ProtocolError("truncated binary value")
+    try:
+        return buf[pos:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"bad UTF-8 in binary string: {exc}") from exc
+
+
+def _dec_array(buf: bytes, pos: int, n: int, depth: int) -> Tuple[List[Any], int]:
+    if depth >= _MAX_DEPTH:
+        raise ProtocolError("binary value nested too deeply")
+    if n > len(buf) - pos:  # every element costs at least one byte
+        raise ProtocolError("truncated binary value")
+    depth += 1
+    items: List[Any] = []
+    append = items.append
+    for _ in range(n):
+        item, pos = _dec(buf, pos, depth)
+        append(item)
+    return items, pos
+
+
+#: Decoded-key cache: the key vocabulary is closed, so interning the
+#: (raw fixstr bytes → str) mapping skips a UTF-8 decode per map entry.
+_KEY_CACHE: Dict[bytes, str] = {}
+_KEY_CACHE_MAX = 1024
+
+
+def _dec_map(buf: bytes, pos: int, n: int, depth: int) -> Tuple[Dict[str, Any], int]:
+    if depth >= _MAX_DEPTH:
+        raise ProtocolError("binary value nested too deeply")
+    if 2 * n > len(buf) - pos:
+        raise ProtocolError("truncated binary value")
+    depth += 1
+    end = len(buf)
+    mapping: Dict[str, Any] = {}
+    cache_get = _KEY_CACHE.get
+    for _ in range(n):
+        if pos >= end:
+            raise ProtocolError("truncated binary value")
+        tag = buf[pos]
+        if 0xA0 <= tag < 0xC0:  # fixstr key — the common case
+            kend = pos + 1 + (tag & 0x1F)
+            if kend > end:
+                raise ProtocolError("truncated binary value")
+            raw = buf[pos + 1 : kend]
+            key = cache_get(raw)
+            if key is None:
+                try:
+                    key = raw.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(f"bad UTF-8 in binary string: {exc}") from exc
+                if len(_KEY_CACHE) < _KEY_CACHE_MAX:
+                    _KEY_CACHE[raw] = key
+            pos = kend
+        else:
+            key, pos = _dec(buf, pos, depth)
+            if type(key) is not str:
+                raise ProtocolError(
+                    f"binary map key must be str, got {type(key).__name__}"
+                )
+        if pos >= end:
+            raise ProtocolError("truncated binary value")
+        vtag = buf[pos]
+        if vtag < 0x80:  # inline fixint values — ids, counts, epochs
+            mapping[key] = vtag
+            pos += 1
+        elif 0xD0 <= vtag <= 0xD3:
+            width = 1 << (vtag - 0xD0)
+            vend = pos + 1 + width
+            if vend > end:
+                raise ProtocolError("truncated binary value")
+            mapping[key] = int.from_bytes(buf[pos + 1 : vend], "little", signed=True)
+            pos = vend
+        else:
+            mapping[key], pos = _dec(buf, pos, depth)
+    return mapping, pos
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one binary-codec value (inverse of :func:`encode_value`)."""
+    value, pos = _dec(data, 0, 0)
+    if pos != len(data):
+        raise ProtocolError(f"{len(data) - pos} trailing bytes after binary value")
+    return value
+
+
+# -- frame encoding --------------------------------------------------------
+
+#: Chunking granularity for the JSON encoder: lists longer than this are
+#: serialised slice by slice, strings longer than ``_JSON_CHUNK_CHARS``
+#: piece by piece, so an over-limit body is rejected after at most one
+#: extra chunk instead of materialising the whole thing first.
+_JSON_CHUNK_ITEMS = 4096
+_JSON_CHUNK_CHARS = 1 << 20
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, PreEncoded):
+        return obj.value()
+    raise TypeError(f"unencodable JSON value type {type(obj).__name__}")
+
+
+#: One precompiled encoder — ``json.dumps`` with non-default arguments
+#: builds a fresh ``JSONEncoder`` per call, which costs more than the
+#: actual serialisation for hot-path-sized payloads.
+_JSON_ENCODE = json.JSONEncoder(separators=(",", ":"), default=_json_default).encode
+
+
+def _json_scalar(value: Any) -> bytes:
+    return _JSON_ENCODE(value).encode("utf-8")
+
+
+def _json_walk(value: Any, emit: Callable[[bytes], None]) -> None:
+    if isinstance(value, dict):
+        for item in value.values():
+            if (
+                isinstance(item, dict)
+                or (isinstance(item, (list, tuple)) and len(item) > _JSON_CHUNK_ITEMS)
+                or (isinstance(item, str) and len(item) > _JSON_CHUNK_CHARS)
+                or isinstance(item, PreEncoded)
+            ):
+                break
+        else:
+            # Shallow dict of small values — one C-speed dumps call.
+            emit(_json_scalar(value))
+            return
+        emit(b"{")
+        first = True
+        for key, item in value.items():
+            prefix = b"" if first else b","
+            first = False
+            emit(prefix + _json_scalar(_json_key(key)) + b":")
+            _json_walk(item, emit)
+        emit(b"}")
+    elif isinstance(value, (list, tuple)) and len(value) > _JSON_CHUNK_ITEMS:
+        emit(b"[")
+        for i in range(0, len(value), _JSON_CHUNK_ITEMS):
+            piece = _json_scalar(list(value[i : i + _JSON_CHUNK_ITEMS]))
+            emit((b"" if i == 0 else b",") + piece[1:-1])
+        emit(b"]")
+    elif isinstance(value, str) and len(value) > _JSON_CHUNK_CHARS:
+        emit(b'"')
+        for i in range(0, len(value), _JSON_CHUNK_CHARS):
+            emit(_json_scalar(value[i : i + _JSON_CHUNK_CHARS])[1:-1])
+        emit(b'"')
+    elif isinstance(value, PreEncoded):
+        _json_walk(value.value(), emit)
+    else:
+        emit(_json_scalar(value))
+
+
+def encode_json_body(payload: Dict[str, Any]) -> bytes:
+    """Serialise a payload as UTF-8 JSON with an incremental size check.
+
+    Emits in chunks and rejects as soon as the running total passes
+    :data:`MAX_FRAME_BYTES` — a response 10× over the limit allocates
+    roughly one chunk past the limit, not 10× the limit, before raising.
+    """
+    pieces: List[bytes] = []
+    total = 0
+
+    def emit(piece: bytes) -> None:
+        nonlocal total
+        total += len(piece)
+        if total > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        pieces.append(piece)
+
+    try:
+        _json_walk(payload, emit)
+    except TypeError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return b"".join(pieces)
+
+
+def encode_binary_body(payload: Dict[str, Any]) -> bytes:
+    """Serialise a payload in the binary codec (magic + version + value)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be an object, got {type(payload).__name__}")
+    out = bytearray()
+    out.append(BINARY_MAGIC)
+    out.append(BINARY_VERSION)
+    _enc(payload, out, 0)
+    return bytes(out)
+
+
+def encode_frame(payload: Dict[str, Any], wire: str = WIRE_JSON) -> bytes:
+    """Serialise one message to its on-wire form in the given codec."""
+    if wire == WIRE_BINARY:
+        body = encode_binary_body(payload)
+    else:
+        body = encode_json_body(payload)
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
     return _LEN.pack(len(body)) + body
 
 
+def detect_wire(body: bytes) -> str:
+    """Which codec a frame body uses, by its first byte."""
+    return WIRE_BINARY if body[:1] == _MAGIC_PREFIX else WIRE_JSON
+
+
 def decode_body(body: bytes) -> Dict[str, Any]:
-    """Parse a frame body; raises :class:`ProtocolError` on garbage."""
+    """Parse a frame body (either codec); raises :class:`ProtocolError` on
+    garbage."""
+    if body[:1] == _MAGIC_PREFIX:
+        if len(body) < 2:
+            raise ProtocolError("binary frame truncated before version byte")
+        if body[1] != BINARY_VERSION:
+            raise ProtocolError(f"unsupported binary protocol version {body[1]}")
+        payload, pos = _dec(body, 2, 0)
+        if pos != len(body):
+            raise ProtocolError(f"{len(body) - pos} trailing bytes after binary frame")
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"frame must be an object, got {type(payload).__name__}"
+            )
+        return payload
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -169,15 +801,18 @@ class BufferedFrameReader:
 
     Same contract as :func:`read_frame`: returns ``None`` on clean EOF at
     a frame boundary, raises :class:`ProtocolError` on a truncated or
-    oversized frame.
+    oversized frame.  After each successful read, :attr:`last_wire` holds
+    the codec of that frame — the server answers in the codec of the
+    request that produced the response.
     """
 
-    __slots__ = ("_reader", "_buf", "_pos")
+    __slots__ = ("_reader", "_buf", "_pos", "last_wire")
 
     def __init__(self, reader: asyncio.StreamReader) -> None:
         self._reader = reader
         self._buf = b""
         self._pos = 0
+        self.last_wire = WIRE_JSON
 
     async def read_frame(self) -> Optional[Dict[str, Any]]:
         header_size = _LEN.size
@@ -198,6 +833,7 @@ class BufferedFrameReader:
                         self._pos = 0
                     else:
                         self._pos = end
+                    self.last_wire = detect_wire(body)
                     return decode_body(body)
             chunk = await self._reader.read(_READ_CHUNK)
             if not chunk:
@@ -230,9 +866,11 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
     return decode_body(body)
 
 
-async def write_frame(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: Dict[str, Any], wire: str = WIRE_JSON
+) -> None:
     """Write one frame and drain the transport."""
-    writer.write(encode_frame(payload))
+    writer.write(encode_frame(payload, wire))
     await writer.drain()
 
 
@@ -250,9 +888,11 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame_sync(sock: socket.socket, payload: Dict[str, Any]) -> None:
+def send_frame_sync(
+    sock: socket.socket, payload: Dict[str, Any], wire: str = WIRE_JSON
+) -> None:
     """Blocking frame write."""
-    sock.sendall(encode_frame(payload))
+    sock.sendall(encode_frame(payload, wire))
 
 
 def recv_frame_sync(sock: socket.socket) -> Optional[Dict[str, Any]]:

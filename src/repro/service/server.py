@@ -77,9 +77,14 @@ _DEFAULT_HOST = "127.0.0.1"
 
 
 class _Pending:
-    """One enqueued request: payload + future + arrival time + epoch lease."""
+    """One enqueued request: payload + future + arrival time + epoch lease.
 
-    __slots__ = ("request", "future", "arrived", "lease")
+    ``wire`` records the codec the request frame arrived in; the writer
+    answers in the same codec, so one connection may interleave JSON and
+    binary requests freely.
+    """
+
+    __slots__ = ("request", "future", "arrived", "lease", "wire")
 
     def __init__(
         self,
@@ -87,11 +92,13 @@ class _Pending:
         future: "asyncio.Future",
         arrived: float,
         lease: Optional[Tuple[PartitionStore, int]] = None,
+        wire: str = protocol.WIRE_JSON,
     ) -> None:
         self.request = request
         self.future = future
         self.arrived = arrived
         self.lease = lease
+        self.wire = wire
 
 
 class PartitionServer:
@@ -114,11 +121,17 @@ class PartitionServer:
         ingestor: Optional[Ingestor] = None,
         path: Optional[str] = None,
         concurrent_batches: int = 1,
+        accept_binary: bool = True,
     ) -> None:
         if store is None and batch_handler is None and handler is None:
             raise ValueError("need a store, a handler, or an explicit batch_handler")
         self.host = host
         self.port = port
+        #: Whether binary-codec frames are accepted.  When off, a binary
+        #: request is answered with a JSON ``bad_request`` (the connection
+        #: stays up) — which is exactly the signal that makes a
+        #: binary-preferring client downgrade to JSON.
+        self.accept_binary = accept_binary
         #: UNIX domain socket path; when set the server listens there
         #: instead of on host/port (cluster workers use this).
         self.path = path
@@ -550,6 +563,7 @@ class PartitionServer:
         """Read frames, enqueue work, push response futures in order."""
         loop = asyncio.get_running_loop()
         frames = protocol.BufferedFrameReader(reader)
+        wire = protocol.WIRE_JSON
         try:
             while True:
                 try:
@@ -563,13 +577,34 @@ class PartitionServer:
                                 protocol.BAD_REQUEST,
                                 str(exc),
                                 epoch=self._live_epoch(),
-                            )
+                            ),
+                            loop,
+                            wire,
                         )
                     )
                     break  # framing is lost; drop the connection
                 if request is None:
                     break  # clean EOF
+                wire = frames.last_wire
                 self.metrics.inc("requests_received")
+                if wire == protocol.WIRE_BINARY and not self.accept_binary:
+                    # Refuse in JSON but keep the connection — the frame
+                    # itself decoded fine, only the codec is unwelcome.
+                    # Binary-preferring clients downgrade on this error.
+                    self.metrics.inc("requests_bad")
+                    await responses.put(
+                        _done(
+                            protocol.error_response(
+                                request.get("id"),
+                                protocol.BAD_REQUEST,
+                                "binary wire codec not accepted here",
+                                epoch=self._live_epoch(),
+                            ),
+                            loop,
+                            protocol.WIRE_JSON,
+                        )
+                    )
+                    continue
                 if self._closing:
                     self.metrics.inc("requests_rejected_shutdown")
                     await responses.put(
@@ -579,7 +614,9 @@ class PartitionServer:
                                 protocol.SHUTTING_DOWN,
                                 "server is draining",
                                 epoch=self._live_epoch(),
-                            )
+                            ),
+                            loop,
+                            wire,
                         )
                     )
                     continue
@@ -588,7 +625,9 @@ class PartitionServer:
                     # bypasses the request queue entirely — it must not
                     # wait behind data-plane requests whose old-epoch
                     # leases its own drain barrier is about to wait on.
-                    pending = _Pending(request, loop.create_future(), loop.time())
+                    pending = _Pending(
+                        request, loop.create_future(), loop.time(), wire=wire
+                    )
                     self._spawn_reload(pending)
                     await responses.put(pending)
                     continue
@@ -600,7 +639,9 @@ class PartitionServer:
                     # Same admin plane for compaction: its epoch swap also
                     # drains data-plane leases.  (Without an ingestor the
                     # op falls through to the handler's bad_request.)
-                    pending = _Pending(request, loop.create_future(), loop.time())
+                    pending = _Pending(
+                        request, loop.create_future(), loop.time(), wire=wire
+                    )
                     self._spawn_compact(pending)
                     await responses.put(pending)
                     continue
@@ -610,7 +651,9 @@ class PartitionServer:
                 lease = None
                 if self.manager is not None:
                     lease = self.manager.acquire()
-                pending = _Pending(request, loop.create_future(), loop.time(), lease)
+                pending = _Pending(
+                    request, loop.create_future(), loop.time(), lease, wire
+                )
                 assert self._queue is not None
                 try:
                     self._queue.put_nowait(pending)
@@ -624,7 +667,9 @@ class PartitionServer:
                                 protocol.OVERLOAD,
                                 f"request queue full ({self.max_queue})",
                                 epoch=self._live_epoch(),
-                            )
+                            ),
+                            loop,
+                            wire,
                         )
                     )
                     continue
@@ -669,48 +714,62 @@ class PartitionServer:
                 if item is None:
                     closing = True
                     break
-                if isinstance(item, _Pending):
-                    if item.future.done() and not item.future.cancelled():
-                        # Fast path: the dispatcher already resolved it —
-                        # no wait_for timer handle needed.
-                        response = item.future.result()
+                if item.future.done() and not item.future.cancelled():
+                    # Fast path: the dispatcher already resolved it —
+                    # no wait_for timer handle needed.
+                    response = item.future.result()
+                    op = item.request.get("op")
+                    if isinstance(op, str):
+                        self.metrics.observe(op, loop.time() - item.arrived)
+                else:
+                    # Deadline as a bare call_later + await, not
+                    # asyncio.wait_for: the writer usually dequeues a
+                    # pending *before* the dispatcher answers it, so
+                    # this branch runs once per request and wait_for's
+                    # waiter/coroutine overhead is measurable.  The
+                    # timer stamps a sentinel result; every dispatch
+                    # path guards ``future.done()``, so a late real
+                    # answer is simply dropped.
+                    budget = self.request_timeout - (loop.time() - item.arrived)
+                    handle = loop.call_later(
+                        max(0.0, budget), _expire, item.future
+                    )
+                    try:
+                        response = await item.future
+                    finally:
+                        handle.cancel()
+                    if response is _TIMED_OUT:
+                        self.metrics.inc("requests_timeout")
+                        response = protocol.error_response(
+                            item.request.get("id"),
+                            protocol.TIMEOUT,
+                            f"no result within {self.request_timeout:g}s",
+                            epoch=item.lease[1]
+                            if item.lease
+                            else self._live_epoch(),
+                        )
+                    else:
                         op = item.request.get("op")
                         if isinstance(op, str):
                             self.metrics.observe(op, loop.time() - item.arrived)
-                    else:
-                        # Deadline as a bare call_later + await, not
-                        # asyncio.wait_for: the writer usually dequeues a
-                        # pending *before* the dispatcher answers it, so
-                        # this branch runs once per request and wait_for's
-                        # waiter/coroutine overhead is measurable.  The
-                        # timer stamps a sentinel result; every dispatch
-                        # path guards ``future.done()``, so a late real
-                        # answer is simply dropped.
-                        budget = self.request_timeout - (loop.time() - item.arrived)
-                        handle = loop.call_later(
-                            max(0.0, budget), _expire, item.future
+                try:
+                    chunks.append(protocol.encode_frame(response, item.wire))
+                except protocol.ProtocolError as exc:
+                    # An unencodable/over-limit response must not kill the
+                    # writer (and with it every pipelined response behind
+                    # it) — substitute an internal error in its place.
+                    self.metrics.inc("responses_unencodable")
+                    chunks.append(
+                        protocol.encode_frame(
+                            protocol.error_response(
+                                response.get("id"),
+                                protocol.INTERNAL,
+                                f"response exceeded frame limit: {exc}",
+                                epoch=self._live_epoch(),
+                            ),
+                            item.wire,
                         )
-                        try:
-                            response = await item.future
-                        finally:
-                            handle.cancel()
-                        if response is _TIMED_OUT:
-                            self.metrics.inc("requests_timeout")
-                            response = protocol.error_response(
-                                item.request.get("id"),
-                                protocol.TIMEOUT,
-                                f"no result within {self.request_timeout:g}s",
-                                epoch=item.lease[1]
-                                if item.lease
-                                else self._live_epoch(),
-                            )
-                        else:
-                            op = item.request.get("op")
-                            if isinstance(op, str):
-                                self.metrics.observe(op, loop.time() - item.arrived)
-                else:  # pre-completed error future
-                    response = item.result()
-                chunks.append(protocol.encode_frame(response))
+                    )
                 try:
                     item = responses.get_nowait()
                 except asyncio.QueueEmpty:
@@ -734,8 +793,12 @@ def _expire(future: "asyncio.Future") -> None:
         future.set_result(_TIMED_OUT)
 
 
-def _done(response: Dict[str, Any]) -> "asyncio.Future":
-    """A future already resolved to ``response`` (error fast-paths)."""
-    future = asyncio.get_running_loop().create_future()
+def _done(
+    response: Dict[str, Any],
+    loop: "asyncio.AbstractEventLoop",
+    wire: str = protocol.WIRE_JSON,
+) -> _Pending:
+    """A pre-answered pending (error fast-paths), tagged with its codec."""
+    future = loop.create_future()
     future.set_result(response)
-    return future
+    return _Pending({}, future, loop.time(), wire=wire)

@@ -12,7 +12,9 @@ from repro.service.client import (
     ServiceClient,
     ServiceError,
     SyncServiceClient,
+    _JITTER_FLOOR,
     _backoff_delays,
+    _jittered,
 )
 from repro.service.server import PartitionServer
 from repro.service.store import PartitionStore
@@ -24,6 +26,39 @@ class TestBackoffPolicy:
 
     def test_zero_retries_means_no_delays(self):
         assert _backoff_delays(0.1, 2.0, 0) == []
+
+    def test_jitter_floor_statistics(self):
+        """Regression: full jitter must have a floor of cap/8.
+
+        The old draw was ``uniform(0, cap)``, so ~12.5% of retries slept
+        under cap/8 and stampeded a recovering server.  Over many draws:
+        no sample below the floor or above the cap, and the spread must
+        still cover most of the [floor, cap] range (the fix must not
+        collapse jitter into a constant).
+        """
+        import random
+
+        rng = random.Random(0xBACC0FF)
+        for cap in (0.05, 0.2, 1.0, 8.0):
+            floor = cap * _JITTER_FLOOR
+            draws = [_jittered(cap, rng) for _ in range(4000)]
+            assert min(draws) >= floor
+            assert max(draws) <= cap
+            # Uniform over [floor, cap]: mean near the midpoint, and
+            # both halves of the range actually hit.
+            mid = (floor + cap) / 2
+            mean = sum(draws) / len(draws)
+            assert abs(mean - mid) < (cap - floor) * 0.05
+            assert any(d < mid for d in draws)
+            assert any(d > mid for d in draws)
+            # A tighter sanity bound: at least some draws land in the
+            # bottom decile of the allowed range, proving the floor is
+            # cap/8 and not something larger.
+            bottom = floor + (cap - floor) * 0.1
+            assert any(d <= bottom for d in draws)
+
+    def test_jitter_disabled_sleeps_the_cap(self):
+        assert _jittered(0.4, None) == 0.4
 
     def test_error_retryability(self):
         assert ServiceError(protocol.OVERLOAD, "x").retryable

@@ -306,3 +306,329 @@ class TestServerFuzz:
                 assert await _server_still_healthy(server)
 
         asyncio.run(go())
+
+
+# -- binary wire codec ------------------------------------------------------
+
+
+def _binary_frame(payload) -> bytes:
+    return protocol.encode_frame(payload, protocol.WIRE_BINARY)
+
+
+#: Values every codec must carry identically (the closed protocol
+#: vocabulary: ints, strings, bools, None, floats, arrays, objects).
+_CODEC_CORPUS = [
+    {},
+    {"id": 1, "op": "ping", "args": {}},
+    {"id": 0, "ok": True, "result": {"pong": True}, "epoch": 3},
+    {"neighbors": list(range(200))},
+    {"neighbors": [-(2**40), -1, 0, 1, 127, 128, 2**40]},
+    {"big": 2**80, "negative_big": -(2**80)},
+    {"s": "héllo ↯ 端", "empty": "", "long": "x" * 300},
+    {"nested": {"a": [1, [2, [3, {"b": None}]]]}},
+    {"floats": [0.0, -1.5, 3.141592653589793, 1e300]},
+    {"bools": [True, False], "null": None},
+    {"mixed": [1, "two", None, True, 4.5, [6], {"seven": 8}]},
+    {"empty_list": [], "empty_map": {}},
+]
+
+
+class TestBinaryCodec:
+    def test_round_trip_corpus_and_json_parity(self):
+        """Both codecs decode every corpus payload to the same object."""
+        for payload in _CODEC_CORPUS:
+            json_body = protocol.encode_json_body(payload)
+            binary_body = protocol.encode_binary_body(payload)
+            assert binary_body[0] == protocol.BINARY_MAGIC
+            assert protocol.detect_wire(binary_body) == protocol.WIRE_BINARY
+            assert protocol.detect_wire(json_body) == protocol.WIRE_JSON
+            via_json = protocol.decode_body(json_body)
+            via_binary = protocol.decode_body(binary_body)
+            assert via_binary == via_json == payload
+
+    def test_bools_survive_without_collapsing_to_ints(self):
+        """``array('q')`` would accept True as 1 — the codec must not."""
+        decoded = protocol.decode_value(
+            protocol.encode_value({"b": [True, False], "n": [1, 0]})
+        )
+        assert decoded["b"] == [True, False]
+        assert all(type(x) is bool for x in decoded["b"])
+        assert all(type(x) is int for x in decoded["n"])
+
+    def test_int_run_matches_generic_encoding(self):
+        """The trusted fast path is byte-identical — splice-safe."""
+        for values in ([], [0], [5, 9, 12], list(range(-300, 300, 7)),
+                       [2**33, 2**34], [-(2**20), 2**20]):
+            assert protocol.encode_int_run(values) == protocol.encode_value(values)
+
+    def test_pre_encoded_splices_bit_identically(self):
+        inner = sorted([9, 1, 4, 77, 1000, -3])
+        spliced = protocol.encode_binary_body(
+            {"result": {"neighbors": protocol.PreEncoded(protocol.encode_int_run(inner))}}
+        )
+        direct = protocol.encode_binary_body({"result": {"neighbors": inner}})
+        assert spliced == direct
+
+    def test_pre_encoded_decodes_lazily_for_json(self):
+        wrapped = protocol.PreEncoded(protocol.encode_value([1, 2, 3]))
+        body = protocol.encode_json_body({"result": wrapped})
+        assert protocol.decode_body(body) == {"result": [1, 2, 3]}
+        assert wrapped.value() == [1, 2, 3]
+
+    def test_non_string_keys_match_json_coercion(self):
+        payload = {"m": {1: "a", True: "b", None: "c", 2.5: "d"}}
+        via_json = protocol.decode_body(protocol.encode_json_body(payload))
+        via_binary = protocol.decode_body(protocol.encode_binary_body(payload))
+        assert via_binary == via_json
+
+    def test_bad_version_rejected(self):
+        body = bytearray(_binary_frame({"id": 1})[4:])
+        body[1] = 0x7F
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(bytes(body))
+
+    def test_trailing_bytes_rejected(self):
+        body = _binary_frame({"id": 1})[4:] + b"\x00"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(body)
+
+    def test_truncations_rejected_everywhere(self):
+        body = protocol.encode_binary_body(
+            {"id": 7, "xs": list(range(64)), "s": "abcdef", "big": 2**70}
+        )
+        for cut in range(2, len(body)):
+            with pytest.raises(protocol.ProtocolError):
+                protocol.decode_body(body[:cut])
+
+    def test_non_object_binary_payload_rejected(self):
+        body = bytes((protocol.BINARY_MAGIC, protocol.BINARY_VERSION)) + \
+            protocol.encode_value([1, 2, 3])
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(body)
+
+    def test_hostile_packed_run_count_rejected(self):
+        # 0xE1 run declaring 2**31 8-byte ints with a 2-byte body.
+        hostile = bytes((protocol.BINARY_MAGIC, protocol.BINARY_VERSION)) + \
+            b"\x81\xa1x" + b"\xe1\x08" + struct.pack("<I", 2**31) + b"\x00\x00"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(hostile)
+
+    @settings(max_examples=200, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=64))
+    def test_random_binary_bodies_never_crash(self, payload):
+        body = bytes((protocol.BINARY_MAGIC, protocol.BINARY_VERSION)) + payload
+        try:
+            decoded = protocol.decode_body(body)
+        except protocol.ProtocolError:
+            return
+        assert isinstance(decoded, dict)
+
+
+class TestFrameSizeLimit:
+    """Satellite regression: near-limit responses must be rejected by an
+    incremental size check, and the boundary must agree between calls —
+    not only after materialising a 16 MiB body.
+    """
+
+    def test_oversized_rejected_by_both_codecs(self):
+        huge = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame(huge, protocol.WIRE_JSON)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame(huge, protocol.WIRE_BINARY)
+
+    def test_just_under_limit_encodes_in_both_codecs(self):
+        # Leave room for framing, keys, and codec overhead.
+        payload = {"blob": "x" * (protocol.MAX_FRAME_BYTES - 4096)}
+        for wire in (protocol.WIRE_JSON, protocol.WIRE_BINARY):
+            frame = protocol.encode_frame(payload, wire)
+            assert len(frame) - 4 <= protocol.MAX_FRAME_BYTES
+            assert protocol.decode_body(frame[4:]) == payload
+
+    def test_oversized_int_array_rejected_incrementally(self):
+        # 3M ints above 2**32 pack at 8 bytes each (~24 MiB): must
+        # raise, and from the size guard, not a MemoryError.
+        huge = {"xs": list(range(2**40, 2**40 + 3_000_000))}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame(huge, protocol.WIRE_BINARY)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame(huge, protocol.WIRE_JSON)
+
+
+class TestCrossCodecFuzz:
+    """The hostile-bytes fuzz corpus, replayed in binary framing against
+    a live server: bad frames get clean error answers (in a codec the
+    server can still choose) and never take the server down.
+    """
+
+    def _hostile_bodies(self):
+        ping = protocol.encode_frame(
+            protocol.request(1, "ping"), protocol.WIRE_BINARY
+        )
+        return [
+            ping[:-3],                                     # truncated body
+            struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+            + bytes((protocol.BINARY_MAGIC,)),             # oversized length
+            struct.pack(">I", 6)
+            + bytes((protocol.BINARY_MAGIC, protocol.BINARY_VERSION))
+            + b"\xc1\xc1\xc1\xc1",                         # unknown tags
+            struct.pack(">I", 3)
+            + bytes((protocol.BINARY_MAGIC, 0x7F)) + b"\x80",  # bad version
+            struct.pack(">I", 5)
+            + bytes((protocol.BINARY_MAGIC, protocol.BINARY_VERSION))
+            + protocol.encode_value([1]),                  # non-object value
+        ]
+
+    def test_hostile_binary_frames_get_clean_errors(self, live_server):
+        async def go():
+            async with live_server as server:
+                for hostile in self._hostile_bodies():
+                    responses = await _send_raw(server.address, hostile)
+                    assert len(responses) >= 1
+                    assert responses[0]["ok"] is False
+                    assert responses[0]["error"]["code"] == protocol.BAD_REQUEST
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=80))
+    def test_random_bytes_with_binary_magic_never_hang_or_crash(self, payload):
+        from repro.service.server import PartitionServer
+
+        def echo_handler(requests):
+            return [protocol.ok_response(r.get("id"), {"ok": 1}) for r in requests]
+
+        body = bytes((protocol.BINARY_MAGIC,)) + payload
+        frame = struct.pack(">I", len(body)) + body
+
+        async def go():
+            async with PartitionServer(batch_handler=echo_handler) as server:
+                responses = await _send_raw(server.address, frame)
+                for r in responses:
+                    assert isinstance(r, dict) and "ok" in r
+                assert await _server_still_healthy(server)
+
+        asyncio.run(go())
+
+
+class TestMixedCodecSessions:
+    def test_binary_and_json_clients_share_a_server(self, live_server):
+        """Two clients, two codecs, one server — identical answers."""
+        from repro.service.client import ServiceClient
+
+        async def go():
+            async with live_server as server:
+                host, port = server.address
+                jc = ServiceClient(host, port, wire=protocol.WIRE_JSON)
+                bc = ServiceClient(host, port, wire=protocol.WIRE_BINARY)
+                async with jc, bc:
+                    assert bc.wire_active == protocol.WIRE_BINARY
+                    assert jc.wire_active == protocol.WIRE_JSON
+                    for v in range(0, 40, 3):
+                        a = await jc.call("neighbors", v=v)
+                        b = await bc.call("neighbors", v=v)
+                        assert a == b
+                    sa = await jc.call("stats")
+                    sb = await bc.call("stats")
+                    assert sa["num_edges"] == sb["num_edges"]
+
+        asyncio.run(go())
+
+    def test_one_connection_may_interleave_codecs(self, live_server):
+        """Per-frame codec detection: the response codec matches the
+        request codec on the same connection."""
+
+        async def go():
+            async with live_server as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                frames = protocol.BufferedFrameReader(reader)
+                try:
+                    for i, wire in enumerate(
+                        ["json", "binary", "json", "binary"], start=1
+                    ):
+                        writer.write(
+                            protocol.encode_frame(protocol.request(i, "ping"), wire)
+                        )
+                        await writer.drain()
+                        response = await asyncio.wait_for(frames.read_frame(), 3.0)
+                        assert response["ok"] is True
+                        assert frames.last_wire == wire
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+
+        asyncio.run(go())
+
+    def test_binary_client_downgrades_against_refusing_server(self, small_social):
+        """accept_binary=False answers the probe with a JSON error; the
+        client downgrades and keeps working on the same server."""
+        from repro.core.tlp import TLPPartitioner
+        from repro.service.client import ServiceClient
+        from repro.service.server import PartitionServer
+        from repro.service.store import PartitionStore
+
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+        server = PartitionServer(store, accept_binary=False)
+
+        async def go():
+            async with server:
+                host, port = server.address
+                client = ServiceClient(host, port, wire=protocol.WIRE_BINARY)
+                async with client:
+                    assert client.wire_active == protocol.WIRE_JSON
+                    result = await client.call("ping")
+                    assert result["pong"] is True
+                    v = next(iter(small_social.vertices()))
+                    result = await client.call("neighbors", v=v)
+                    assert set(result["neighbors"]) == small_social.neighbors(v)
+
+        asyncio.run(go())
+
+    def test_sync_client_negotiates_and_downgrades(self, small_social):
+        """Blocking client: binary against a normal server, JSON downgrade
+        against a refusing one."""
+        import threading
+
+        from repro.core.tlp import TLPPartitioner
+        from repro.service.client import SyncServiceClient
+        from repro.service.server import PartitionServer
+        from repro.service.store import PartitionStore
+
+        store = PartitionStore(TLPPartitioner(seed=0).partition(small_social, 3))
+        v = next(iter(small_social.vertices()))
+
+        for accept, expected_wire in ((True, "binary"), (False, "json")):
+            server = PartitionServer(store, accept_binary=accept)
+            loop = asyncio.new_event_loop()
+            started = threading.Event()
+            shared = {}
+
+            def serve():
+                async def run():
+                    await server.start()
+                    shared["addr"] = server.address
+                    shared["stop"] = asyncio.Event()
+                    started.set()
+                    await shared["stop"].wait()
+                    await server.stop()
+
+                loop.run_until_complete(run())
+                loop.close()
+
+            thread = threading.Thread(target=serve, daemon=True)
+            thread.start()
+            assert started.wait(10)
+            try:
+                with SyncServiceClient(
+                    *shared["addr"], wire=protocol.WIRE_BINARY
+                ) as client:
+                    assert client.wire_active == expected_wire
+                    result = client.call("neighbors", v=v)
+                    assert set(result["neighbors"]) == small_social.neighbors(v)
+            finally:
+                loop.call_soon_threadsafe(shared["stop"].set)
+                thread.join(timeout=10)
