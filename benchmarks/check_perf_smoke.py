@@ -27,6 +27,11 @@ directory.  Checks, in order:
    ``refine`` section (schema v3), every row must have ``rf_delta >= 0``
    — a refinement pass that *raises* RF violates the engine's
    monotonicity invariant and must fail the job, not ship.
+5. When ``python -m repro.bench oocore --quick`` contributed an
+   ``oocore`` section (schema v4), the streaming partitioner's RF must
+   stay within ``MAX_OOCORE_RF_RATIO`` of the in-memory HDRF baseline
+   on the same edge file, the pipeline must not have dropped edges, and
+   the streamed bundle must have re-verified from disk.
 
 Exits non-zero with a one-line reason on the first failure.
 """
@@ -48,6 +53,12 @@ MAX_REGRESSION = 0.30
 #: dominates, so the gate only guards against binary *regressing* the
 #: serving path, with headroom for runner noise.
 MIN_BINARY_VS_JSON = 0.95
+
+#: Ceiling on streaming-vs-in-memory RF (``oocore`` section).  The
+#: two-pass streaming heuristic usually *beats* plain HDRF (clustering
+#: affinity), so >1.15x means the budget plumbing or the shared scorer
+#: regressed quality.
+MAX_OOCORE_RF_RATIO = 1.15
 
 HERE = pathlib.Path(__file__).resolve().parent
 SERVE_BASELINE = HERE / "BENCH_serve.quick.json"
@@ -193,6 +204,34 @@ def main() -> None:
         best = max(float(r.get("rf_delta", 0.0)) for r in rows)
         refine_note = f"; refine rows={len(rows)} best_rf_delta={best}"
 
+    oocore = perf.get("oocore")
+    oocore_note = ""
+    if int(perf.get("version", 0)) >= 4 or oocore is not None:
+        if not isinstance(oocore, dict):
+            fail("BENCH_perf.json has no 'oocore' section — run the oocore bench")
+        ratio = float(oocore.get("rf_ratio", 0.0) or 0.0)
+        if ratio <= 0:
+            fail("oocore section recorded no rf_ratio")
+        if ratio > MAX_OOCORE_RF_RATIO:
+            fail(
+                f"streaming RF is {ratio}x in-memory HDRF "
+                f"(ceiling {MAX_OOCORE_RF_RATIO}x) — the out-of-core "
+                "pipeline regressed partition quality"
+            )
+        if not oocore.get("bundle_rf_verified"):
+            fail("streamed bundle was not re-verified from disk")
+        streaming = oocore.get("streaming") or {}
+        if int(streaming.get("num_edges", -1)) != int(oocore.get("edges", 0)):
+            fail(
+                f"streaming pipeline placed {streaming.get('num_edges')} "
+                f"edges of {oocore.get('edges')} in the input file"
+            )
+        oocore_note = (
+            f"; oocore rf_ratio={ratio} "
+            f"rss={streaming.get('rss_max_kib')} KiB "
+            f"({oocore.get('rss_budget_ratio')}x budget)"
+        )
+
     print(
         "perf smoke OK: "
         f"{fresh} req/s (baseline {baseline['requests_per_s']}), "
@@ -200,7 +239,7 @@ def main() -> None:
         f"{batch['vectorised_requests']} vectorised; "
         f"grow_threads={parallel['grow_threads']} "
         f"fold_seconds={parallel['fold_seconds']}"
-        f"{wire_note}{refine_note}"
+        f"{wire_note}{refine_note}{oocore_note}"
     )
 
 

@@ -26,6 +26,12 @@ the bundle on a live server::
     python -m repro serve parts/ --port 7531 --wal
     python -m repro compact --port 7531
 
+``partition-stream`` partitions an edge list **without materialising the
+graph** — two streaming passes under a byte budget, writing the same
+bundle format ``--save-dir`` does (see ``docs/STREAMING_PARTITIONING.md``)::
+
+    python -m repro partition-stream graph.txt.gz parts/ -p 16 --memory-budget 256M
+
 ``refine`` runs the local-search RF refinement post-pass over a saved
 bundle (boundary-edge moves and pair swaps under the capacity bound) and
 rewrites it in place — a running ``--watch`` server picks the refined
@@ -57,6 +63,132 @@ from repro.graph.io import read_edge_list
 from repro.partitioning.assignment import EdgePartition
 from repro.partitioning.metrics import PartitionReport
 from repro.partitioning.registry import available_partitioners, make_partitioner
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte size: plain bytes or a K/M/G-suffixed count (binary)."""
+    text = text.strip()
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    suffix = text[-1:].upper()
+    if suffix in units:
+        return int(float(text[:-1]) * units[suffix])
+    return int(text)
+
+
+def _build_partition_stream_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro partition-stream",
+        description="Partition an edge list into a serving bundle without "
+        "ever materialising the graph: two streaming passes (clustering + "
+        "degree sketch, then cluster-aware HDRF/greedy placement into "
+        "per-partition spills) and an external-sort fold into the same "
+        "bundle format --save-dir writes.",
+    )
+    parser.add_argument("input", help="edge-list file (SNAP format, .gz ok)")
+    parser.add_argument("output", type=Path, help="bundle directory to write")
+    parser.add_argument(
+        "-p", "--partitions", type=int, required=True, help="number of partitions"
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=_parse_bytes,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for in-memory state (suffixes K/M/G; e.g. 256M). "
+        "Sizes the exact-degree cap, spill buffers, and sort runs; "
+        "omitted = generous defaults",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("hdrf", "greedy"),
+        default="hdrf",
+        help="pass-2 placement heuristic (default hdrf)",
+    )
+    parser.add_argument(
+        "--lam", type=float, default=1.1, help="HDRF balance weight (default 1.1)"
+    )
+    parser.add_argument(
+        "--gamma",
+        type=float,
+        default=None,
+        metavar="G",
+        help="cluster-affinity bonus (default 0.5; only with clustering)",
+    )
+    parser.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip the pass-1 clustering (degree sketch only; plain "
+        "streaming HDRF placement)",
+    )
+    parser.add_argument(
+        "--hints",
+        type=Path,
+        default=None,
+        metavar="BUNDLE",
+        help="prior bundle whose refined partition-size profile "
+        "(metadata['refined']['partition_sizes']) becomes HDRF balance "
+        "priors for placement",
+    )
+    parser.add_argument(
+        "--compress", action="store_true", help="write gzip edge files"
+    )
+    return parser
+
+
+def partition_stream_main(argv: List[str]) -> int:
+    """The ``partition-stream`` subcommand: out-of-core partitioning."""
+    from repro.partitioning.oocore import partition_stream
+    from repro.partitioning.oocore.place import DEFAULT_GAMMA
+
+    args = _build_partition_stream_parser().parse_args(argv)
+    if args.partitions < 1:
+        print("error: --partitions must be >= 1", file=sys.stderr)
+        return 2
+    budget = (
+        f"{args.memory_budget} bytes" if args.memory_budget else "unbounded"
+    )
+    print(
+        f"streaming {args.input} into p={args.partitions} "
+        f"[{args.policy} placement, memory budget {budget}]"
+    )
+    try:
+        result = partition_stream(
+            args.input,
+            args.output,
+            num_partitions=args.partitions,
+            memory_budget=args.memory_budget,
+            policy=args.policy,
+            lam=args.lam,
+            gamma=args.gamma if args.gamma is not None else DEFAULT_GAMMA,
+            cluster=not args.no_cluster,
+            hints=args.hints,
+            compress=args.compress,
+            metadata={
+                "algorithm": "oocore-2ps",
+                "policy": args.policy,
+                "input": str(args.input),
+                "num_partitions": args.partitions,
+                "memory_budget_bytes": args.memory_budget,
+            },
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot partition {args.input}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"pass 1 (cluster+sketch) : {result.pass1_seconds:.3f}s "
+        f"[{result.sketch_kind} degrees, {result.num_clusters} clusters]"
+    )
+    print(
+        f"pass 2 (placement)      : {result.pass2_seconds:.3f}s "
+        f"[{result.num_edges} edges, {result.num_vertices} vertices]"
+    )
+    print(f"bundle (sort+csr)       : {result.bundle_seconds:.3f}s")
+    print(
+        f"replication factor      : {result.replication_factor:.4f} "
+        f"({result.edges_per_s:.0f} edges/s end-to-end)"
+    )
+    print(f"wrote partition bundle with manifest {result.manifest_path}")
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -672,6 +804,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return compact_main(argv[1:])
     if argv and argv[0] == "refine":
         return refine_main(argv[1:])
+    if argv and argv[0] == "partition-stream":
+        return partition_stream_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.partitions < 1:
         print("error: --partitions must be >= 1", file=sys.stderr)

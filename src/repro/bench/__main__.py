@@ -18,9 +18,12 @@ Experiments (paper artefact in parentheses):
 * ``refine``  — local-search RF refinement benchmark (rf-delta, moves/s,
   time-to-convergence per bundle); merges a ``refine`` section into
   ``BENCH_perf.json``
+* ``oocore``  — out-of-core streaming partitioner vs in-memory HDRF
+  (RF ratio, edges/s, peak RSS vs byte budget, each in its own
+  subprocess); merges an ``oocore`` section into ``BENCH_perf.json``
 * ``serve``   — partition-service load test; writes ``BENCH_serve.json``
-* ``all``    — everything above (except ``perf``/``refine``/``serve``,
-  run explicitly)
+* ``all``    — everything above (except ``perf``/``refine``/``oocore``/
+  ``serve``, run explicitly)
 
 ``--scale`` overrides each dataset's default scale (see DESIGN.md §5);
 ``--quick`` uses the small bench scales the pytest suite uses.
@@ -68,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "slack",
             "perf",
             "refine",
+            "oocore",
             "serve",
             "all",
         ],
@@ -96,6 +100,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="also write the report to FILE",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="oocore only: byte budget for the streaming contender "
+        "(suffixes K/M/G; default 8M quick, 64M full)",
     )
     parser.add_argument(
         "--mutate",
@@ -322,8 +333,8 @@ def _run_perf(args) -> None:
         )
     )
     print(f"\nTLP speedup (csr vs reference): {report['speedup']:g}x")
-    # The refine experiment owns the 'refine' section; carry it over so
-    # a perf rerun never silently drops tracked refinement numbers.
+    # The refine and oocore experiments own their sections; carry them
+    # over so a perf rerun never silently drops tracked numbers.
     import json
 
     from repro.bench.perf import DEFAULT_REPORT
@@ -331,8 +342,10 @@ def _run_perf(args) -> None:
     try:
         with open(DEFAULT_REPORT, "r", encoding="utf-8") as fh:
             existing = json.load(fh)
-        if isinstance(existing, dict) and "refine" in existing:
-            report["refine"] = existing["refine"]
+        if isinstance(existing, dict):
+            for section in ("refine", "oocore"):
+                if section in existing:
+                    report[section] = existing[section]
     except (OSError, ValueError):
         pass
     path = write_report(report)
@@ -380,6 +393,57 @@ def _run_refine(args) -> None:
     )
     path = merge_refine_section(section)
     print(f"\nmerged refine section into {path}")
+
+
+def _run_oocore(args) -> None:
+    from repro.__main__ import _parse_bytes
+    from repro.bench.oocore import (
+        PROBE_DATASET,
+        merge_oocore_section,
+        run_oocore,
+    )
+    from repro.bench.perf import FULL_SCALE, QUICK_SCALE
+    from repro.datasets.cache import load_cached
+
+    scale = args.scale if args.scale is not None else (
+        QUICK_SCALE if args.quick else FULL_SCALE
+    )
+    dataset = (args.datasets or [PROBE_DATASET])[0]
+    budget = (
+        _parse_bytes(args.memory_budget)
+        if args.memory_budget is not None
+        else None
+    )
+    print(render_banner("Out-of-core — streaming partitioner vs in-memory"))
+    print(f"graph: {dataset} scale={scale:g}, p=8\n")
+    graph = load_cached(dataset, scale=scale, seed=args.seed)
+    section = run_oocore(
+        graph,
+        dataset=dataset,
+        seed=args.seed,
+        quick=args.quick,
+        memory_budget=budget,
+        progress=lambda message: print(f"  {message}", file=sys.stderr),
+    )
+    streaming, in_memory = section["streaming"], section["in_memory"]
+    print(
+        render_table(
+            ["contender", "RF", "edges/s", "rss KiB"],
+            [
+                ["streaming", streaming["replication_factor"],
+                 streaming["edges_per_s"], streaming["rss_max_kib"]],
+                ["in-memory HDRF", in_memory["replication_factor"],
+                 in_memory["edges_per_s"], in_memory["rss_max_kib"]],
+            ],
+        )
+    )
+    print(
+        f"\nRF ratio (streaming / in-memory): {section['rf_ratio']:g}; "
+        f"budget {section['memory_budget_bytes']} B, streaming RSS = "
+        f"{section['rss_budget_ratio']:g}x budget"
+    )
+    path = merge_oocore_section(section)
+    print(f"merged oocore section into {path}")
 
 
 def _run_serve(args) -> None:
@@ -595,6 +659,8 @@ def _dispatch(args) -> int:
             _run_perf(args)
         elif want == "refine":
             _run_refine(args)
+        elif want == "oocore":
+            _run_oocore(args)
         elif want == "serve":
             _run_serve(args)
         elif want == "scaling":

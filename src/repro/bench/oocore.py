@@ -1,0 +1,256 @@
+"""Tracked benchmark for the out-of-core streaming partitioner.
+
+``python -m repro.bench oocore`` writes a dataset stand-in to an edge
+file, runs :func:`repro.partitioning.oocore.pipeline.partition_stream`
+over it under an explicit byte budget, and records what streaming costs
+against the in-memory HDRF baseline — RF, edges/s, and measured peak
+RSS — as an ``oocore`` section merged into ``BENCH_perf.json`` so
+quality and footprint regressions show up in review diffs.
+
+Both contenders run in their own subprocess: ``resource.getrusage``'s
+``ru_maxrss`` is a process-lifetime high-water mark, so measuring two
+pipelines in one process would let the first contaminate the second.
+Each child prints a one-line JSON record (its result plus its own
+``ru_maxrss``) that the parent collects.
+
+The parent re-verifies the streamed bundle from disk: it must load
+(manifest checksums intact) and its recomputed RF must match what the
+pipeline reported.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.graph.graph import Graph
+
+DEFAULT_P = 8
+#: Same probe workload as the perf bench (G5 / Slashdot0811 stand-in).
+PROBE_DATASET = "G5"
+#: Byte budgets for the streaming contender (``None`` would unclamp it).
+QUICK_BUDGET = 8 << 20
+FULL_BUDGET = 64 << 20
+
+
+def write_edge_file(graph: Graph, path: Path) -> int:
+    """Dump ``graph`` as a whitespace edge list; returns the edge count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+            count += 1
+    return count
+
+
+def _run_child(mode: str, *argv: str) -> Dict[str, object]:
+    """Run one contender in a fresh process; returns its JSON record."""
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.oocore", "--child", mode, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"oocore bench child {mode!r} failed "
+            f"(exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def run_oocore(
+    graph: Graph,
+    dataset: str = PROBE_DATASET,
+    p: int = DEFAULT_P,
+    seed: int = 0,
+    quick: bool = False,
+    memory_budget: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark streaming vs in-memory partitioning of ``graph``.
+
+    Returns the ``oocore`` section dict for ``BENCH_perf.json``.
+    """
+    from repro.partitioning.metrics import replication_factor
+    from repro.partitioning.serialization import load_partition
+
+    if memory_budget is None:
+        memory_budget = QUICK_BUDGET if quick else FULL_BUDGET
+    if progress is None:
+        def progress(message: str) -> None:
+            pass
+    with tempfile.TemporaryDirectory(prefix="repro-oocore-") as tmp:
+        edges_path = Path(tmp) / "edges.txt"
+        bundle = Path(tmp) / "bundle"
+        edges = write_edge_file(graph, edges_path)
+        progress(f"wrote {edges} edges to {edges_path}")
+
+        streaming = _run_child(
+            "stream", str(edges_path), str(bundle), str(p), str(memory_budget)
+        )
+        progress(
+            f"streaming: RF {streaming['replication_factor']} "
+            f"{streaming['edges_per_s']:.0f} edges/s "
+            f"rss {streaming['rss_max_kib']} KiB "
+            f"[{streaming['sketch_kind']} sketch, "
+            f"{streaming['num_clusters']} clusters]"
+        )
+        in_memory = _run_child("inmem", str(edges_path), str(p))
+        progress(
+            f"in-memory HDRF: RF {in_memory['replication_factor']} "
+            f"{in_memory['edges_per_s']:.0f} edges/s "
+            f"rss {in_memory['rss_max_kib']} KiB"
+        )
+
+        # Re-verify the streamed bundle from disk before the tempdir goes.
+        partition = load_partition(bundle)
+        rf_disk = replication_factor(partition, graph)
+        if abs(rf_disk - float(streaming["replication_factor"])) > 1e-6:
+            raise AssertionError(
+                f"streamed bundle RF mismatch on {dataset}: disk {rf_disk} "
+                f"!= pipeline {streaming['replication_factor']}"
+            )
+
+    rf_ratio = float(streaming["replication_factor"]) / float(
+        in_memory["replication_factor"]
+    )
+    budget_kib = memory_budget // 1024
+    return {
+        "dataset": dataset,
+        "p": p,
+        "seed": seed,
+        "quick": quick,
+        "edges": edges,
+        "vertices": graph.num_vertices,
+        "memory_budget_bytes": memory_budget,
+        "streaming": streaming,
+        "in_memory": in_memory,
+        "rf_ratio": round(rf_ratio, 4),
+        "rss_budget_ratio": round(
+            int(streaming["rss_max_kib"]) / budget_kib, 3
+        ),
+        "bundle_rf_verified": True,
+    }
+
+
+def merge_oocore_section(
+    section: Dict[str, object], path: Optional[str] = None
+) -> str:
+    """Merge the ``oocore`` section into ``BENCH_perf.json`` atomically.
+
+    Same contract as :func:`repro.bench.refine.merge_refine_section`:
+    each experiment rewrites only its own section.
+    """
+    from repro.bench.perf import DEFAULT_REPORT, SCHEMA_VERSION, write_report
+
+    if path is None:
+        path = DEFAULT_REPORT
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        report = {}
+    if not isinstance(report, dict):
+        report = {}
+    report["version"] = max(
+        int(report.get("version", 0) or 0), SCHEMA_VERSION
+    )
+    report["oocore"] = section
+    return write_report(report, path)
+
+
+# -- subprocess entry points -------------------------------------------------
+
+
+def _rss_max_kib() -> int:
+    """This process's peak resident set, in KiB.
+
+    Prefers ``/proc/self/status`` ``VmHWM``: unlike ``ru_maxrss`` it is
+    reset by ``execve``, so a child spawned from a fat parent (fork
+    copies the accounting) still reports only its *own* high-water mark.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _child_stream(argv) -> Dict[str, object]:
+    from repro.partitioning.oocore import partition_stream
+
+    edges_path, bundle, p, budget = argv
+    result = partition_stream(
+        edges_path,
+        bundle,
+        num_partitions=int(p),
+        memory_budget=None if budget == "none" else int(budget),
+    )
+    record = result.summary()
+    record["rss_max_kib"] = _rss_max_kib()
+    return record
+
+
+def _child_inmem(argv) -> Dict[str, object]:
+    from repro.partitioning.hdrf import HDRFPartitioner
+    from repro.partitioning.metrics import replication_factor
+
+    edges_path, p = argv
+    edges = [(u, v) for u, v in _read_edges(edges_path) if u != v]
+    graph = Graph.from_edges(edges)
+    started = time.perf_counter()
+    partition = HDRFPartitioner(tie_break="lowest").assign_stream(
+        edges, int(p), graph=graph
+    )
+    seconds = time.perf_counter() - started
+    return {
+        "replication_factor": round(replication_factor(partition, graph), 6),
+        "seconds": round(seconds, 6),
+        "edges_per_s": round(graph.num_edges / seconds, 3) if seconds else 0.0,
+        "num_edges": graph.num_edges,
+        "rss_max_kib": _rss_max_kib(),
+    }
+
+
+def _read_edges(path):
+    from repro.graph.chunked import ChunkedEdgeStream
+
+    return ChunkedEdgeStream(path).edges()
+
+
+def _main(argv) -> int:
+    if len(argv) >= 2 and argv[0] == "--child":
+        mode, rest = argv[1], argv[2:]
+        if mode == "stream":
+            record = _child_stream(rest)
+        elif mode == "inmem":
+            record = _child_inmem(rest)
+        else:
+            raise SystemExit(f"unknown child mode {mode!r}")
+        print(json.dumps(record))
+        return 0
+    raise SystemExit(
+        "this module is driven by `python -m repro.bench oocore`; "
+        "direct invocation is for its --child subprocesses only"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

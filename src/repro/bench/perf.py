@@ -33,7 +33,11 @@ from repro.partitioning.metrics import replication_factor
 #: v3 adds the ``refine`` section written by ``python -m repro.bench
 #: refine`` (local-search RF refinement: rf_before/rf_after/rf_delta,
 #: moves/s, time-to-convergence per dataset x source partitioner).
-SCHEMA_VERSION = 3
+#: v4 adds the ``oocore`` section written by ``python -m repro.bench
+#: oocore`` (out-of-core streaming partitioner vs in-memory HDRF:
+#: RF ratio, edges/s, and subprocess-measured peak RSS vs the byte
+#: budget).
+SCHEMA_VERSION = 4
 
 #: The probe workload: G5 (Slashdot0811) is the largest stand-in that the
 #: full benchmark finishes in a couple of minutes at scale 0.25.

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import IO, Dict, Iterable, Iterator, Tuple, Union
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.chunked import ChunkedEdgeStream, ChunkedLineStream
 from repro.graph.graph import Graph
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -71,19 +72,12 @@ def iter_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
 
     Lines starting with ``#`` or ``%`` and blank lines are skipped; raises
     ``ValueError`` on malformed lines (naming the line number).
+
+    Reads through :class:`~repro.graph.chunked.ChunkedEdgeStream`, so the
+    file is never held in memory and gzip input is decompressed a chunk
+    at a time.
     """
-    with open_text(path, "r") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            stripped = line.strip()
-            if not stripped or stripped[0] in "#%":
-                continue
-            parts = stripped.split()
-            if len(parts) < 2:
-                raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
-            try:
-                yield int(parts[0]), int(parts[1])
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: non-integer endpoint in {line!r}") from exc
+    return ChunkedEdgeStream(path).edges()
 
 
 def read_edge_list(path: PathLike, relabel: bool = False) -> Graph:
@@ -115,33 +109,50 @@ def read_metis_graph(path: PathLike) -> Graph:
     line ``i+1`` lists the 1-based neighbours of vertex ``i``.  Vertices are
     relabelled to 0-based ids.  ``%`` comment lines are skipped.
     """
-    with open_text(path, "r") as fh:
-        # Keep blank lines: an isolated vertex's adjacency line is empty.
-        lines = [
-            line.rstrip("\n")
-            for line in fh
-            if not line.lstrip().startswith("%")
-        ]
-    if not [line for line in lines if line.strip()]:
+    # Stream line by line (keeping blank lines: an isolated vertex's
+    # adjacency line is legitimately empty) instead of materialising the
+    # file — METIS inputs can be as large as the edge lists.
+    lines = (
+        line.rstrip("\n")
+        for _lineno, line in ChunkedLineStream(path).lines()
+        if not line.lstrip().startswith("%")
+    )
+    header_line = next(lines, None)
+    if header_line is None:
         raise ValueError(f"{path}: empty METIS file")
-    header = lines[0].split()
+    if not header_line.strip():
+        # A blank line ahead of real content is a malformed header; a
+        # file of nothing but blank lines is empty.
+        if any(line.strip() for line in lines):
+            raise ValueError(f"{path}: malformed METIS header {header_line!r}")
+        raise ValueError(f"{path}: empty METIS file")
+    header = header_line.split()
     if len(header) < 2:
-        raise ValueError(f"{path}: malformed METIS header {lines[0]!r}")
+        raise ValueError(f"{path}: malformed METIS header {header_line!r}")
     n, m = int(header[0]), int(header[1])
     if len(header) > 2 and header[2] not in ("0", "00", "000"):
         raise ValueError(f"{path}: weighted METIS format {header[2]!r} not supported")
-    # Blank lines are kept above because an isolated vertex's adjacency
-    # line is legitimately empty — but trailing blank lines *beyond* the
-    # n declared vertices are just end-of-file newlines, not vertices.
-    while len(lines) - 1 > n and not lines[-1].strip():
-        lines.pop()
-    if len(lines) - 1 != n:
-        raise ValueError(f"{path}: header says {n} vertices, found {len(lines) - 1}")
     builder = GraphBuilder()
-    for i in range(n):
-        builder.add_vertex(i)
-        for token in lines[i + 1].split():
-            builder.add_edge(i, int(token) - 1)
+    count = 0  # adjacency lines consumed as vertices
+    # Trailing blank lines *beyond* the n declared vertices are just
+    # end-of-file newlines, not vertices; any non-blank line past n (or a
+    # blank one ahead of it) still counts against the header.
+    extras = 0
+    retained = 0  # extras up to and including the last non-blank one
+    for line in lines:
+        if count < n:
+            builder.add_vertex(count)
+            for token in line.split():
+                builder.add_edge(count, int(token) - 1)
+            count += 1
+        else:
+            extras += 1
+            if line.strip():
+                retained = extras
+    if count < n or retained:
+        raise ValueError(
+            f"{path}: header says {n} vertices, found {count + retained}"
+        )
     graph = builder.build()
     if graph.num_edges != m:
         raise ValueError(

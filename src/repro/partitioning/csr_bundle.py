@@ -207,42 +207,88 @@ def _named_arrays(csr: PartitionCSR) -> List[Tuple[str, np.ndarray]]:
     return arrays
 
 
-def write_sidecar(csr: PartitionCSR, path: PathLike) -> Path:
-    """Write ``csr`` as one aligned binary file; returns the path."""
-    path = Path(path)
-    arrays = _named_arrays(csr)
-    # Offsets are relative to the (aligned) start of the data section, so
-    # the header length never feeds back into the offsets it records.
+@dataclass(frozen=True)
+class SidecarLayout:
+    """The byte layout of a sidecar, computed from array lengths alone.
+
+    Shared between the in-memory :func:`write_sidecar` and the
+    shard-by-shard writer in :mod:`repro.partitioning.oocore.bundle`, so
+    both produce byte-identical files for the same arrays without the
+    streaming path having to materialise them together.
+    """
+
+    entries: Dict[str, Dict[str, object]]
+    header: bytes
+    data_start: int
+    data_size: int
+
+    def array_offset(self, name: str) -> int:
+        """Absolute file offset of array ``name``."""
+        return self.data_start + int(self.entries[name]["offset"])
+
+    @property
+    def total_size(self) -> int:
+        """Final (aligned) file size in bytes."""
+        return self.data_start + self.data_size
+
+    def write_preamble(self, fh) -> None:
+        """Write magic, version, header length, and the JSON directory."""
+        fh.write(_MAGIC)
+        fh.write(SIDECAR_VERSION.to_bytes(4, "little"))
+        fh.write(len(self.header).to_bytes(8, "little"))
+        fh.write(self.header)
+
+
+def sidecar_layout(
+    num_partitions: int, num_edges: int, lengths: List[Tuple[str, int]]
+) -> SidecarLayout:
+    """Compute the sidecar layout for arrays of the given name/length.
+
+    Offsets are relative to the (aligned) start of the data section, so
+    the header length never feeds back into the offsets it records.
+    """
     entries: Dict[str, Dict[str, object]] = {}
     offset = 0
-    for name, array in arrays:
+    itemsize = np.dtype(_DTYPE).itemsize
+    for name, length in lengths:
         entries[name] = {
-            "dtype": str(array.dtype),
-            "length": int(array.size),
+            "dtype": str(np.dtype(_DTYPE)),
+            "length": int(length),
             "offset": offset,
         }
-        offset += array.size * array.dtype.itemsize
+        offset += int(length) * itemsize
         offset = -(-offset // _ALIGN) * _ALIGN
     directory: Dict[str, object] = {
         "version": SIDECAR_VERSION,
-        "num_partitions": csr.num_partitions,
-        "num_edges": csr.num_edges,
+        "num_partitions": num_partitions,
+        "num_edges": num_edges,
         "arrays": entries,
     }
     header = json.dumps(directory, sort_keys=True).encode("utf-8")
     data_start = len(_MAGIC) + 4 + 8 + len(header)
     data_start = -(-data_start // _ALIGN) * _ALIGN
+    return SidecarLayout(
+        entries=entries, header=header, data_start=data_start, data_size=offset
+    )
+
+
+def write_sidecar(csr: PartitionCSR, path: PathLike) -> Path:
+    """Write ``csr`` as one aligned binary file; returns the path."""
+    path = Path(path)
+    arrays = _named_arrays(csr)
+    layout = sidecar_layout(
+        csr.num_partitions,
+        csr.num_edges,
+        [(name, array.size) for name, array in arrays],
+    )
     with open(path, "wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(SIDECAR_VERSION.to_bytes(4, "little"))
-        fh.write(len(header).to_bytes(8, "little"))
-        fh.write(header)
+        layout.write_preamble(fh)
         for name, array in arrays:
-            fh.seek(data_start + int(entries[name]["offset"]))
+            fh.seek(layout.array_offset(name))
             array.astype(_DTYPE, copy=False).tofile(fh)
         # Pad to the final aligned size so memmaps of the last array are
         # always in-bounds even if it ended mid-file.
-        fh.truncate(max(data_start + offset, fh.tell()))
+        fh.truncate(max(layout.total_size, fh.tell()))
     return path
 
 

@@ -20,20 +20,37 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.graph.graph import Edge, Graph
 from repro.partitioning.assignment import EdgePartition
 from repro.partitioning.base import StreamingEdgePartitioner
+from repro.partitioning.scoring import hdrf_ties
 from repro.utils.rng import Seed, make_rng
 
 
 class HDRFPartitioner(StreamingEdgePartitioner):
-    """HDRF scoring with balance weight ``lam`` (paper default 1.0-1.1)."""
+    """HDRF scoring with balance weight ``lam`` (paper default 1.0-1.1).
+
+    ``tie_break`` selects between the paper's seeded-random tie-break
+    (``"random"``, the historical default) and the deterministic
+    lowest-id rule (``"lowest"``) that the online and out-of-core
+    scorers use — the latter makes this partitioner directly comparable
+    to a streamed placement over the same edge order.
+    """
 
     name = "HDRF"
 
-    def __init__(self, lam: float = 1.1, epsilon: float = 1.0, seed: Seed = None) -> None:
+    def __init__(
+        self,
+        lam: float = 1.1,
+        epsilon: float = 1.0,
+        seed: Seed = None,
+        tie_break: str = "random",
+    ) -> None:
         if lam < 0:
             raise ValueError(f"lam must be >= 0, got {lam}")
+        if tie_break not in ("random", "lowest"):
+            raise ValueError(f"tie_break must be 'random' or 'lowest', got {tie_break!r}")
         self.lam = lam
         self.epsilon = epsilon
         self.seed = seed
+        self.tie_break = tie_break
 
     def assign_stream(
         self, edges: Iterable[Edge], num_partitions: int, graph: Optional[Graph] = None
@@ -53,26 +70,15 @@ class HDRFPartitioner(StreamingEdgePartitioner):
                 dv = partial_degree.get(v, 0) + 1
                 partial_degree[u] = du
                 partial_degree[v] = dv
-            theta_u = du / (du + dv)
-            theta_v = 1.0 - theta_u
             au = replicas.get(u, set())
             av = replicas.get(v, set())
-            max_size = max(sizes)
-            min_size = min(sizes)
-            best_k = 0
-            best_score = float("-inf")
-            best_ties: List[int] = []
-            for k in range(num_partitions):
-                g_u = (1.0 + (1.0 - theta_u)) if k in au else 0.0
-                g_v = (1.0 + (1.0 - theta_v)) if k in av else 0.0
-                c_bal = (max_size - sizes[k]) / (self.epsilon + max_size - min_size)
-                score = g_u + g_v + self.lam * c_bal
-                if score > best_score:
-                    best_score = score
-                    best_ties = [k]
-                elif score == best_score:
-                    best_ties.append(k)
-            best_k = best_ties[0] if len(best_ties) == 1 else rng.choice(best_ties)
+            best_ties = hdrf_ties(
+                du, dv, au, av, sizes, lam=self.lam, epsilon=self.epsilon
+            )
+            if len(best_ties) == 1 or self.tie_break == "lowest":
+                best_k = best_ties[0]
+            else:
+                best_k = rng.choice(best_ties)
             parts[best_k].append((u, v))
             sizes[best_k] += 1
             replicas.setdefault(u, set()).add(best_k)

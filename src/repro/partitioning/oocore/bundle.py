@@ -1,0 +1,221 @@
+"""Shard-by-shard assembly of a standard ``save_partition`` bundle.
+
+The output must be **byte-identical** to what
+:func:`repro.partitioning.serialization.save_partition` writes for the
+same placements — same sorted edge files, same manifest JSON (key order
+included), same CSR sidecar bytes — because the acceptance criterion
+opens both through :class:`~repro.service.store.PartitionStore` and
+compares answers.  The difference is purely how much lives in memory:
+
+* one partition at a time, its spill is external-sorted and streamed to
+  the text edge file (incremental checksum) while filling a single
+  ``(m_k, 2)`` array — peak O(edges / P), not O(edges);
+* that array is frozen into the partition's CSR block
+  (:func:`~repro.partitioning.csr_bundle._partition_adjacency`, the
+  exact same routine the in-memory writer uses) and immediately parked
+  in temp ``.raw`` files, because the sidecar layout puts the *global*
+  tables — which depend on every partition — first in the file;
+* global replica/master state accrues in O(vertices) dicts with the
+  ReplicationTable rules (replicas ascending ``k``; master = most local
+  edges, ties to the lowest ``k`` via strictly-greater replacement);
+* finally the sidecar is assembled from
+  :func:`~repro.partitioning.csr_bundle.sidecar_layout` (the shared
+  header/offset logic): global arrays written directly, partition
+  blocks stream-copied from their temp files in bounded chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.io import open_text
+from repro.partitioning import csr_bundle
+from repro.partitioning.csr_bundle import SIDECAR_NAME, SIDECAR_VERSION
+from repro.partitioning.oocore import spill as spill_mod
+from repro.partitioning.serialization import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    EdgeChecksum,
+    _edge_file,
+    _write_atomic,
+)
+
+_DTYPE = np.int64
+_COPY_BYTES = 1 << 20
+
+
+def _array_file(scratch: Path, name: str) -> Path:
+    return scratch / f"{name}.raw"
+
+
+def _copy_into(fh, src: Path) -> None:
+    """Append ``src``'s bytes at ``fh``'s current position, chunked."""
+    with open(src, "rb") as sf:
+        shutil.copyfileobj(sf, fh, _COPY_BYTES)
+
+
+def write_streaming_bundle(
+    spills: List[Path],
+    counts: List[int],
+    directory: Path,
+    *,
+    scratch: Path,
+    metadata: Optional[Dict[str, object]] = None,
+    compress: bool = False,
+    run_edges: int = spill_mod.DEFAULT_RUN_EDGES,
+) -> Path:
+    """Fold per-partition spills into a bundle at ``directory``.
+
+    ``spills[k]``/``counts[k]`` name partition ``k``'s spill file and
+    record count (from :class:`~repro.partitioning.oocore.spill.
+    SpillWriter`); ``scratch`` holds the temp array files and is left
+    empty of them on success.  Returns the manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    scratch = Path(scratch)
+    scratch.mkdir(parents=True, exist_ok=True)
+    num_partitions = len(spills)
+
+    manifest: Dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "num_partitions": num_partitions,
+        "num_edges": sum(counts),
+        "partitions": [],
+        "metadata": metadata or {},
+    }
+
+    # O(vertices) global state, ReplicationTable rules.
+    replicas: Dict[int, List[int]] = {}
+    best_deg: Dict[int, int] = {}
+    master_of: Dict[int, int] = {}
+
+    entries: List[Dict[str, object]] = []
+    lengths: List[tuple] = [
+        ("vertex_ids", 0),  # patched below once n is known
+        ("master", 0),
+        ("rep_indptr", 0),
+        ("rep_parts", 0),
+    ]
+    array_files: Dict[str, Path] = {}
+
+    for k in range(num_partitions):
+        checksum = EdgeChecksum()
+        edges = np.empty((counts[k], 2), dtype=_DTYPE)
+        path = _edge_file(directory, k, compress)
+
+        def write_edges(tmp: Path, k: int = k) -> None:
+            row = 0
+            with open_text(tmp, "w") as fh:
+                stream = spill_mod.external_sort_check(
+                    spill_mod.sorted_edges(spills[k], counts[k], run_edges),
+                    spills[k],
+                )
+                for u, v in stream:
+                    fh.write(f"{u}\t{v}\n")
+                    checksum.add(u, v)
+                    edges[row, 0] = u
+                    edges[row, 1] = v
+                    row += 1
+            if row != counts[k]:
+                raise ValueError(
+                    f"{spills[k].name}: expected {counts[k]} records, got {row}"
+                )
+
+        _write_atomic(path, write_edges)
+        other = _edge_file(directory, k, not compress)
+        if other.exists():
+            other.unlink()
+        entries.append(
+            {
+                "index": k,
+                "file": path.name,
+                "edges": counts[k],
+                "checksum": checksum.hexdigest(),
+            }
+        )
+
+        ids, indptr, indices = csr_bundle._partition_adjacency(edges)
+        del edges
+        for name, array in (
+            (f"p{k}_ids", ids),
+            (f"p{k}_indptr", indptr),
+            (f"p{k}_indices", indices),
+        ):
+            target = _array_file(scratch, name)
+            array.astype(_DTYPE, copy=False).tofile(target)
+            array_files[name] = target
+            lengths.append((name, int(array.size)))
+
+        local_deg = np.diff(indptr)
+        for vertex, deg in zip(ids.tolist(), local_deg.tolist()):
+            replicas.setdefault(vertex, []).append(k)  # k ascends: sorted
+            if deg > best_deg.get(vertex, 0):
+                best_deg[vertex] = deg
+                master_of[vertex] = k
+        del ids, indptr, indices, local_deg
+
+    # -- global tables -----------------------------------------------------
+    vertex_ids = np.array(sorted(replicas), dtype=_DTYPE)
+    n = len(vertex_ids)
+    master = np.fromiter(
+        (master_of[v] for v in vertex_ids.tolist()), dtype=_DTYPE, count=n
+    )
+    rep_indptr = np.zeros(n + 1, dtype=_DTYPE)
+    np.cumsum(
+        np.fromiter(
+            (len(replicas[v]) for v in vertex_ids.tolist()), dtype=_DTYPE, count=n
+        ),
+        out=rep_indptr[1:],
+    )
+    rep_parts = np.fromiter(
+        (k for v in vertex_ids.tolist() for k in replicas[v]),
+        dtype=_DTYPE,
+        count=int(rep_indptr[-1]),
+    )
+    lengths[0] = ("vertex_ids", n)
+    lengths[1] = ("master", n)
+    lengths[2] = ("rep_indptr", n + 1)
+    lengths[3] = ("rep_parts", int(rep_parts.size))
+
+    layout = csr_bundle.sidecar_layout(
+        num_partitions, int(manifest["num_edges"]), lengths
+    )
+
+    def write_sidecar(tmp: Path) -> None:
+        with open(tmp, "wb") as fh:
+            layout.write_preamble(fh)
+            for name, array in (
+                ("vertex_ids", vertex_ids),
+                ("master", master),
+                ("rep_indptr", rep_indptr),
+                ("rep_parts", rep_parts),
+            ):
+                fh.seek(layout.array_offset(name))
+                array.tofile(fh)
+            for name, _length in lengths[4:]:
+                fh.seek(layout.array_offset(name))
+                _copy_into(fh, array_files[name])
+            fh.truncate(max(layout.total_size, fh.tell()))
+
+    sidecar_path = directory / SIDECAR_NAME
+    _write_atomic(sidecar_path, write_sidecar)
+    for target in array_files.values():
+        target.unlink(missing_ok=True)
+
+    manifest["partitions"] = entries
+    manifest["csr_sidecar"] = {
+        "file": SIDECAR_NAME,
+        "version": SIDECAR_VERSION,
+        "bytes": sidecar_path.stat().st_size,
+        "checksum": csr_bundle.sidecar_checksum(sidecar_path),
+    }
+    manifest_path = directory / MANIFEST_NAME
+    payload = json.dumps(manifest, indent=2)
+    _write_atomic(manifest_path, lambda tmp: tmp.write_text(payload, encoding="utf-8"))
+    return manifest_path

@@ -1,0 +1,297 @@
+"""The two-pass out-of-core partitioning pipeline.
+
+:func:`partition_stream` is the subsystem's front door, wired to the
+``python -m repro partition-stream`` CLI: stream an edge file twice
+(clustering + degree sketch, then cluster-aware placement into spills)
+and fold the spills into a standard serving bundle, all under a byte
+budget that **does not grow with the edge count**:
+
+===========================  =========================================
+stage                        peak memory
+===========================  =========================================
+pass 1 (cluster + sketch)    O(vertices) dicts, or fixed count-min
+pass 2 (placement)           O(vertices) bitmask dicts + spill buffers
+bundle (sort + CSR)          O(edges / partitions) per shard + O(vertices)
+===========================  =========================================
+
+``memory_budget`` (bytes) sizes the knobs: the exact-degree vertex cap
+(past it the sketch degrades to count-min), the spill append buffers,
+and the external-sort run length.  The budget is advisory for the
+O(vertices) terms — the paper-standard 2PS state — and binding for
+every per-edge term; the bench records measured ``rss_max_kib`` against
+it, and the acceptance tests hold the whole pipeline under 2x budget on
+a graph whose in-memory partitioning is several times larger.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.graph.chunked import DEFAULT_CHUNK_BYTES, ChunkedEdgeStream
+from repro.graph.graph import normalize_edge
+from repro.partitioning.oocore import spill as spill_mod
+from repro.partitioning.oocore.bundle import write_streaming_bundle
+from repro.partitioning.oocore.cluster import (
+    CLUSTERS_PER_PARTITION,
+    StreamingClustering,
+    map_clusters,
+)
+from repro.partitioning.oocore.place import DEFAULT_GAMMA, StreamingPlacer
+from repro.partitioning.oocore.sketch import DegreeSketch
+from repro.partitioning.scoring import balance_offsets
+from repro.partitioning.serialization import partition_metadata
+
+PathLike = Union[str, Path]
+
+#: Scratch directory for spills and temp arrays, inside the output bundle
+#: (same filesystem, so every rename stays atomic).
+SCRATCH_NAME = ".oocore-scratch"
+
+#: Rough bytes of pass-1/2 per-vertex state (sketch + cluster + bitmask
+#: dict entries), used to derive the exact-degree cap from the budget.
+_BYTES_PER_VERTEX = 400
+
+#: Rough peak bytes per edge while sorting a run (record + index + copy).
+_BYTES_PER_RUN_EDGE = 48
+
+
+@dataclass
+class BudgetPlan:
+    """Concrete knob settings derived from a byte budget."""
+
+    memory_budget: Optional[int]
+    max_exact_vertices: int
+    cm_width: int
+    spill_buffer_bytes: int
+    run_edges: int
+
+    @classmethod
+    def from_budget(cls, memory_budget: Optional[int]) -> "BudgetPlan":
+        if memory_budget is None:
+            return cls(
+                memory_budget=None,
+                max_exact_vertices=1 << 62,  # never degrade
+                cm_width=1 << 20,
+                spill_buffer_bytes=spill_mod.DEFAULT_BUFFER_BYTES,
+                run_edges=spill_mod.DEFAULT_RUN_EDGES,
+            )
+        if memory_budget < 1 << 20:
+            raise ValueError(
+                f"memory_budget must be >= 1 MiB, got {memory_budget} bytes"
+            )
+        return cls(
+            memory_budget=memory_budget,
+            max_exact_vertices=memory_budget // _BYTES_PER_VERTEX,
+            # A quarter of the budget for the count-min matrix if needed.
+            cm_width=max(1 << 10, memory_budget // 4 // 8 // 4),
+            spill_buffer_bytes=int(
+                min(1 << 26, max(1 << 16, memory_budget // 8))
+            ),
+            run_edges=int(
+                max(1 << 14, memory_budget // 4 // _BYTES_PER_RUN_EDGE)
+            ),
+        )
+
+
+@dataclass
+class OocoreResult:
+    """What one :func:`partition_stream` run did, for the CLI and bench."""
+
+    num_partitions: int
+    num_edges: int
+    num_vertices: int
+    replication_factor: float
+    partition_sizes: List[int]
+    sketch_kind: str
+    num_clusters: int
+    skipped_self_loops: int
+    pass1_seconds: float
+    pass2_seconds: float
+    bundle_seconds: float
+    manifest_path: Path
+    plan: BudgetPlan = field(repr=False)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pass1_seconds + self.pass2_seconds + self.bundle_seconds
+
+    @property
+    def edges_per_s(self) -> float:
+        return self.num_edges / self.total_seconds if self.total_seconds else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready record (bench section / CLI output)."""
+        return {
+            "num_partitions": self.num_partitions,
+            "num_edges": self.num_edges,
+            "num_vertices": self.num_vertices,
+            "replication_factor": round(self.replication_factor, 6),
+            "partition_sizes": list(self.partition_sizes),
+            "sketch_kind": self.sketch_kind,
+            "num_clusters": self.num_clusters,
+            "skipped_self_loops": self.skipped_self_loops,
+            "pass1_seconds": round(self.pass1_seconds, 6),
+            "pass2_seconds": round(self.pass2_seconds, 6),
+            "bundle_seconds": round(self.bundle_seconds, 6),
+            "edges_per_s": round(self.edges_per_s, 3),
+            "memory_budget_bytes": self.plan.memory_budget,
+        }
+
+
+def load_refined_offsets(
+    hints: PathLike, num_partitions: int
+) -> List[int]:
+    """Balance priors from a prior bundle's refined partition-size profile.
+
+    Reads ``metadata["refined"]["partition_sizes"]`` from the bundle at
+    ``hints`` (written by refined compactions and ``repro refine``) and
+    converts it to additive offsets.  Raises ``ValueError`` when the
+    bundle has no refined profile or its partition count differs.
+    """
+    meta = partition_metadata(hints)
+    refined = meta.get("refined")
+    sizes = refined.get("partition_sizes") if isinstance(refined, dict) else None
+    if not isinstance(sizes, list) or not sizes:
+        raise ValueError(
+            f"bundle {hints} has no refined partition-size profile "
+            "(metadata['refined']['partition_sizes'])"
+        )
+    if len(sizes) != num_partitions:
+        raise ValueError(
+            f"refined profile in {hints} covers {len(sizes)} partitions, "
+            f"stream is placing into {num_partitions}"
+        )
+    return balance_offsets([int(s) for s in sizes])
+
+
+def partition_stream(
+    source: PathLike,
+    directory: PathLike,
+    *,
+    num_partitions: int,
+    memory_budget: Optional[int] = None,
+    policy: str = "hdrf",
+    lam: float = 1.1,
+    epsilon: float = 1.0,
+    gamma: float = DEFAULT_GAMMA,
+    cluster: bool = True,
+    clusters_per_partition: int = CLUSTERS_PER_PARTITION,
+    hints: Optional[PathLike] = None,
+    metadata: Optional[Dict[str, object]] = None,
+    compress: bool = False,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> OocoreResult:
+    """Partition the edge list at ``source`` into a bundle at ``directory``.
+
+    Never materialises the graph: two streaming passes over ``source``
+    (plain or ``.gz``) plus a per-partition external sort.  Self loops
+    are skipped (counted in the result); duplicate edges are rejected
+    where sorting makes them adjacent.  The input stream is otherwise
+    taken as-is — edges arrive in file order, orientation normalised to
+    ``(min, max)`` like every other partitioner here.
+
+    ``hints`` names a prior bundle whose refined partition-size profile
+    becomes HDRF balance priors (see :func:`load_refined_offsets`).
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    source = Path(source)
+    directory = Path(directory)
+    plan = BudgetPlan.from_budget(memory_budget)
+    offsets = (
+        load_refined_offsets(hints, num_partitions) if hints is not None else None
+    )
+    stream = ChunkedEdgeStream(source, chunk_bytes=chunk_bytes)
+
+    # -- pass 1: degree sketch + streaming clustering ----------------------
+    t0 = time.perf_counter()
+    sketch = DegreeSketch(plan.max_exact_vertices, plan.cm_width)
+    clustering: Optional[StreamingClustering] = None
+    skipped = 0
+    if cluster:
+        clustering = StreamingClustering(
+            sketch,
+            num_partitions,
+            clusters_per_partition=clusters_per_partition,
+        )
+        for u, v in stream.edges():
+            if u == v:
+                skipped += 1
+                continue
+            clustering.add_edge(u, v)
+        cluster_of = clustering.cluster_of
+        cluster_partition = map_clusters(clustering.volume, num_partitions)
+        num_clusters = clustering.num_clusters
+    else:
+        for u, v in stream.edges():
+            if u == v:
+                skipped += 1
+                continue
+            sketch.add(u)
+            sketch.add(v)
+        cluster_of = {}
+        cluster_partition = {}
+        num_clusters = 0
+    pass1_seconds = time.perf_counter() - t0
+
+    # -- pass 2: placement into spills -------------------------------------
+    t0 = time.perf_counter()
+    placer = StreamingPlacer(
+        num_partitions,
+        sketch,
+        policy=policy,
+        lam=lam,
+        epsilon=epsilon,
+        gamma=gamma,
+        cluster_of=cluster_of,
+        cluster_partition=cluster_partition,
+        offsets=offsets,
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    scratch = directory / SCRATCH_NAME
+    writer = spill_mod.SpillWriter(
+        scratch, num_partitions, buffer_bytes=plan.spill_buffer_bytes
+    )
+    try:
+        for u, v in stream.edges():
+            if u == v:
+                continue
+            a, b = normalize_edge(u, v)
+            writer.append(placer.place(a, b), a, b)
+        spills = writer.close()
+        pass2_seconds = time.perf_counter() - t0
+
+        # -- fold spills into the bundle -----------------------------------
+        t0 = time.perf_counter()
+        manifest_path = write_streaming_bundle(
+            spills,
+            writer.counts,
+            directory,
+            scratch=scratch,
+            metadata=metadata,
+            compress=compress,
+            run_edges=plan.run_edges,
+        )
+        bundle_seconds = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    return OocoreResult(
+        num_partitions=num_partitions,
+        num_edges=sum(writer.counts),
+        num_vertices=placer.num_vertices,
+        replication_factor=placer.replication_factor(),
+        partition_sizes=list(placer.sizes),
+        sketch_kind=sketch.kind,
+        num_clusters=num_clusters,
+        skipped_self_loops=skipped,
+        pass1_seconds=pass1_seconds,
+        pass2_seconds=pass2_seconds,
+        bundle_seconds=bundle_seconds,
+        manifest_path=manifest_path,
+        plan=plan,
+    )

@@ -1,0 +1,154 @@
+"""Bounded-memory degree tracking for the clustering pass.
+
+Pass 1 needs every vertex's degree twice over: online (the label
+propagation moves the lower-degree endpoint) and at the end (pass 2
+scores HDRF with the final degrees).  A plain dict is exact and fast but
+costs ~100 bytes per vertex; when the vertex count would blow the memory
+budget the sketch degrades to a count-min estimate (Cormode &
+Muthukrishnan) — fixed numpy matrices whose size is chosen from the
+budget, independent of ``n``.  Count-min only ever *over*-estimates, so
+HDRF's degree ratio stays a sane heuristic signal, and updates use the
+conservative variant (only raise the minimum counters) to keep the bias
+small on power-law degree streams.
+
+:class:`DegreeSketch` is the facade: it starts exact and converts itself
+to count-min the moment the vertex table crosses ``max_exact_vertices``,
+replaying the counts it has — callers never branch on the mode, they
+just read (possibly estimated) degrees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+#: Number of count-min rows; 4 gives an error probability of ``e^-4``.
+CM_DEPTH = 4
+
+#: Multiplier mixing constants (splitmix64 finalisation) — fixed, so two
+#: processes sketching the same stream agree exactly.
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+_MASK = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    """splitmix64 finaliser: deterministic 64-bit avalanche."""
+    value &= _MASK
+    value ^= value >> 30
+    value = (value * _MIX_1) & _MASK
+    value ^= value >> 27
+    value = (value * _MIX_2) & _MASK
+    value ^= value >> 31
+    return value
+
+
+class CountMinDegrees:
+    """Conservative-update count-min over vertex degree increments."""
+
+    exact = False
+
+    def __init__(self, width: int, depth: int = CM_DEPTH) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError(f"width and depth must be >= 1, got {width}x{depth}")
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    def _positions(self, vertex: int) -> Tuple[int, ...]:
+        return tuple(
+            _mix(vertex ^ _mix(row + 1)) % self.width for row in range(self.depth)
+        )
+
+    def add(self, vertex: int, count: int = 1) -> int:
+        """Fold ``count`` degree into ``vertex``; returns the new estimate."""
+        positions = self._positions(vertex)
+        rows = self._table[range(self.depth), positions]
+        new = int(rows.min()) + count
+        # Conservative update: only counters below the new minimum rise.
+        np.maximum(rows, new, out=rows)
+        self._table[range(self.depth), positions] = rows
+        return new
+
+    def get(self, vertex: int) -> int:
+        positions = self._positions(vertex)
+        return int(self._table[range(self.depth), positions].min())
+
+
+class ExactDegrees:
+    """Plain dict degrees — exact, used while ``n`` fits the budget."""
+
+    exact = True
+
+    def __init__(self) -> None:
+        self._degree: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._degree)
+
+    def add(self, vertex: int, count: int = 1) -> int:
+        new = self._degree.get(vertex, 0) + count
+        self._degree[vertex] = new
+        return new
+
+    def get(self, vertex: int) -> int:
+        return self._degree.get(vertex, 0)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._degree.items())
+
+
+class DegreeSketch:
+    """Exact degrees with an automatic count-min fallback.
+
+    ``max_exact_vertices`` caps the exact table; crossing it converts to
+    a count-min of ``cm_width`` columns by replaying the accumulated
+    counts.  ``kind`` reports which mode ended up serving the stream
+    (``"exact"`` or ``"count-min"``) for the bench/manifest record.
+    """
+
+    def __init__(self, max_exact_vertices: int, cm_width: int) -> None:
+        if max_exact_vertices < 0:
+            raise ValueError(
+                f"max_exact_vertices must be >= 0, got {max_exact_vertices}"
+            )
+        self.max_exact_vertices = max_exact_vertices
+        self.cm_width = max(1, cm_width)
+        self._exact = ExactDegrees()
+        self._cm: CountMinDegrees | None = None
+        #: Distinct vertices observed (exact while the dict lives, then frozen
+        #: at conversion plus new-position guesses are no longer tracked).
+        self.seen_vertices = 0
+
+    @property
+    def exact(self) -> bool:
+        return self._cm is None
+
+    @property
+    def kind(self) -> str:
+        return "exact" if self.exact else "count-min"
+
+    def add(self, vertex: int) -> int:
+        """Count one incident edge at ``vertex``; returns the new degree."""
+        if self._cm is not None:
+            return self._cm.add(vertex)
+        new = self._exact.add(vertex)
+        if new == 1:
+            self.seen_vertices += 1
+            if self.seen_vertices > self.max_exact_vertices:
+                self._degrade()
+                return self._cm.get(vertex)  # type: ignore[union-attr]
+        return new
+
+    def get(self, vertex: int) -> int:
+        if self._cm is not None:
+            return self._cm.get(vertex)
+        return self._exact.get(vertex)
+
+    def _degrade(self) -> None:
+        cm = CountMinDegrees(self.cm_width)
+        for vertex, count in self._exact.items():
+            cm.add(vertex, count)
+        self._cm = cm
+        self._exact = ExactDegrees()  # release the dict

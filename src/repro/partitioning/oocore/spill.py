@@ -1,0 +1,179 @@
+"""Per-partition placement spill files and their external sort.
+
+Pass 2 appends each placed edge to its partition's spill file as a
+16-byte ``<qq`` record (little-endian int64 pair — the same width as
+the CSR sidecar arrays, so a spill chunk loads straight into numpy).
+Appends go through bounded per-partition byte buffers; total buffered
+memory is capped by the pipeline's budget, never by the edge count.
+
+The bundle writer then needs each partition's edges in canonical sorted
+order (that is what makes ``save_partition`` files and checksums
+deterministic).  A partition's spill can exceed memory on its own, so
+:func:`sorted_edges` external-sorts it: slice the spill into runs of at
+most ``run_edges`` records, sort each run with ``np.lexsort`` (16 bytes
+per edge plus the sort's index array — compact and fast), write the
+sorted runs back to disk, and ``heapq.merge`` them as lazy chunked
+iterators.  A spill that fits in one run skips the run files entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+_DTYPE = np.dtype("<i8")
+RECORD_BYTES = 2 * _DTYPE.itemsize
+
+#: Default per-partition append buffer (bytes) and sort-run length (edges).
+DEFAULT_BUFFER_BYTES = 1 << 18
+DEFAULT_RUN_EDGES = 1 << 20
+
+#: Edges decoded per chunk while merging sorted runs.
+_MERGE_CHUNK_EDGES = 1 << 14
+
+
+def spill_path(directory: Path, k: int) -> Path:
+    return directory / f"spill_{k:04d}.bin"
+
+
+class SpillWriter:
+    """Append-only per-partition spill files with bounded buffers."""
+
+    def __init__(
+        self,
+        directory: Path,
+        num_partitions: int,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.num_partitions = num_partitions
+        # Flush threshold per partition, so total buffered bytes stay at
+        # ~buffer_bytes regardless of the partition count.
+        self._flush_bytes = max(RECORD_BYTES, buffer_bytes // num_partitions)
+        self._buffers: List[bytearray] = [bytearray() for _ in range(num_partitions)]
+        self._paths = [spill_path(self.directory, k) for k in range(num_partitions)]
+        for path in self._paths:  # truncate leftovers from a previous run
+            path.unlink(missing_ok=True)
+        self.counts = [0] * num_partitions
+
+    def append(self, k: int, u: int, v: int) -> None:
+        buf = self._buffers[k]
+        buf += u.to_bytes(8, "little", signed=True)
+        buf += v.to_bytes(8, "little", signed=True)
+        self.counts[k] += 1
+        if len(buf) >= self._flush_bytes:
+            self._flush(k)
+
+    def _flush(self, k: int) -> None:
+        if self._buffers[k]:
+            with open(self._paths[k], "ab") as fh:
+                fh.write(self._buffers[k])
+            self._buffers[k] = bytearray()
+
+    def close(self) -> List[Path]:
+        """Flush everything; returns the spill paths (one per partition)."""
+        for k in range(self.num_partitions):
+            self._flush(k)
+        return list(self._paths)
+
+    def cleanup(self) -> None:
+        for path in self._paths:
+            path.unlink(missing_ok=True)
+
+
+def _read_run(path: Path, start: int, count: int) -> np.ndarray:
+    """Load ``count`` records at record-offset ``start`` as an (m, 2) array."""
+    with open(path, "rb") as fh:
+        fh.seek(start * RECORD_BYTES)
+        data = fh.read(count * RECORD_BYTES)
+    return np.frombuffer(data, dtype=_DTYPE).reshape(-1, 2)
+
+
+def _sort_run(edges: np.ndarray) -> np.ndarray:
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    return edges[order]
+
+
+def _iter_records(path: Path, num_records: int) -> Iterator[Edge]:
+    """Lazily yield records from a sorted run file in bounded chunks."""
+    start = 0
+    while start < num_records:
+        count = min(_MERGE_CHUNK_EDGES, num_records - start)
+        chunk = _read_run(path, start, count)
+        for u, v in chunk.tolist():
+            yield u, v
+        start += count
+
+
+def sorted_edges(
+    path: Path, num_records: int, run_edges: int = DEFAULT_RUN_EDGES
+) -> Iterator[Edge]:
+    """Stream the spill at ``path`` in ascending ``(u, v)`` order.
+
+    Peak memory is O(``run_edges``) during run sorting and O(number of
+    runs × merge chunk) during the merge.  Run files land next to the
+    spill and are deleted as the merge drains them.
+    """
+    if run_edges < 1:
+        raise ValueError(f"run_edges must be >= 1, got {run_edges}")
+    if num_records == 0:
+        return
+    if num_records <= run_edges:
+        # Single run: sort in memory, no run files.
+        edges = _sort_run(_read_run(path, 0, num_records))
+        for u, v in edges.tolist():
+            yield u, v
+        return
+    run_paths: List[Tuple[Path, int]] = []
+    try:
+        start = 0
+        while start < num_records:
+            count = min(run_edges, num_records - start)
+            run = _sort_run(_read_run(path, start, count))
+            run_path = path.with_suffix(f".run{len(run_paths):04d}")
+            with open(run_path, "wb") as fh:
+                fh.write(run.tobytes())
+            run_paths.append((run_path, count))
+            start += count
+        merged = heapq.merge(
+            *(_iter_records(rp, count) for rp, count in run_paths)
+        )
+        for edge in merged:
+            yield edge
+    finally:
+        for run_path, _ in run_paths:
+            run_path.unlink(missing_ok=True)
+
+
+def external_sort_check(edges: Iterator[Edge], path: Path) -> Iterator[Edge]:
+    """Pass-through that rejects duplicate consecutive edges.
+
+    Sorted order makes duplicates adjacent, so a repeated input edge
+    (which would corrupt the bundle's edge->partition map) is caught
+    here at no extra memory cost.
+    """
+    prev: Tuple[int, int] = (-(1 << 62), -(1 << 62))
+    for edge in edges:
+        if edge == prev:
+            raise ValueError(
+                f"duplicate edge {edge} in partition spill {path.name}; "
+                "the input stream must not repeat edges"
+            )
+        prev = edge
+        yield edge
+
+
+def remove_spills(directory: Path, num_partitions: int) -> None:
+    for k in range(num_partitions):
+        spill_path(directory, k).unlink(missing_ok=True)
+    if not os.listdir(directory):
+        directory.rmdir()

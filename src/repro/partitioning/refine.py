@@ -50,6 +50,9 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -561,13 +564,68 @@ def refine_bundle(
     from repro.partitioning.serialization import partition_metadata
 
     metadata = partition_metadata(directory)
-    metadata["refined"] = stats.manifest_entry()
+    entry = stats.manifest_entry()
+    # Size profile of the refined layout: downstream placers (oocore
+    # pass 2, the ingest path) consume it as HDRF balance priors.
+    entry["partition_sizes"] = refined.partition_sizes()
+    metadata["refined"] = entry
     if "replication_factor" in metadata:
         metadata["replication_factor"] = round(stats.rf_after, 6)
-    manifest = save_partition(
-        refined,
-        output if output is not None else directory,
-        metadata=metadata,
-        workers=workers,
+    destination = directory if output is None else Path(output)
+    manifest = _save_refined_atomically(
+        refined, destination, metadata=metadata, workers=workers
     )
     return manifest, stats
+
+
+def _save_refined_atomically(
+    partition: EdgePartition,
+    destination: Path,
+    *,
+    metadata: Dict[str, object],
+    workers: Optional[int],
+) -> Path:
+    """``save_partition`` with all-or-nothing publication.
+
+    Writing straight into ``destination`` would expose readers (and the
+    source bundle, when ``destination`` is the source itself or a path
+    inside it) to a torn state if the save dies midway: some edge files
+    replaced, manifest still carrying the old checksums.  Instead the
+    whole bundle is built in a fresh staging directory next to
+    ``destination`` (same filesystem, so publication is pure rename),
+    then published:
+
+    * fresh destination — one atomic ``os.rename`` of the directory;
+    * existing destination (in-place refine, or overwriting an older
+      bundle) — per-file ``os.replace`` with the manifest **last**, plus
+      removal of stale other-compression counterparts, mirroring
+      ``save_partition``'s own crash discipline.
+
+    A failure before publication leaves ``destination`` byte-untouched.
+    """
+    from repro.partitioning.serialization import MANIFEST_NAME, save_partition
+
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    stage = Path(
+        tempfile.mkdtemp(prefix=destination.name + ".refine-", dir=destination.parent)
+    )
+    try:
+        save_partition(partition, stage, metadata=metadata, workers=workers)
+        if not destination.exists():
+            os.rename(stage, destination)
+            return destination / MANIFEST_NAME
+        names = sorted(os.listdir(stage))
+        names.remove(MANIFEST_NAME)
+        for name in names:
+            os.replace(stage / name, destination / name)
+            # A counterpart with the other compression setting is stale
+            # the moment its replacement lands.
+            if name.endswith(".edges"):
+                (destination / (name + ".gz")).unlink(missing_ok=True)
+            elif name.endswith(".edges.gz"):
+                (destination / name[: -len(".gz")]).unlink(missing_ok=True)
+        os.replace(stage / MANIFEST_NAME, destination / MANIFEST_NAME)
+        return destination / MANIFEST_NAME
+    finally:
+        shutil.rmtree(stage, ignore_errors=True)

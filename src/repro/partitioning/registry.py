@@ -40,6 +40,7 @@ EXTENDED_ALGORITHMS = (
     "TLP-W",
     "KL",
     "Spectral",
+    "2PS",
 )
 
 # Core imports are deferred into the factories: repro.core itself depends on
@@ -71,6 +72,14 @@ def _make_tlp_windowed(seed, window_size=50_000):
     return WindowedLocalPartitioner(window_size=window_size, seed=seed)
 
 
+def _make_2ps(seed):
+    # Deferred import: oocore pulls in numpy-backed sketch/bundle modules
+    # that only matter when the two-pass heuristic is actually used.
+    from repro.partitioning.oocore import TwoPhaseStreamingPartitioner
+
+    return TwoPhaseStreamingPartitioner(seed=seed)
+
+
 def _make_spectral(seed):
     # Deferred import: scipy is only needed when Spectral is actually used.
     from repro.partitioning.spectral import SpectralPartitioner
@@ -98,6 +107,7 @@ _REGISTRY: Dict[str, PartitionerFactory] = {
     "NE": lambda seed: NEPartitioner(seed=seed),
     "KL": lambda seed: VertexToEdgePartitioner(KLPartitioner(seed=seed), seed=seed),
     "Spectral": _make_spectral,
+    "2PS": _make_2ps,
 }
 
 

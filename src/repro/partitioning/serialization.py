@@ -52,11 +52,30 @@ def _edge_file(directory: Path, k: int, compress: bool) -> Path:
     return directory / f"part_{k:04d}{suffix}"
 
 
+class EdgeChecksum:
+    """Incremental form of the manifest edge checksum.
+
+    The streaming bundle writer (:mod:`repro.partitioning.oocore.bundle`)
+    folds edges in one at a time as they come off the external merge;
+    :func:`_checksum` is the eager equivalent over a list.  Both hash the
+    same ``"u,v;"`` byte stream, so manifests agree bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+
+    def add(self, u: int, v: int) -> None:
+        self._digest.update(f"{u},{v};".encode())
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()[:16]
+
+
 def _checksum(edges: List[Edge]) -> str:
-    digest = hashlib.sha256()
+    digest = EdgeChecksum()
     for u, v in edges:
-        digest.update(f"{u},{v};".encode())
-    return digest.hexdigest()[:16]
+        digest.add(u, v)
+    return digest.hexdigest()
 
 
 def _write_atomic(path: Path, write) -> None:

@@ -56,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.partitioning.refine import RefineStats
 from repro.graph.graph import Edge, normalize_edge
 from repro.partitioning.assignment import EdgePartition
+from repro.partitioning.scoring import balance_offsets, greedy_choice, hdrf_ties
 from repro.service.store import (
     NeighborRow,
     PartitionStore,
@@ -530,35 +531,34 @@ def place_hdrf(
     capacity: Optional[int] = None,
     lam: float = 1.1,
     epsilon: float = 1.0,
+    offsets: Optional[Sequence[int]] = None,
 ) -> int:
     """HDRF score over under-capacity partitions; ties to the lowest id.
 
     Identical scoring to :class:`repro.partitioning.hdrf.HDRFPartitioner`
     with partial degrees (the degree *including* the arriving edge), but
     deterministic — online placement must replay identically from the
-    WAL, so random tie-breaking is off the table.
+    WAL, so random tie-breaking is off the table.  ``offsets`` are the
+    optional refined-profile balance priors
+    (:func:`repro.partitioning.scoring.balance_offsets`); placement is
+    unchanged when they are absent.
     """
     sizes = store.partition_sizes()
     candidates = _under_capacity(sizes, capacity)
     du = store.degree(u) + 1
     dv = store.degree(v) + 1
-    theta_u = du / (du + dv)
-    theta_v = 1.0 - theta_u
-    replicas_u = set(store.replicas_of(u))
-    replicas_v = set(store.replicas_of(v))
-    max_size = max(sizes)
-    min_size = min(sizes)
-    best_k = candidates[0]
-    best_score = float("-inf")
-    for k in candidates:  # ascending, so strict > keeps the lowest id on ties
-        g_u = (1.0 + (1.0 - theta_u)) if k in replicas_u else 0.0
-        g_v = (1.0 + (1.0 - theta_v)) if k in replicas_v else 0.0
-        c_bal = (max_size - sizes[k]) / (epsilon + max_size - min_size)
-        score = g_u + g_v + lam * c_bal
-        if score > best_score:
-            best_score = score
-            best_k = k
-    return best_k
+    ties = hdrf_ties(
+        du,
+        dv,
+        set(store.replicas_of(u)),
+        set(store.replicas_of(v)),
+        sizes,
+        candidates=candidates,
+        lam=lam,
+        epsilon=epsilon,
+        offsets=offsets,
+    )
+    return ties[0]  # candidates ascend, so [0] is the lowest id on ties
 
 
 def place_greedy(
@@ -576,19 +576,9 @@ def place_greedy(
     """
     sizes = store.partition_sizes()
     candidates = _under_capacity(sizes, capacity)
-    allowed = set(candidates)
-    replicas_u = set(store.replicas_of(u)) & allowed
-    replicas_v = set(store.replicas_of(v)) & allowed
-    both = replicas_u & replicas_v
-    if both:
-        pool = both
-    elif replicas_u and replicas_v:
-        pool = replicas_u | replicas_v
-    elif replicas_u or replicas_v:
-        pool = replicas_u or replicas_v
-    else:
-        pool = allowed
-    return min(pool, key=lambda k: (sizes[k], k))
+    return greedy_choice(
+        set(store.replicas_of(u)), set(store.replicas_of(v)), sizes, candidates
+    )
 
 
 # -- the ingestor ------------------------------------------------------------
@@ -620,6 +610,7 @@ class Ingestor:
         refine_slack: float = 1.0,
         refine_epsilon: float = 0.0,
         refine_max_passes: int = 8,
+        refined_hints: bool = True,
     ) -> None:
         if policy not in PLACEMENT_POLICIES:
             raise ValueError(
@@ -646,6 +637,13 @@ class Ingestor:
         self.refine_slack = refine_slack
         self.refine_epsilon = refine_epsilon
         self.refine_max_passes = refine_max_passes
+        #: Consume a ``metadata["refined"]["partition_sizes"]`` profile
+        #: (when the bundle carries one) as HDRF balance priors.
+        self.refined_hints = refined_hints
+        #: Per-partition additive size offsets derived from the refined
+        #: profile (``None`` until a profile is seen; placement is
+        #: bit-identical to the prior behaviour while ``None``).
+        self.balance_offsets: Optional[List[int]] = None
         #: :class:`~repro.partitioning.refine.RefineStats` of the most
         #: recent refined compaction (``None`` until one runs).
         self.last_refine_stats: Optional[RefineStats] = None
@@ -686,6 +684,7 @@ class Ingestor:
         refine_slack: float = 1.0,
         refine_epsilon: float = 0.0,
         refine_max_passes: int = 8,
+        refined_hints: bool = True,
     ) -> "Ingestor":
         """Turn a read-only manager into a mutable one.
 
@@ -718,7 +717,9 @@ class Ingestor:
             refine_slack=refine_slack,
             refine_epsilon=refine_epsilon,
             refine_max_passes=refine_max_passes,
+            refined_hints=refined_hints,
         )
+        ingestor._load_refined_hints()
         ingestor._replay(records)
         ingestor.publish_gauges()
         return ingestor
@@ -827,6 +828,7 @@ class Ingestor:
             "compactions": self.compactions,
             "wal_bytes": self.wal.size,
             "wal_fsync_policy": self.wal.fsync_policy,
+            "refined_hints": self.balance_offsets is not None,
             "num_edges": overlay.num_edges,
             "replication_factor": round(rf, 6),
             "base_replication_factor": round(base_rf, 6),
@@ -893,7 +895,28 @@ class Ingestor:
         return place_hdrf(
             overlay, u, v,
             capacity=self.capacity, lam=self.lam, epsilon=self.epsilon,
+            offsets=self.balance_offsets,
         )
+
+    def _load_refined_hints(self) -> None:
+        """Adopt the bundle's refined size profile as balance priors.
+
+        No-op (placement bit-identical to before) unless hints are on
+        and the bundle's ``metadata["refined"]`` carries a
+        ``partition_sizes`` profile matching the partition count.
+        """
+        if not self.refined_hints:
+            return
+        refined = self.overlay.metadata.get("refined")
+        if not isinstance(refined, dict):
+            return
+        profile = refined.get("partition_sizes")
+        if (
+            isinstance(profile, list)
+            and len(profile) == self.overlay.num_partitions
+            and all(isinstance(s, int) and s >= 0 for s in profile)
+        ):
+            self.balance_offsets = balance_offsets(profile)
 
     def _commit(
         self,
@@ -1035,9 +1058,16 @@ class Ingestor:
             )
             partition, stats = refiner.refine(partition)
             self.last_refine_stats = stats
-            metadata["refined"] = stats.manifest_entry()
+            entry = stats.manifest_entry()
+            sizes = partition.partition_sizes()
+            entry["partition_sizes"] = sizes
+            metadata["refined"] = entry
             if "replication_factor" in metadata:
                 metadata["replication_factor"] = round(stats.rf_after, 6)
+            if self.refined_hints:
+                # Future placements lean toward the freshly refined
+                # layout instead of the stale pre-compaction profile.
+                self.balance_offsets = balance_offsets(sizes)
         save_partition(
             partition, self.bundle_dir, metadata=metadata,
             workers=self.fold_workers,

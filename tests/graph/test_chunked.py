@@ -1,0 +1,107 @@
+"""Chunked reader: parity with file iteration, checkpoints, resumability."""
+
+import gzip
+
+import pytest
+
+from repro.graph.chunked import (
+    Checkpoint,
+    ChunkedEdgeStream,
+    ChunkedLineStream,
+)
+from repro.graph.io import iter_edge_list
+
+
+EDGE_TEXT = "# comment\n0 1\n1 2\n\n% other comment\n2 3\n3 0\t9\n4 0\n"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    if name.endswith(".gz"):
+        path.write_bytes(gzip.compress(text.encode("utf-8")))
+    else:
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+@pytest.mark.parametrize("name", ["g.txt", "g.txt.gz"])
+def test_lines_match_file_iteration(tmp_path, name):
+    path = write(tmp_path, name, EDGE_TEXT)
+    expected = EDGE_TEXT.splitlines(keepends=True)
+    got = list(ChunkedLineStream(path, chunk_bytes=3).lines())
+    assert [line for _, line in got] == expected
+    assert [lineno for lineno, _ in got] == list(range(1, len(expected) + 1))
+
+
+def test_final_line_without_newline(tmp_path):
+    path = write(tmp_path, "g.txt", "0 1\n1 2")
+    assert [line for _, line in ChunkedLineStream(path).lines()] == [
+        "0 1\n",
+        "1 2",
+    ]
+
+
+@pytest.mark.parametrize("name", ["g.txt", "g.txt.gz"])
+@pytest.mark.parametrize("chunk_bytes", [1, 4, 1 << 20])
+def test_edges_match_iter_edge_list(tmp_path, name, chunk_bytes):
+    path = write(tmp_path, name, EDGE_TEXT)
+    stream = ChunkedEdgeStream(path, chunk_bytes=chunk_bytes)
+    assert list(stream.edges()) == list(iter_edge_list(path))
+    assert list(stream.edges()) == [(0, 1), (1, 2), (2, 3), (3, 0), (4, 0)]
+
+
+def test_stream_is_reiterable_for_two_passes(tmp_path):
+    path = write(tmp_path, "g.txt", EDGE_TEXT)
+    stream = ChunkedEdgeStream(path)
+    first = list(stream.edges())
+    second = list(stream.edges())
+    assert first == second and first
+
+
+@pytest.mark.parametrize("name", ["g.txt", "g.txt.gz"])
+def test_edge_chunks_checkpoints_resume(tmp_path, name):
+    path = write(tmp_path, name, EDGE_TEXT)
+    stream = ChunkedEdgeStream(path, chunk_bytes=5)
+    batches = list(stream.edge_chunks(chunk_edges=2))
+    assert [b for b, _ in batches] == [
+        [(0, 1), (1, 2)],
+        [(2, 3), (3, 0)],
+        [(4, 0)],
+    ]
+    # Resuming from each checkpoint yields exactly the edges after it.
+    flat = [e for b, _ in batches for e in b]
+    seen = 0
+    for batch, ckpt in batches:
+        seen += len(batch)
+        assert list(stream.edges(start=ckpt)) == flat[seen:]
+
+
+def test_checkpoint_preserves_line_numbers_in_errors(tmp_path):
+    path = write(tmp_path, "g.txt", "0 1\n1 2\nbroken\n")
+    stream = ChunkedEdgeStream(path)
+    batch, ckpt = next(stream.edge_chunks(chunk_edges=2))
+    assert batch == [(0, 1), (1, 2)] and ckpt == Checkpoint(8, 3)
+    with pytest.raises(ValueError, match=":3: expected 'u v'"):
+        list(stream.edges(start=ckpt))
+
+
+def test_error_messages_match_iter_edge_list_contract(tmp_path):
+    bad_tokens = write(tmp_path, "one.txt", "0 1\nlonely\n")
+    with pytest.raises(ValueError, match=r"one\.txt:2: expected 'u v'"):
+        list(ChunkedEdgeStream(bad_tokens).edges())
+    bad_int = write(tmp_path, "int.txt", "0 x\n")
+    with pytest.raises(ValueError, match=r"int\.txt:1: non-integer endpoint"):
+        list(ChunkedEdgeStream(bad_int).edges())
+
+
+def test_count_edges(tmp_path):
+    path = write(tmp_path, "g.txt", EDGE_TEXT)
+    assert ChunkedEdgeStream(path).count_edges() == 5
+
+
+def test_invalid_parameters(tmp_path):
+    path = write(tmp_path, "g.txt", EDGE_TEXT)
+    with pytest.raises(ValueError, match="chunk_bytes"):
+        ChunkedLineStream(path, chunk_bytes=0)
+    with pytest.raises(ValueError, match="chunk_edges"):
+        list(ChunkedEdgeStream(path).edge_chunks(chunk_edges=0))

@@ -1,0 +1,132 @@
+"""Out-of-core acceptance: peak RSS stays within the byte budget.
+
+Streams a synthetic 1M-edge graph through ``partition_stream`` under a
+96 MiB budget and asserts, via ``/proc/self/status`` ``VmHWM`` in a
+*fresh subprocess per contender* (a high-water mark measured in-process
+would be contaminated by test collection and earlier tests; and it must
+be ``VmHWM`` rather than ``getrusage``'s ``ru_maxrss``, because a
+forked child inherits the parent's ``ru_maxrss`` across ``execve``
+while ``VmHWM`` is per-``mm`` and resets):
+
+* the streaming pipeline's peak RSS stays under **2x the budget**
+  (the slack covers the interpreter + numpy import floor, which the
+  budget cannot control); and
+* merely materialising the same graph in memory — the floor under any
+  in-memory partitioner — already **exceeds the budget**, so the
+  streaming path is doing something the in-memory path cannot.
+
+~20s of wall clock: the priciest test in the suite, and the one that
+holds the subsystem's headline claim.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    sys.platform != "linux",
+    reason="ru_maxrss units are only pinned (KiB) on Linux",
+)
+
+MEMORY_BUDGET = 96 << 20
+NUM_EDGES = 1_000_000
+NUM_VERTICES = 1 << 17
+
+_CHILD = """\
+import json, sys
+
+mode, edges_path, out = sys.argv[1], sys.argv[2], sys.argv[3]
+if mode == "stream":
+    from repro.partitioning.oocore import partition_stream
+
+    result = partition_stream(
+        edges_path, out, num_partitions=4, memory_budget=int(sys.argv[4])
+    )
+    record = {
+        "edges": result.num_edges,
+        "rf": result.replication_factor,
+        "sketch": result.sketch_kind,
+    }
+else:
+    from repro.graph.chunked import ChunkedEdgeStream
+    from repro.graph.graph import Graph
+
+    graph = Graph.from_edges(ChunkedEdgeStream(edges_path).edges())
+    record = {"edges": graph.num_edges}
+with open("/proc/self/status") as fh:  # VmHWM: exec-reset, unlike ru_maxrss
+    for line in fh:
+        if line.startswith("VmHWM:"):
+            record["rss_max_kib"] = int(line.split()[1])
+print(json.dumps(record))
+"""
+
+
+def _run_child(mode, edges_path, out, *argv):
+    src_root = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(edges_path), str(out), *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert proc.returncode == 0, f"{mode} child failed:\n{proc.stderr}"
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def million_edge_file(tmp_path_factory):
+    """1M unique undirected edges over 2^17 vertices, u < v."""
+    path = tmp_path_factory.mktemp("oocore-rss") / "edges.txt"
+    rng = random.Random(20260808)
+    picks = rng.sample(range(NUM_VERTICES * NUM_VERTICES), int(NUM_EDGES * 2.2))
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for encoded in picks:
+            u, v = divmod(encoded, NUM_VERTICES)
+            if u < v:
+                fh.write(f"{u} {v}\n")
+                count += 1
+                if count == NUM_EDGES:
+                    break
+    assert count == NUM_EDGES
+    return path
+
+
+def test_streaming_fits_budget_where_in_memory_cannot(
+    million_edge_file, tmp_path
+):
+    bundle = tmp_path / "bundle"
+    streaming = _run_child(
+        "stream", million_edge_file, bundle, str(MEMORY_BUDGET)
+    )
+    in_memory = _run_child("inmem", million_edge_file, tmp_path / "unused")
+
+    assert streaming["edges"] == NUM_EDGES
+    assert in_memory["edges"] == NUM_EDGES
+    assert (bundle / "partition.json").exists()
+    assert (bundle / "adjacency.csr").exists()
+
+    budget_kib = MEMORY_BUDGET // 1024
+    assert streaming["rss_max_kib"] <= 2 * budget_kib, (
+        f"streaming pipeline peaked at {streaming['rss_max_kib']} KiB, "
+        f"over 2x the {budget_kib} KiB budget"
+    )
+    assert in_memory["rss_max_kib"] > budget_kib, (
+        "materialising the graph stayed under the budget "
+        f"({in_memory['rss_max_kib']} KiB <= {budget_kib} KiB) — "
+        "the workload no longer demonstrates out-of-core value; grow it"
+    )
+    # The budget is generous enough for exact degrees at this vertex
+    # count; placement quality therefore matches the parity-tested path.
+    assert streaming["sketch"] == "exact"
+    assert streaming["rf"] < 4.0

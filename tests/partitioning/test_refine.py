@@ -9,6 +9,7 @@ entry point with its WAL guard, and the manifest round trip.
 
 import json
 import math
+from pathlib import Path
 
 import pytest
 
@@ -342,3 +343,60 @@ class TestRefineBundle:
         (dbh_bundle / INGEST_WAL_NAME).write_bytes(b"\x01" * 8)
         assert main(["refine", str(dbh_bundle)]) == 1
         assert "compact before refining" in capsys.readouterr().err
+
+
+def _snapshot(directory):
+    """name -> bytes for every regular file directly in ``directory``."""
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(directory.iterdir())
+        if p.is_file()
+    }
+
+
+class TestAtomicPublish:
+    """``refine_bundle`` must never leave a destination half-written."""
+
+    def test_output_inside_source_does_not_corrupt_source(
+        self, refine_graph, dbh_bundle
+    ):
+        before = _snapshot(dbh_bundle)
+        out = dbh_bundle / "refined"
+        _, stats = refine_bundle(dbh_bundle, output=out)
+        assert _snapshot(dbh_bundle) == before  # source byte-untouched
+        load_partition(dbh_bundle)  # verify=True: checksums still hold
+        refined = load_partition(out)
+        assert replication_factor(refined, refine_graph) == stats.rf_after
+
+    @pytest.mark.parametrize("in_place", [True, False])
+    def test_crash_mid_save_leaves_destination_untouched(
+        self, dbh_bundle, monkeypatch, in_place
+    ):
+        from repro.partitioning import serialization
+
+        before = _snapshot(dbh_bundle)
+        real_save = serialization.save_partition
+
+        def exploding_save(partition, directory, **kwargs):
+            # Write real (new) edge files, then die before the manifest —
+            # the torn state that used to corrupt the destination.
+            real_save(partition, directory, **kwargs)
+            (Path(directory) / "partition.json").unlink()
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization, "save_partition", exploding_save)
+        output = None if in_place else dbh_bundle / "refined"
+        with pytest.raises(OSError, match="disk full"):
+            refine_bundle(dbh_bundle, output=output)
+        assert _snapshot(dbh_bundle) == before
+        load_partition(dbh_bundle)  # still a valid, verified bundle
+        # No staging directories left behind, in the bundle or next to it.
+        leftovers = [
+            p
+            for parent in (dbh_bundle, dbh_bundle.parent)
+            for p in parent.iterdir()
+            if ".refine-" in p.name
+        ]
+        assert leftovers == []
+        if output is not None:
+            assert not output.exists()

@@ -437,3 +437,61 @@ class TestCompaction:
             ingestor.close()
 
         asyncio.run(go())
+
+
+class TestRefinedHints:
+    """``metadata["refined"]["partition_sizes"]`` as HDRF balance priors."""
+
+    def _enable(self, bundle, **kwargs):
+        manager = StoreManager(PartitionStore.open(bundle))
+        kwargs.setdefault("fsync", "always")
+        return manager, Ingestor.enable(manager, bundle, **kwargs)
+
+    def _hinted_bundle(self, partition, tmp_path, profile):
+        directory = tmp_path / "hinted"
+        save_partition(
+            partition, directory,
+            metadata={"refined": {"partition_sizes": profile}},
+        )
+        return directory
+
+    def test_plain_bundle_keeps_legacy_placement(self, bundle):
+        _, ingestor = self._enable(bundle)
+        assert ingestor.balance_offsets is None
+        assert ingestor.ingest_stats()["refined_hints"] is False
+
+    def test_profile_adopted_and_steers_placement(self, partition, tmp_path):
+        from repro.partitioning.scoring import balance_offsets
+
+        profile = [0, 0, 10_000, 0]
+        directory = self._hinted_bundle(partition, tmp_path, profile)
+        _, ingestor = self._enable(directory)
+        assert ingestor.balance_offsets == balance_offsets(profile)
+        assert ingestor.ingest_stats()["refined_hints"] is True
+        # Both endpoints fresh: replica terms are zero everywhere, so the
+        # prior's balance term decides — partition 2 is the one the
+        # profile leaves headroom for.
+        assert ingestor.insert_edge(50_001, 50_002)["partition"] == 2
+
+        _, opted_out = self._enable(directory, refined_hints=False)
+        assert opted_out.balance_offsets is None
+
+    def test_malformed_profile_ignored(self, partition, tmp_path):
+        directory = self._hinted_bundle(partition, tmp_path, [1, 2])  # wrong p
+        _, ingestor = self._enable(directory)
+        assert ingestor.balance_offsets is None
+
+    def test_refined_compaction_publishes_profile(self, bundle):
+        from repro.partitioning.scoring import balance_offsets
+        from repro.partitioning.serialization import partition_metadata
+
+        manager, ingestor = self._enable(bundle, refine_on_compact=True)
+        for i in range(12):
+            ingestor.insert_edge(10_001 + i, 10_002 + i)
+        ingestor.compact_sync()
+        profile = partition_metadata(bundle)["refined"]["partition_sizes"]
+        assert profile == manager.store.partition_sizes()
+        assert ingestor.balance_offsets == balance_offsets(profile)
+        # A process restarted onto the compacted bundle re-adopts them.
+        _, revived = self._enable(bundle)
+        assert revived.balance_offsets == balance_offsets(profile)
